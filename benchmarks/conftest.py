@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates part of the paper's evaluation and writes
+its reproduction table to ``benchmarks/out/<experiment>.txt`` (as well
+as printing it), so EXPERIMENTS.md can quote the measured artifacts.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(experiment, text):
+    """Print a reproduction table and persist it for EXPERIMENTS.md."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    banner = "\n===== %s =====\n" % experiment
+    print(banner + text)
+    path = os.path.join(OUT_DIR, "%s.txt" % experiment)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def corpus_verdicts():
+    """Verdict matrix for the whole corpus, computed once per session."""
+    from repro.baselines import ALL_BASELINES
+    from repro.core import analyze_program
+    from repro.corpus import all_programs
+    from repro.corpus.registry import load
+
+    matrix = {}
+    for entry in all_programs():
+        program = load(entry)
+        row = {
+            "paper": analyze_program(program, entry.root, entry.mode).status
+        }
+        for method in ALL_BASELINES:
+            row[method.name] = method.analyze(
+                program, entry.root, entry.mode
+            ).status
+        matrix[entry.name] = row
+    return matrix

@@ -1,0 +1,78 @@
+"""Experiment E5: Appendix B — relation to Brodsky & Sagiv.
+
+Regenerates the appendix's observation: restricting the imported
+constraints to *partial-order* statements (all argument-mapping
+techniques can use) "was found to be sufficient to handle Example 5.1
+and Example 6.1, but not Example 3.1" — because perm's crucial
+``append1 + append2 = append3`` relates three arguments.
+"""
+
+from repro.core import TerminationAnalyzer
+from repro.corpus.registry import get_program, load
+from repro.interarg import infer_interargument_constraints
+from repro.interarg.partial_orders import (
+    is_partial_order_shaped,
+    restrict_to_partial_orders,
+)
+
+from benchmarks.conftest import emit
+
+
+def analyze_with_partial_orders(entry):
+    program = load(entry)
+    env = infer_interargument_constraints(program)
+    restricted = restrict_to_partial_orders(
+        env, program.defined_indicators()
+    )
+    analyzer = TerminationAnalyzer(program)
+    analyzer.use_external_constraints(restricted)
+    return analyzer.analyze(entry.root, entry.mode)
+
+
+def test_appendix_b_translation(benchmark):
+    names = ("merge_variant", "expr_parser", "perm")
+    verdicts = {}
+    for name in names:
+        verdicts[name] = analyze_with_partial_orders(
+            get_program(name)
+        ).status
+    benchmark.pedantic(
+        lambda: analyze_with_partial_orders(get_program("perm")),
+        rounds=3, iterations=1,
+    )
+    emit(
+        "E5_appendix_b",
+        "Verdicts with constraints restricted to partial orders\n"
+        "(emulating argument-mapping power; paper Appendix B)\n"
+        "paper:    sufficient for Ex. 5.1 and 6.1, not for Ex. 3.1\n"
+        "measured: merge_variant=%s expr_parser=%s perm=%s\n"
+        % (
+            verdicts["merge_variant"],
+            verdicts["expr_parser"],
+            verdicts["perm"],
+        ),
+    )
+    assert verdicts["merge_variant"] == "PROVED"   # Ex. 5.1
+    assert verdicts["expr_parser"] == "PROVED"     # Ex. 6.1
+    assert verdicts["perm"] == "UNKNOWN"           # Ex. 3.1
+
+
+def test_shape_classifier(benchmark):
+    """The classifier keeps differences/bounds and drops sums."""
+    from repro.linalg.constraints import Constraint
+    from repro.linalg.linexpr import LinearExpr
+    from repro.sizes.size_equations import arg_dimension
+
+    d1 = LinearExpr.of(arg_dimension(1))
+    d2 = LinearExpr.of(arg_dimension(2))
+    d3 = LinearExpr.of(arg_dimension(3))
+    assert is_partial_order_shaped(Constraint.ge(d1, d2 + 2))
+    assert is_partial_order_shaped(Constraint.ge(d1, 0))
+    assert is_partial_order_shaped(Constraint.eq(d1, d2))
+    assert not is_partial_order_shaped(Constraint.eq(d1 + d2, d3))
+    assert not is_partial_order_shaped(Constraint.ge(d1 * 2, d2))
+    assert not is_partial_order_shaped(Constraint.ge(d1 + d2, 1))
+    benchmark.pedantic(
+        lambda: is_partial_order_shaped(Constraint.eq(d1 + d2, d3)),
+        rounds=5, iterations=100,
+    )

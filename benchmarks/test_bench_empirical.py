@@ -1,0 +1,97 @@
+"""Experiment F2: empirical validation of every verdict.
+
+The method is a *sufficient* condition (Section 7) — so the shape to
+reproduce is one-sided:
+
+- every corpus program we PROVE must complete its search within budget
+  on every randomized well-moded query (zero violations), and
+- the known non-terminators must exhaust the budget on every query.
+
+The benchmark times the full empirical sweep of the proved set.
+"""
+
+import pytest
+
+from repro.lp import SLDEngine
+from repro.lp.generate import TermGenerator
+from repro.core import analyze_program
+from repro.corpus import all_programs
+from repro.corpus.registry import load, make_query
+
+from benchmarks.conftest import emit
+
+QUERIES_PER_PROGRAM = 8
+BUDGET = {"max_depth": 300, "max_steps": 300000}
+
+
+def run_queries(entry, seed=99):
+    program = load(entry)
+    engine = SLDEngine(program)
+    generator = TermGenerator(seed=seed)
+    completed = 0
+    for _ in range(QUERIES_PER_PROGRAM):
+        query = make_query(entry, generator)
+        outcome = engine.solve([query], **BUDGET)
+        if outcome.completed:
+            completed += 1
+    return completed
+
+
+def test_empirical_validation(benchmark):
+    proved = [
+        entry for entry in all_programs()
+        if entry.expected["paper"] == "PROVED"
+    ]
+    diverging = [
+        entry for entry in all_programs() if entry.terminating is False
+    ]
+
+    def sweep():
+        return {entry.name: run_queries(entry) for entry in proved}
+
+    completed_counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    violations = []
+    for entry in proved:
+        count = completed_counts[entry.name]
+        rows.append(
+            "%-22s PROVED   %d/%d queries completed"
+            % (entry.name, count, QUERIES_PER_PROGRAM)
+        )
+        if count != QUERIES_PER_PROGRAM:
+            violations.append(entry.name)
+
+    for entry in diverging:
+        count = run_queries(entry)
+        rows.append(
+            "%-22s diverges %d/%d queries completed"
+            % (entry.name, count, QUERIES_PER_PROGRAM)
+        )
+        assert count == 0, "%s should exhaust the budget" % entry.name
+
+    emit(
+        "F2_empirical",
+        "Empirical validation (%d queries per program)\n" % QUERIES_PER_PROGRAM
+        + "\n".join(rows)
+        + "\nsoundness violations: %d\n" % len(violations),
+    )
+    assert violations == [], violations
+
+
+def test_verdicts_stable_across_engine(benchmark):
+    """Analyzer verdicts agree with the ground-truth column."""
+
+    def verdicts():
+        return {
+            entry.name: analyze_program(
+                load(entry), entry.root, entry.mode
+            ).status
+            for entry in all_programs()
+        }
+
+    results = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    for entry in all_programs():
+        # PROVED implies genuinely terminating (never the reverse).
+        if results[entry.name] == "PROVED":
+            assert entry.terminating is True, entry.name

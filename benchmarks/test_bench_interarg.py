@@ -1,0 +1,97 @@
+"""Experiment E4: automatic inter-argument constraint inference.
+
+The paper *imports* these constraints ("the required imported
+feasibility constraints are taken as input, but are not automated") —
+we reproduce the [VG90] derivation and pin the exact constraints the
+paper quotes:
+
+- ``append1 + append2 = append3`` (Section 3, Example 3.1),
+- ``t1 >= 2 + t2`` for the parser SCC (Section 6.2),
+
+plus the relations deeper corpus programs need, and the headline
+dependence: perm flips PROVED -> UNKNOWN without them.
+"""
+
+from repro.core import AnalyzerSettings, analyze_program
+from repro.corpus.registry import get_program, load
+from repro.interarg import infer_interargument_constraints
+from repro.linalg.constraints import Constraint
+from repro.linalg.linexpr import LinearExpr
+from repro.sizes.size_equations import arg_dimension
+
+from benchmarks.conftest import emit
+
+
+def dim(i):
+    return LinearExpr.of(arg_dimension(i))
+
+
+def test_append_constraint(benchmark):
+    program = load(get_program("append_bbf"))
+    env = benchmark(infer_interargument_constraints, program)
+    poly = env.get(("append", 3))
+    assert poly.entails_constraint(Constraint.eq(dim(1) + dim(2), dim(3)))
+    emit(
+        "E4_append",
+        "append/3 inter-argument inference\n"
+        "paper:    imported constraint append1 + append2 = append3\n"
+        "measured:\n%s\n" % poly,
+    )
+
+
+def test_parser_constraint(benchmark):
+    program = load(get_program("expr_parser"))
+    env = benchmark(infer_interargument_constraints, program)
+    rows = []
+    for name in ("e", "t", "n"):
+        poly = env.get((name, 2))
+        assert poly.entails_constraint(Constraint.ge(dim(1), dim(2) + 2))
+        rows.append("%s/2:\n%s" % (name, poly))
+    emit(
+        "E4_parser",
+        "parser SCC inter-argument inference\n"
+        "paper:    t1 >= 2 + t2 'found by Van Gelder's methods'\n"
+        "measured:\n" + "\n".join(rows) + "\n",
+    )
+
+
+def test_gcd_pipeline_constraints(benchmark):
+    """Four predicates deep: less -> leq/sub -> mod -> gcd."""
+    program = load(get_program("gcd_euclid"))
+    env = benchmark(infer_interargument_constraints, program)
+    less = env.get(("less", 2))
+    sub = env.get(("sub", 3))
+    mod = env.get(("mod", 3))
+    assert less.entails_constraint(Constraint.ge(dim(2), dim(1) + 1))
+    assert sub.entails_constraint(Constraint.eq(dim(1), dim(2) + dim(3)))
+    # The key fact for gcd's decrease: remainder < divisor.
+    assert mod.entails_constraint(Constraint.ge(dim(2), dim(3) + 1))
+    emit(
+        "E4_gcd",
+        "gcd pipeline inference (less -> sub -> mod)\n"
+        "less/2:\n%s\nsub/3:\n%s\nmod/3:\n%s\n" % (less, sub, mod),
+    )
+
+
+def test_perm_depends_on_interarg(benchmark):
+    """The separation claim in one toggle."""
+    entry = get_program("perm")
+    program = load(entry)
+
+    def both():
+        with_ia = analyze_program(program, entry.root, entry.mode)
+        without = analyze_program(
+            program, entry.root, entry.mode,
+            settings=AnalyzerSettings(use_interarg=False),
+        )
+        return with_ia.status, without.status
+
+    with_status, without_status = benchmark(both)
+    assert with_status == "PROVED"
+    assert without_status == "UNKNOWN"
+    emit(
+        "E4_perm_toggle",
+        "perm/2^bf with vs without inter-argument constraints\n"
+        "with [VG90] import: %s\nwithout:            %s\n"
+        % (with_status, without_status),
+    )

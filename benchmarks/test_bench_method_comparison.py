@@ -1,0 +1,88 @@
+"""Experiment E2: this paper's method vs the earlier literature.
+
+Regenerates the comparative claims ("several programs that could not
+be shown to terminate by earlier published methods are handled
+successfully") as a verdict matrix over the corpus, and times each
+method's full corpus sweep.
+
+Shape to reproduce: the paper's method proves a strict superset of
+every baseline; perm / merge-variant / expression-parser (the paper's
+own examples) separate it from all of them.
+"""
+
+import pytest
+
+from repro.baselines import ALL_BASELINES
+from repro.core import analyze_program
+from repro.core.report import render_verdict_table
+from repro.corpus import all_programs
+from repro.corpus.registry import load
+
+from benchmarks.conftest import emit
+
+METHODS = ["paper"] + [m.name for m in ALL_BASELINES]
+
+
+def test_verdict_matrix(corpus_verdicts, benchmark):
+    """The headline table; benchmark times the paper method's sweep."""
+
+    def paper_sweep():
+        for entry in all_programs():
+            analyze_program(load(entry), entry.root, entry.mode)
+
+    benchmark.pedantic(paper_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for entry in all_programs():
+        verdicts = corpus_verdicts[entry.name]
+        for method in METHODS:
+            assert verdicts[method] == entry.expected[method], (
+                entry.name, method,
+            )
+        rows.append(
+            [entry.name] + [verdicts[m] for m in METHODS]
+        )
+    table = render_verdict_table(rows, headers=tuple(["program"] + METHODS))
+
+    proved = {
+        m: sum(1 for entry in all_programs()
+               if corpus_verdicts[entry.name][m] == "PROVED")
+        for m in METHODS
+    }
+    summary = "proved counts: " + "  ".join(
+        "%s=%d" % (m, proved[m]) for m in METHODS
+    )
+    only_paper = [
+        entry.name
+        for entry in all_programs()
+        if corpus_verdicts[entry.name]["paper"] == "PROVED"
+        and all(
+            corpus_verdicts[entry.name][m.name] == "UNKNOWN"
+            for m in ALL_BASELINES
+        )
+    ]
+    emit(
+        "E2_method_comparison",
+        table
+        + "\n\n" + summary
+        + "\nproved ONLY by the paper's method: " + ", ".join(only_paper)
+        + "\n",
+    )
+
+    # Shape assertions: strict superset, and the paper's own examples
+    # among the separators.
+    for m in ALL_BASELINES:
+        assert proved["paper"] >= proved[m.name]
+    assert {"perm", "merge_variant", "expr_parser"} <= set(only_paper)
+
+
+@pytest.mark.parametrize("method", ALL_BASELINES, ids=lambda m: m.name)
+def test_baseline_sweep_time(method, benchmark):
+    """Per-method sweep timing (baselines are far cheaper — they skip
+    inter-argument inference entirely)."""
+
+    def sweep():
+        for entry in all_programs():
+            method.analyze(load(entry), entry.root, entry.mode)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)

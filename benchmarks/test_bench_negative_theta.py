@@ -1,0 +1,114 @@
+"""Experiment E6: Appendix C — negative theta weights.
+
+"Intuitively, this allows for the possibility that the critical bound
+subgoals get larger before getting smaller, in such a way that they
+are smaller by the time a cycle around the dependency graph has been
+completed.  We are aware of no natural examples of such rules."
+
+The corpus's synthetic ``seesaw`` program is such a program: the
+argument grows by one from p to q and shrinks by three from q back to
+p.  Shape to reproduce: the standard 0/1 theta assignment fails, the
+Appendix C path-constraint search succeeds (with a genuinely negative
+theta), and the certificate passes independent verification.  The
+standard mode must also remain complete on everything it already
+proves (Appendix C is an extension, not a replacement).
+"""
+
+from fractions import Fraction
+
+from repro.core import AnalyzerSettings, analyze_program, verify_proof
+from repro.corpus.registry import get_program, load
+
+from benchmarks.conftest import emit
+
+
+def test_seesaw_needs_negative_theta(benchmark):
+    entry = get_program("seesaw")
+    program = load(entry)
+
+    standard = analyze_program(program, entry.root, entry.mode)
+    negative = benchmark(
+        analyze_program,
+        program,
+        entry.root,
+        entry.mode,
+        settings=AnalyzerSettings(allow_negative_theta=True),
+    )
+
+    assert standard.status == "UNKNOWN"
+    assert negative.status == "PROVED"
+    verify_proof(negative.proof)
+
+    proof = [
+        p for p in negative.proof.scc_proofs
+        if not p.trivially_nonrecursive
+    ][0]
+    negative_edges = {
+        (str(i), str(j)): value
+        for (i, j), value in proof.thetas.items()
+        if value < 0
+    }
+    assert negative_edges, "the proof must actually use a negative theta"
+
+    emit(
+        "E6_negative_theta",
+        "Appendix C on the synthetic seesaw program\n"
+        "standard 0/1 thetas: %s\n"
+        "Appendix C search:   %s\n"
+        "thetas: %s\n"
+        % (
+            standard.status,
+            negative.status,
+            "  ".join(
+                "%s->%s=%s" % (i.name, j.name, v)
+                for (i, j), v in sorted(proof.thetas.items(), key=repr)
+            ),
+        ),
+    )
+
+
+def test_negative_mode_conservative(benchmark):
+    """Appendix C proves everything the standard mode proves."""
+    names = ("perm", "merge_variant", "expr_parser", "even_odd")
+    settings = AnalyzerSettings(allow_negative_theta=True)
+    verdicts = {}
+    for name in names:
+        entry = get_program(name)
+        result = analyze_program(
+            load(entry), entry.root, entry.mode, settings=settings
+        )
+        verdicts[name] = result.status
+        assert result.status == "PROVED", name
+        verify_proof(result.proof)
+    benchmark.pedantic(
+        lambda: analyze_program(
+            load(get_program("expr_parser")), ("e", 2), "bf",
+            settings=settings,
+        ),
+        rounds=3, iterations=1,
+    )
+    emit(
+        "E6_conservative",
+        "Appendix C mode on standard-provable programs\n"
+        + "\n".join("%-14s %s" % kv for kv in sorted(verdicts.items()))
+        + "\n",
+    )
+
+
+def test_negative_mode_still_rejects_loops(benchmark):
+    """The extra freedom must not prove non-terminators."""
+    names = ("loop_direct", "loop_mutual", "loop_swap", "count_up")
+    settings = AnalyzerSettings(allow_negative_theta=True)
+    for name in names:
+        entry = get_program(name)
+        result = analyze_program(
+            load(entry), entry.root, entry.mode, settings=settings
+        )
+        assert result.status == "UNKNOWN", name
+    benchmark.pedantic(
+        lambda: analyze_program(
+            load(get_program("loop_mutual")), ("p", 1), "b",
+            settings=settings,
+        ),
+        rounds=3, iterations=1,
+    )

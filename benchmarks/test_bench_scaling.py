@@ -1,0 +1,115 @@
+"""Experiment F1: scaling of the analysis with program size.
+
+The paper claims a theoretical polynomial bound ("largely imaginary")
+and that "in practice, Fourier-Motzkin elimination is simple and
+adequate".  We regenerate that as three generated program families:
+
+- ``ring(k)``   — one SCC of k mutually recursive predicates,
+- ``chain(k)``  — k separate self-recursive SCCs in a call chain,
+- ``wide(a)``   — one predicate of arity a, every argument decreasing.
+
+All instances must be PROVED, and the series (analysis time, final
+constraint rows) should grow smoothly — no exponential cliff.
+"""
+
+import time
+
+import pytest
+
+from repro.core import analyze_program
+from repro.lp import parse_program
+
+from benchmarks.conftest import emit
+
+
+def ring_program(k):
+    """p1 -> p2 -> ... -> pk -> p1, argument shrinks at every hop."""
+    lines = ["p1(0)."]
+    for i in range(1, k + 1):
+        succ = (i % k) + 1
+        lines.append("p%d(s(X)) :- p%d(X)." % (i, succ))
+    return parse_program("\n".join(lines))
+
+
+def chain_program(k):
+    """q1 calls q2 calls ... qk; each qi also recurses on a list."""
+    lines = []
+    for i in range(1, k + 1):
+        lines.append("q%d([], [])." % i)
+        if i < k:
+            lines.append(
+                "q%d([X|Xs], [X|Ys]) :- q%d(Xs, Zs), q%d(Zs, Ys)."
+                % (i, i, i + 1)
+            )
+        else:
+            lines.append("q%d([X|Xs], [X|Ys]) :- q%d(Xs, Ys)." % (i, i))
+    return parse_program("\n".join(lines))
+
+
+def wide_program(arity):
+    """r(s(X1), ..., s(Xa)) :- r(X1, ..., Xa)."""
+    args_head = ", ".join("s(X%d)" % i for i in range(arity))
+    args_body = ", ".join("X%d" % i for i in range(arity))
+    zeros = ", ".join("0" for _ in range(arity))
+    return parse_program(
+        "r(%s).\nr(%s) :- r(%s)." % (zeros, args_head, args_body)
+    )
+
+
+def measure(program, root, mode):
+    started = time.perf_counter()
+    result = analyze_program(program, root, mode)
+    elapsed = time.perf_counter() - started
+    rows = sum(r.constraint_rows for r in result.scc_results)
+    return result, elapsed, rows
+
+
+def series_table(title, rows):
+    lines = ["%-8s %10s %8s %8s" % ("size", "verdict", "sec", "rows")]
+    for size, verdict, seconds, count in rows:
+        lines.append(
+            "%-8s %10s %8.3f %8d" % (size, verdict, seconds, count)
+        )
+    return title + "\n" + "\n".join(lines)
+
+
+def test_ring_scaling(benchmark):
+    rows = []
+    for k in (2, 4, 8, 12):
+        result, elapsed, count = measure(ring_program(k), ("p1", 1), "b")
+        assert result.proved, "ring(%d)" % k
+        rows.append((k, result.status, elapsed, count))
+    benchmark.pedantic(
+        lambda: analyze_program(ring_program(8), ("p1", 1), "b"),
+        rounds=3, iterations=1,
+    )
+    emit("F1_ring", series_table("mutual-recursion ring(k)", rows))
+
+
+def test_chain_scaling(benchmark):
+    rows = []
+    for k in (2, 4, 8, 12):
+        result, elapsed, count = measure(chain_program(k), ("q1", 2), "bf")
+        assert result.proved, "chain(%d)" % k
+        rows.append((k, result.status, elapsed, count))
+    benchmark.pedantic(
+        lambda: analyze_program(chain_program(8), ("q1", 2), "bf"),
+        rounds=3, iterations=1,
+    )
+    emit("F1_chain", series_table("SCC chain(k)", rows))
+
+
+def test_arity_scaling(benchmark):
+    rows = []
+    for arity in (1, 2, 4, 6, 8):
+        mode = "b" * arity
+        result, elapsed, count = measure(
+            wide_program(arity), ("r", arity), mode
+        )
+        assert result.proved, "wide(%d)" % arity
+        rows.append((arity, result.status, elapsed, count))
+    benchmark.pedantic(
+        lambda: analyze_program(wide_program(6), ("r", 6), "b" * 6),
+        rounds=3, iterations=1,
+    )
+    emit("F1_wide", series_table("arity sweep wide(a)", rows))

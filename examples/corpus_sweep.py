@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Method-comparison sweep over the whole program corpus.
+
+Regenerates the paper's comparative claims as a table: which classic
+programs each method proves terminating.  "Several programs that could
+not be shown to terminate by earlier published methods are handled
+successfully" — the rows where only the `paper` column reads PROVED.
+
+Run:  python examples/corpus_sweep.py
+"""
+
+import time
+
+from repro.baselines import ALL_BASELINES
+from repro.core import analyze_program
+from repro.core.report import render_verdict_table
+from repro.corpus import all_programs
+from repro.corpus.registry import load
+
+
+def main():
+    headers = ["program", "truth", "paper"] + [
+        m.name for m in ALL_BASELINES
+    ]
+    rows = []
+    started = time.time()
+    for entry in all_programs():
+        program = load(entry)
+        verdicts = [
+            analyze_program(program, entry.root, entry.mode).status
+        ]
+        for method in ALL_BASELINES:
+            verdicts.append(
+                method.analyze(program, entry.root, entry.mode).status
+            )
+        truth = {True: "halts", False: "loops", None: "?"}[entry.terminating]
+        rows.append([entry.name, truth] + verdicts)
+
+    print(render_verdict_table(rows, headers=tuple(headers)))
+    print("\n%d programs analyzed by 4 methods in %.1fs"
+          % (len(rows), time.time() - started))
+
+    only_paper = [
+        row[0]
+        for row in rows
+        if row[2] == "PROVED" and all(v == "UNKNOWN" for v in row[3:])
+    ]
+    print("\nproved ONLY by the paper's method: %s" % ", ".join(only_paper))
+
+
+if __name__ == "__main__":
+    main()

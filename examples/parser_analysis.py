@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The paper's Example 6.1: mutual + nonlinear recursion.
+
+An arithmetic expression parser over three mutually recursive
+predicates (e -> t -> n -> e).  Earlier work (Pluemer) had to merge the
+predicates into one and still needed ad hoc assumptions; the paper
+handles the mutual recursion directly by choosing theta weights per
+dependency edge and rejecting zero-weight cycles with a min-plus
+closure.
+
+Run:  python examples/parser_analysis.py
+"""
+
+from repro import SLDEngine, analyze, parse_program, verify_proof
+from repro.core.adornment import AdornedPredicate
+
+PROGRAM = """
+e(L, T) :- t(L, ['+'|C]), e(C, T).
+e(L, T) :- t(L, T).
+t(L, T) :- n(L, ['*'|C]), t(C, T).
+t(L, T) :- n(L, T).
+n(['('|A], T) :- e(A, [')'|T]).
+n([L|T], T) :- z(L).
+"""
+
+
+def main():
+    program = parse_program(PROGRAM)
+    result = analyze(program, ("e", 2), "bf")
+    print("verdict:", result.status)
+
+    print("\nInter-argument constraint the analysis hinges on")
+    print("(paper, Section 6.2: 't1 >= 2 + t2 ... found by Van")
+    print(" Gelder's methods' — here derived automatically):")
+    for line in str(result.environment.get(("t", 2))).splitlines():
+        print("   ", line)
+
+    scc_proof = [
+        p for p in result.proof.scc_proofs if not p.trivially_nonrecursive
+    ][0]
+    e = AdornedPredicate(("e", 2), "bf")
+    t = AdornedPredicate(("t", 2), "bf")
+    n = AdornedPredicate(("n", 2), "bf")
+
+    print("\nTheta assignment (paper: theta_et and theta_tn forced to 0,")
+    print("theta_ne = 1 leaves no zero-weight cycle):")
+    for (i, j), value in sorted(scc_proof.thetas.items(), key=repr):
+        print("  theta[%s -> %s] = %s" % (i.name, j.name, value))
+
+    print("\nMeasures (paper: alpha = beta = gamma >= 1/2):")
+    for node in (e, t, n):
+        print("  measure[%s] = %s"
+              % (node, scc_proof.measure_description(node)))
+
+    verify_proof(result.proof)
+    print("\ncertificate independently verified")
+
+    # Parse some real token lists with the engine, supplying a token
+    # relation z for identifiers.
+    runnable = parse_program(PROGRAM + "\nz(x).\nz(y).\n")
+    engine = SLDEngine(runnable)
+    for text, tokens in (
+        ("x + y", "[x, '+', y]"),
+        ("(x + y) * x", "['(', x, '+', y, ')', '*', x]"),
+        ("x + +", "[x, '+', '+']"),
+    ):
+        outcome = engine.solve("e(%s, [])" % tokens)
+        print("  parse %-14r -> %s (search complete: %s)"
+              % (text, "accepted" if outcome.succeeded else "rejected",
+                 outcome.completed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Deep dive into the paper's Example 3.1 / 4.1: the `perm` procedure.
+
+The permutation generator
+
+    perm([], []).
+    perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+
+"cannot be shown to terminate (with the first argument bound) by any of
+the previous methods" — no pairwise order relation proves P1 < P.  The
+paper's method imports the inter-argument constraint
+
+    append1 + append2 = append3
+
+from both append subgoals and finds that lambda = 1/2 on perm's first
+argument decreases by at least 1 on every recursive call.
+
+Run:  python examples/permutation_analysis.py
+"""
+
+from repro import SLDEngine, analyze, parse_program, verify_proof
+from repro.core import AnalyzerSettings
+from repro.core.adornment import AdornedPredicate
+from repro.baselines import ALL_BASELINES
+
+PROGRAM = """
+perm([], []).
+perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+"""
+
+
+def main():
+    program = parse_program(PROGRAM)
+
+    print("== Step 1: the earlier methods all fail ==")
+    for baseline in ALL_BASELINES:
+        verdict = baseline.analyze(program, ("perm", 2), "bf")
+        print("  %-22s -> %s" % (baseline.name, verdict.status))
+
+    print("\n== Step 2: so does this paper's method WITHOUT the")
+    print("   inter-argument constraints (the [VG90] import) ==")
+    crippled = analyze(
+        program, ("perm", 2), "bf",
+        settings=AnalyzerSettings(use_interarg=False),
+    )
+    print("  paper method, no interarg -> %s" % crippled.status)
+
+    print("\n== Step 3: with them, the proof goes through ==")
+    result = analyze(program, ("perm", 2), "bf")
+    print("  paper method              -> %s" % result.status)
+
+    print("\nInter-argument constraints inferred for append/3:")
+    for line in str(result.environment.get(("append", 3))).splitlines():
+        print("   ", line)
+
+    node = AdornedPredicate(("perm", 2), "bf")
+    proof = result.proof.proof_for(node)
+    print("\nCertificate (paper: 'termination can be demonstrated using"
+          " lambda = 1/2'):")
+    print("  measure[perm] =", proof.measure_description(node))
+    print("  theta[perm -> perm] =", proof.thetas[(node, node)])
+
+    verify_proof(result.proof)
+    print("  independently verified via the primal LP (Eq. 4)")
+
+    print("\n== Step 4: empirical sanity check ==")
+    engine = SLDEngine(program)
+    outcome = engine.solve("perm([a, b, c, d], Q)")
+    print("  perm([a,b,c,d], Q): %d solutions, complete search: %s"
+          % (len(outcome.solutions), outcome.completed))
+
+
+if __name__ == "__main__":
+    main()

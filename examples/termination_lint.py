@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""A termination linter for a small Prolog code base.
+
+Real deployment shape for the paper's method: library files declare
+their supported query modes with ``:- mode(...)`` directives, and a CI
+gate analyzes every declaration, failing the build when a mode has no
+termination proof.  This example writes a three-file mini-library to a
+temp directory and lints it.
+
+Run:  python examples/termination_lint.py
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import analyze, parse_program
+from repro.core import check_well_moded
+
+LIBRARY = {
+    "lists.pl": """
+        :- mode(append(b, b, f)).
+        :- mode(append(f, f, b)).
+        :- mode(rev(b, f)).
+
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+
+        rev(L, R) :- rev_acc(L, [], R).
+        rev_acc([], A, A).
+        rev_acc([X|Xs], A, R) :- rev_acc(Xs, [X|A], R).
+    """,
+    "sorting.pl": """
+        :- mode(msort(b, f)).
+
+        split([], [], []).
+        split([X|Xs], [X|O], E) :- split(Xs, E, O).
+        merge([], Ys, Ys).
+        merge(Xs, [], Xs).
+        merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge(Xs, [Y|Ys], Zs).
+        merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y < X, merge([X|Xs], Ys, Zs).
+        msort([], []).
+        msort([X], [X]).
+        msort([X, Y|Zs], S) :- split([X, Y|Zs], L1, L2),
+                               msort(L1, S1), msort(L2, S2),
+                               merge(S1, S2, S).
+    """,
+    "buggy.pl": """
+        :- mode(walk(b)).
+
+        walk(X) :- step(X, Y), walk(Y).
+        step(a, b).
+        step(b, a).
+    """,
+}
+
+
+def lint_file(path):
+    with open(path) as handle:
+        program = parse_program(handle.read())
+    failures = 0
+    for declaration in program.mode_declarations:
+        name, arity = declaration.indicator
+        modes = check_well_moded(program, declaration.indicator,
+                                 declaration.mode)
+        result = analyze(program, declaration.indicator, declaration.mode)
+        status = result.status
+        notes = []
+        if not modes.well_moded:
+            notes.append("not well-moded")
+        if status != "PROVED":
+            failures += 1
+            for failing in result.failing_sccs():
+                notes.append(failing.reason)
+        print(
+            "  %s/%d mode %s: %-8s %s"
+            % (name, arity, declaration.mode, status,
+               ("(" + "; ".join(notes) + ")") if notes else "")
+        )
+    return failures
+
+
+def main():
+    workspace = tempfile.mkdtemp(prefix="repro_lint_")
+    for filename, source in LIBRARY.items():
+        with open(os.path.join(workspace, filename), "w") as handle:
+            handle.write(source)
+
+    total_failures = 0
+    for filename in sorted(LIBRARY):
+        print("%s:" % filename)
+        total_failures += lint_file(os.path.join(workspace, filename))
+    print(
+        "\nlint result: %s"
+        % ("PASS" if not total_failures
+           else "FAIL (%d undeclared-termination modes)" % total_failures)
+    )
+    # msort needs the list-length norm (see EXPERIMENTS.md F3); show
+    # how a per-file knob would rescue it.
+    sorting = parse_program(LIBRARY["sorting.pl"])
+    from repro.core import AnalyzerSettings
+
+    rescued = analyze(
+        sorting, ("msort", 2), "bf",
+        settings=AnalyzerSettings(norm="list_length"),
+    )
+    print("msort under the list-length norm:", rescued.status)
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""repro — termination detection in logic programs via argument sizes.
+
+A complete reimplementation of Sohn & Van Gelder, *Termination
+Detection in Logic Programs using Argument Sizes* (PODS 1991),
+including every substrate the paper depends on:
+
+- a Prolog-subset front end and SLD engine (:mod:`repro.lp`),
+- exact rational linear algebra — Fourier–Motzkin elimination and a
+  two-phase simplex (:mod:`repro.linalg`),
+- automatic inter-argument constraint inference, the paper's [VG90]
+  import (:mod:`repro.interarg`),
+- the Appendix A syntactic transformations (:mod:`repro.transform`),
+- the termination analyzer itself (:mod:`repro.core`), and
+- executable baselines from the earlier literature
+  (:mod:`repro.baselines`).
+
+Quickstart
+----------
+>>> from repro import analyze
+>>> result = analyze('''
+...     append([], Ys, Ys).
+...     append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+... ''', root=("append", 3), mode="bbf")
+>>> result.status
+'PROVED'
+"""
+
+from repro.lp import Program, SLDEngine, parse_program, parse_term
+from repro.core import (
+    AnalysisResult,
+    AnalyzerSettings,
+    TerminationAnalyzer,
+    TerminationProof,
+    analyze_program,
+    verify_proof,
+)
+from repro.core.report import render_report
+from repro.interarg import SizeEnvironment, infer_interargument_constraints
+from repro.transform import normalize_program
+
+__version__ = "0.1.0"
+
+
+def analyze(program, root, mode, settings=None):
+    """Analyze a program (text or :class:`~repro.lp.Program`).
+
+    Thin alias of :func:`repro.core.analyzer.analyze_program` exposed at
+    the package root.
+    """
+    return analyze_program(program, root, mode, settings=settings)
+
+
+__all__ = [
+    "Program",
+    "SLDEngine",
+    "parse_program",
+    "parse_term",
+    "AnalysisResult",
+    "AnalyzerSettings",
+    "TerminationAnalyzer",
+    "TerminationProof",
+    "analyze",
+    "analyze_program",
+    "verify_proof",
+    "render_report",
+    "SizeEnvironment",
+    "infer_interargument_constraints",
+    "normalize_program",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Baseline termination tests from the earlier literature.
+
+The paper's evaluation claims are comparative ("several programs that
+could not be shown to terminate by earlier published methods are
+handled successfully").  To regenerate those claims as a real table we
+implement executable versions of the earlier methods, sharing the
+adorned-SCC front end with the main analyzer so the comparison isolates
+the *decrease test*:
+
+- :mod:`repro.baselines.naish` — Naish'83: a subset of bound argument
+  positions such that every recursive call takes a subterm in at least
+  one subset position and never grows any of them (subterm partial
+  order).
+- :mod:`repro.baselines.uvg_spine` — Ullman & Van Gelder'88
+  (simplified): one bound argument per predicate whose *right spine
+  length* never grows and strictly shrinks around every cycle.
+- :mod:`repro.baselines.single_arg` — a single bound argument per
+  predicate whose *structural size polynomial* dominates the callee's
+  (coefficient-wise) with positive total decrease around every cycle;
+  the natural "one argument, no inter-argument constraints"
+  strengthening both prior methods suggest.
+
+All baselines deliberately use **no inter-argument constraints** —
+that is the paper's extension — and only single/subset argument
+tracking — linear *combinations* are the paper's other extension.
+"""
+
+from repro.baselines.common import BaselineResult, BaselineMethod
+from repro.baselines.naish import NaishMethod
+from repro.baselines.uvg_spine import UVGSpineMethod
+from repro.baselines.single_arg import SingleArgumentMethod
+
+ALL_BASELINES = (NaishMethod(), UVGSpineMethod(), SingleArgumentMethod())
+
+__all__ = [
+    "BaselineResult",
+    "BaselineMethod",
+    "NaishMethod",
+    "UVGSpineMethod",
+    "SingleArgumentMethod",
+    "ALL_BASELINES",
+]

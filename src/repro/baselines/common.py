@@ -1,0 +1,154 @@
+"""Shared machinery for baseline termination methods.
+
+Every baseline reuses the adorned dependency graph and SCC walk of the
+main analyzer and plugs in only its own per-SCC decrease test, so the
+method-comparison experiment (E2) isolates exactly the published
+difference between the techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lp.program import BUILTIN_PREDICATES, Program
+from repro.graph.scc import is_recursive_component, strongly_connected_components
+from repro.core.adornment import AdornedPredicate, adorned_call_graph, clause_call_adornments
+
+PROVED = "PROVED"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class BaselineResult:
+    """Uniform verdict object across baseline methods."""
+
+    method: str
+    root: tuple
+    root_mode: str
+    status: str
+    failing_sccs: list = field(default_factory=list)
+    details: dict = field(default_factory=dict)
+
+    @property
+    def proved(self):
+        """True when the verdict is PROVED."""
+        return self.status == PROVED
+
+
+@dataclass
+class RecursivePair:
+    """One rule × recursive-subgoal combination, term-level view.
+
+    Baselines reason about the argument *terms* directly (subterm
+    orders, spine lengths) rather than through Eq. 1.
+    """
+
+    clause: object
+    head_node: AdornedPredicate
+    subgoal_node: AdornedPredicate
+    head_args: tuple
+    subgoal_args: tuple
+
+    @property
+    def edge(self):
+        """The (head, subgoal) dependency edge of this pair."""
+        return (self.head_node, self.subgoal_node)
+
+
+class BaselineMethod:
+    """Template: subclasses implement :meth:`prove_scc`."""
+
+    name = "abstract"
+
+    def analyze(self, program, root, mode):
+        """PROVED iff every reachable recursive SCC passes
+        :meth:`prove_scc`; mirrors the main analyzer's contract."""
+        if isinstance(program, str):
+            program = Program.from_text(program)
+        graph, _ = adorned_call_graph(program, tuple(root), mode)
+        defined = program.defined_indicators()
+
+        failing = []
+        details = {}
+        for component in strongly_connected_components(graph):
+            members = tuple(
+                node for node in component if node.indicator in defined
+            )
+            if not members:
+                continue
+            if not is_recursive_component(graph, component):
+                continue
+            pairs = collect_recursive_pairs(program, members)
+            outcome = self.prove_scc(members, pairs)
+            details[members] = outcome
+            if not outcome:
+                failing.append(members)
+        return BaselineResult(
+            method=self.name,
+            root=tuple(root),
+            root_mode=str(mode),
+            status=UNKNOWN if failing else PROVED,
+            failing_sccs=failing,
+            details=details,
+        )
+
+    def prove_scc(self, members, pairs):
+        """Method-specific decrease test for one SCC."""
+        raise NotImplementedError
+
+
+def collect_recursive_pairs(program, members):
+    """All :class:`RecursivePair` objects of an adorned SCC."""
+    member_set = set(members)
+    pairs = []
+    for node in members:
+        for clause in program.clauses_for(node.indicator):
+            adornments = clause_call_adornments(clause, node.adornment)
+            for literal, adornment in zip(clause.body, adornments):
+                if literal.indicator in BUILTIN_PREDICATES:
+                    continue
+                subgoal_node = AdornedPredicate(literal.indicator, adornment)
+                if subgoal_node not in member_set:
+                    continue
+                pairs.append(
+                    RecursivePair(
+                        clause=clause,
+                        head_node=node,
+                        subgoal_node=subgoal_node,
+                        head_args=tuple(clause.head_args),
+                        subgoal_args=tuple(literal.args),
+                    )
+                )
+    return pairs
+
+
+def positive_cycles(members, edge_decrease):
+    """True iff every cycle over *members* has positive total decrease.
+
+    *edge_decrease* maps edges to their guaranteed (weak) decrease
+    amount; missing edges do not exist.
+    """
+    from repro.graph.minplus import find_nonpositive_cycle
+
+    return find_nonpositive_cycle(list(members), dict(edge_decrease)) is None
+
+
+def argument_choices(members, bound_positions, limit=4096):
+    """Iterate per-member single-argument choices (cartesian product).
+
+    The search the earlier methods needed ("searching through subsets
+    of bound arguments", Section 5); capped at *limit* combinations —
+    baselines give up beyond it, mirroring their exponential behaviour.
+    """
+    import itertools
+
+    pools = [
+        [(member, position) for position in bound_positions[member]]
+        for member in members
+    ]
+    produced = 0
+    for combination in itertools.product(*pools):
+        if produced >= limit:
+            return
+        produced += 1
+        yield dict(combination)

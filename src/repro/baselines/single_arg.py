@@ -1,0 +1,61 @@
+"""Single-argument structural-size decrease baseline.
+
+The natural strengthening of the earlier single-argument tests with
+the paper's own structural norm, but *without* the paper's two
+extensions (linear combinations of several arguments, and imported
+inter-argument constraints).  It sits between UVG'88 and this paper in
+power, so the method-comparison table (experiment E2) shows exactly
+which programs need which extension.
+"""
+
+from __future__ import annotations
+
+from repro.sizes.norms import STRUCTURAL
+from repro.baselines.common import (
+    BaselineMethod,
+    argument_choices,
+    positive_cycles,
+)
+
+
+def structural_decrease(head_arg, subgoal_arg):
+    """Guaranteed structural-size decrease, or None if it may grow."""
+    difference = STRUCTURAL.size_expr(head_arg) - STRUCTURAL.size_expr(
+        subgoal_arg
+    )
+    if any(coeff < 0 for _, coeff in difference.items()):
+        return None
+    if difference.const < 0:
+        return None
+    return difference.const
+
+
+class SingleArgumentMethod(BaselineMethod):
+    """One bound argument per predicate, structural norm."""
+
+    name = "single_arg_structural"
+
+    def prove_scc(self, members, pairs):
+        """Method-specific decrease test for one SCC."""
+        if not pairs:
+            return False
+        bound_positions = {m: m.bound_positions() for m in members}
+        if any(not positions for positions in bound_positions.values()):
+            return False
+        for choice in argument_choices(members, bound_positions):
+            edge_decrease = {}
+            feasible = True
+            for pair in pairs:
+                head_arg = pair.head_args[choice[pair.head_node] - 1]
+                subgoal_arg = pair.subgoal_args[choice[pair.subgoal_node] - 1]
+                decrease = structural_decrease(head_arg, subgoal_arg)
+                if decrease is None:
+                    feasible = False
+                    break
+                edge = pair.edge
+                edge_decrease[edge] = min(
+                    edge_decrease.get(edge, decrease), decrease
+                )
+            if feasible and positive_cycles(members, edge_decrease):
+                return True
+        return False

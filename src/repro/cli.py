@@ -1,0 +1,188 @@
+"""Command-line front end.
+
+Usage::
+
+    repro-analyze program.pl --root perm/2 --mode bf
+    repro-analyze program.pl --root perm/2 --mode bf --norm list_length
+    repro-analyze program.pl --root p/1 --mode b --transform --verbose
+
+Prints the verdict and the certificate (or failure reasons) and exits
+0 on PROVED, 1 on UNKNOWN, 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.lp import parse_program
+from repro.core import AnalyzerSettings, analyze_program, verify_proof
+from repro.core.report import render_report
+from repro.transform import normalize_program
+
+
+def build_parser():
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Termination analysis via argument sizes and LP "
+        "duality (Sohn & Van Gelder, PODS 1991).",
+    )
+    parser.add_argument("source", help="Prolog source file ('-' for stdin)")
+    parser.add_argument(
+        "--root",
+        help="queried predicate as name/arity, e.g. perm/2",
+    )
+    parser.add_argument(
+        "--mode",
+        help="bound/free pattern of the query, e.g. bf",
+    )
+    parser.add_argument(
+        "--all-modes", action="store_true",
+        help="analyze every ':- mode(...)' declaration in the file "
+        "instead of a single --root/--mode pair",
+    )
+    parser.add_argument(
+        "--norm", default="structural",
+        choices=("structural", "list_length", "right_spine"),
+        help="term-size measure (default: structural)",
+    )
+    parser.add_argument(
+        "--no-interarg", action="store_true",
+        help="disable inter-argument constraint inference",
+    )
+    parser.add_argument(
+        "--negative-theta", action="store_true",
+        help="use the Appendix C negative-weight search",
+    )
+    parser.add_argument(
+        "--transform", action="store_true",
+        help="run Appendix A preprocessing (equality elimination, "
+        "safe unfolding, predicate splitting) first",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="independently re-check the certificate with the primal LP",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="show rule systems and inter-argument constraints",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the verdict and certificate as JSON instead of text",
+    )
+    return parser
+
+
+def parse_root(text):
+    """Parse a name/arity indicator from the command line."""
+    try:
+        name, arity = text.rsplit("/", 1)
+        return (name, int(arity))
+    except ValueError:
+        raise SystemExit("--root must look like name/arity, got %r" % text)
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.all_modes:
+        if args.root or args.mode:
+            raise SystemExit("--all-modes excludes --root/--mode")
+        root = None
+    else:
+        if not args.root or not args.mode:
+            raise SystemExit("--root and --mode are required "
+                             "(or use --all-modes)")
+        root = parse_root(args.root)
+
+    if args.source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            text = handle.read()
+
+    try:
+        program = parse_program(text)
+    except ReproError as error:
+        print("parse error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.transform:
+        if root is not None:
+            roots = [root]
+        else:
+            roots = [d.indicator for d in program.mode_declarations]
+        program, log = normalize_program(program, roots=roots or None)
+        if args.verbose:
+            print("-- Appendix A transformations --")
+            print(log)
+            print("-- transformed program --")
+            print(program)
+            print()
+
+    settings = AnalyzerSettings(
+        norm=args.norm,
+        use_interarg=not args.no_interarg,
+        allow_negative_theta=args.negative_theta,
+    )
+
+    if args.all_modes:
+        return _run_all_modes(program, settings, args)
+
+    try:
+        result = analyze_program(program, root, args.mode, settings=settings)
+    except ReproError as error:
+        print("analysis error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.json:
+        from repro.core.export import result_to_json
+
+        print(result_to_json(result))
+    else:
+        print(
+            render_report(
+                result,
+                show_rule_systems=args.verbose,
+                show_environment=args.verbose,
+            )
+        )
+
+    if args.verify and result.proved:
+        verify_proof(result.proof)
+        if not args.json:
+            print("certificate independently verified (primal simplex).")
+
+    return 0 if result.proved else 1
+
+
+def _run_all_modes(program, settings, args):
+    """Analyze every declared mode; exit 0 only if all are PROVED."""
+    declarations = program.mode_declarations
+    if not declarations:
+        print("no ':- mode(...)' declarations found", file=sys.stderr)
+        return 2
+    worst = 0
+    for declaration in declarations:
+        result = analyze_program(
+            program, declaration.indicator, declaration.mode,
+            settings=settings,
+        )
+        name, arity = declaration.indicator
+        print("%s/%d mode %s: %s" % (name, arity, declaration.mode,
+                                     result.status))
+        if args.verify and result.proved:
+            verify_proof(result.proof)
+        if not result.proved:
+            worst = 1
+            if args.verbose:
+                for failing in result.failing_sccs():
+                    print("  reason: %s" % failing.reason)
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

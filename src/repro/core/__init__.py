@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the termination analyzer.
+
+Pipeline (Sections 3–6 of the paper):
+
+1. :mod:`repro.core.adornment` — infer a single bound/free adornment
+   per predicate from the query mode.
+2. :mod:`repro.core.rule_system` — for each rule and each recursive
+   subgoal, assemble Eq. 1: head/subgoal argument-size polynomials and
+   imported inter-argument constraints from preceding subgoals.
+3. :mod:`repro.core.dual` — turn the universally quantified decrease
+   requirement Eq. 2 into linear constraints on the lambda multipliers
+   via LP duality (Eqs. 5–9), eliminating the dual variables with
+   Fourier–Motzkin.
+4. :mod:`repro.core.theta` — choose the theta offsets for mutual
+   recursion and reject zero-weight cycles via min-plus closure
+   (Section 6.1); Appendix C negative-weight search as an option.
+5. :mod:`repro.core.analyzer` — orchestrate per-SCC and whole-program
+   analysis, returning :class:`~repro.core.certificate.TerminationProof`
+   certificates.
+6. :mod:`repro.core.verifier` — independently re-check certificates by
+   solving the *primal* LP Eq. 4 with the exact simplex.
+"""
+
+from repro.core.adornment import (
+    Adornment,
+    AdornedPredicate,
+    adorned_call_graph,
+    infer_adornments,
+)
+from repro.core.analyzer import (
+    AnalysisResult,
+    AnalyzerSettings,
+    SCCResult,
+    TerminationAnalyzer,
+    analyze_program,
+)
+from repro.core.capture import CapturePlan, plan_capture_rules
+from repro.core.certificate import SCCProof, TerminationProof
+from repro.core.verifier import VerificationError, verify_proof
+from repro.core.wellmoded import ModeReport, check_well_moded
+
+__all__ = [
+    "Adornment",
+    "AdornedPredicate",
+    "adorned_call_graph",
+    "infer_adornments",
+    "AnalysisResult",
+    "AnalyzerSettings",
+    "SCCResult",
+    "TerminationAnalyzer",
+    "analyze_program",
+    "SCCProof",
+    "TerminationProof",
+    "VerificationError",
+    "verify_proof",
+    "CapturePlan",
+    "plan_capture_rules",
+    "ModeReport",
+    "check_well_moded",
+]

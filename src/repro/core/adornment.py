@@ -1,0 +1,291 @@
+"""Bound/free adornment inference.
+
+The paper assumes preprocessing has arranged that "every predicate has
+the same bound-free adornment" (Section 3).  Given the query mode of a
+root predicate (e.g. ``perm(b, f)``), this module propagates
+boundedness left-to-right through rule bodies and assigns one adornment
+to every reachable predicate.
+
+Boundedness here under-approximates *groundness at call time*:
+
+- a head argument marked ``b`` is ground when the procedure is invoked;
+- solving a positive user subgoal grounds all its arguments (the
+  standard assumption for range-restricted programs over ground EDB —
+  answers are ground);
+- ``X = T`` grounds the variables of one side once the other side is
+  ground; ``V is E`` grounds ``V``; comparisons ground nothing;
+- negative subgoals ground nothing (Appendix D).
+
+When a predicate is reached with several call modes, the adornment is
+their meet: an argument stays ``b`` only if bound in *every* call.
+This is the safe direction — termination must be shown for every call
+pattern that actually occurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModeError
+from repro.lp.program import BUILTIN_PREDICATES, Program
+from repro.lp.terms import term_variables
+
+
+@dataclass(frozen=True)
+class Adornment:
+    """A bound/free pattern like ``bf`` for a binary predicate."""
+
+    pattern: tuple
+
+    @classmethod
+    def parse(cls, text):
+        """Parse an adornment string like 'bbf'."""
+        pattern = tuple(text)
+        if any(ch not in ("b", "f") for ch in pattern):
+            raise ModeError("adornment must use only 'b'/'f': %r" % text)
+        return cls(pattern)
+
+    @property
+    def arity(self):
+        """The number of arguments."""
+        return len(self.pattern)
+
+    def bound_positions(self):
+        """1-based positions of bound arguments."""
+        return tuple(
+            i for i, ch in enumerate(self.pattern, start=1) if ch == "b"
+        )
+
+    def is_bound(self, position):
+        """True when the 1-based position is bound."""
+        return self.pattern[position - 1] == "b"
+
+    def meet(self, other):
+        """Positionwise meet: bound only if bound in both."""
+        if self.arity != other.arity:
+            raise ModeError("adornment arity mismatch")
+        return Adornment(
+            tuple(
+                "b" if (a == "b" and b == "b") else "f"
+                for a, b in zip(self.pattern, other.pattern)
+            )
+        )
+
+    def __str__(self):
+        return "".join(self.pattern)
+
+
+class AdornedPredicate:
+    """A predicate specialized to one bound/free call pattern.
+
+    The paper assumes preprocessing gives every predicate a single
+    adornment; when a program calls the same predicate under several
+    modes (``perm`` calls ``append`` as ``ffb`` and again as ``bbf``),
+    the standard specialization treats each (predicate, adornment) pair
+    as its own analysis node — that is this class.  Analysis nodes,
+    dependency edges, SCCs, and lambda vectors are all per adorned
+    predicate.
+    """
+
+    __slots__ = ("indicator", "adornment")
+
+    def __init__(self, indicator, adornment):
+        if isinstance(adornment, str):
+            adornment = Adornment.parse(adornment)
+        object.__setattr__(self, "indicator", tuple(indicator))
+        object.__setattr__(self, "adornment", adornment)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("AdornedPredicate is immutable")
+
+    @property
+    def name(self):
+        """The predicate name."""
+        return self.indicator[0]
+
+    @property
+    def arity(self):
+        """The number of arguments."""
+        return self.indicator[1]
+
+    def bound_positions(self):
+        """1-based positions of bound arguments."""
+        return self.adornment.bound_positions()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AdornedPredicate)
+            and self.indicator == other.indicator
+            and self.adornment == other.adornment
+        )
+
+    def __hash__(self):
+        return hash((self.indicator, self.adornment))
+
+    def __str__(self):
+        return "%s/%d^%s" % (self.name, self.arity, self.adornment)
+
+    def __repr__(self):
+        return "AdornedPredicate(%r, %r)" % (
+            self.indicator,
+            str(self.adornment),
+        )
+
+
+def clause_call_adornments(clause, head_adornment):
+    """Per-body-literal call adornments under *head_adornment*.
+
+    Returns a list parallel to ``clause.body``; builtins get an
+    adornment too (callers typically skip them).
+    """
+    running = set(_head_bound_vars(clause, head_adornment))
+    result = []
+    for literal in clause.body:
+        pattern = tuple(
+            "b" if _vars_all_bound(arg, running) else "f"
+            for arg in literal.args
+        )
+        result.append(Adornment(pattern))
+        _update_bound(literal, running)
+    return result
+
+
+def adorned_call_graph(program, root_indicator, root_mode):
+    """The adorned dependency graph reachable from the root call.
+
+    Returns ``(graph, nodes)`` where *graph* is a
+    :class:`~repro.graph.digraph.Digraph` over
+    :class:`AdornedPredicate` nodes (builtins and undefined EDB
+    predicates excluded from edges but EDB nodes retained as leaves),
+    and *nodes* is the set of adorned predicates reached.
+    """
+    from repro.graph.digraph import Digraph
+    from repro.lp.program import BUILTIN_PREDICATES
+
+    if isinstance(root_mode, str):
+        root_mode = Adornment.parse(root_mode)
+    root = AdornedPredicate(root_indicator, root_mode)
+    if root_mode.arity != root_indicator[1]:
+        raise ModeError(
+            "mode %s does not fit %s/%d" % (root_mode, *root_indicator)
+        )
+
+    graph = Digraph()
+    graph.add_node(root)
+    worklist = [root]
+    seen = {root}
+    while worklist:
+        node = worklist.pop()
+        for clause in program.clauses_for(node.indicator):
+            adornments = clause_call_adornments(clause, node.adornment)
+            for literal, adornment in zip(clause.body, adornments):
+                if literal.indicator in BUILTIN_PREDICATES:
+                    continue
+                callee = AdornedPredicate(literal.indicator, adornment)
+                graph.add_edge(node, callee)
+                if callee not in seen:
+                    seen.add(callee)
+                    worklist.append(callee)
+    return graph, seen
+
+
+def infer_adornments(program, root_indicator, root_mode):
+    """Adornments for every predicate reachable from the root call.
+
+    Parameters
+    ----------
+    program:
+        The :class:`~repro.lp.program.Program` to analyze.
+    root_indicator:
+        ``(name, arity)`` of the queried predicate.
+    root_mode:
+        Adornment string or :class:`Adornment` for the root call.
+
+    Returns a dict ``{indicator: Adornment}``.  Predicates never
+    reached are absent.
+    """
+    if isinstance(root_mode, str):
+        root_mode = Adornment.parse(root_mode)
+    name, arity = root_indicator
+    if root_mode.arity != arity:
+        raise ModeError(
+            "mode %s has arity %d; predicate %s/%d expects %d"
+            % (root_mode, root_mode.arity, name, arity, arity)
+        )
+
+    adornments = {root_indicator: root_mode}
+    worklist = [root_indicator]
+    while worklist:
+        indicator = worklist.pop()
+        adornment = adornments[indicator]
+        for clause in program.clauses_for(indicator):
+            for called, call_mode in _clause_calls(clause, adornment):
+                if called in BUILTIN_PREDICATES:
+                    continue
+                existing = adornments.get(called)
+                merged = (
+                    call_mode if existing is None else existing.meet(call_mode)
+                )
+                if merged != existing:
+                    adornments[called] = merged
+                    if called not in worklist:
+                        worklist.append(called)
+    return adornments
+
+
+def _clause_calls(clause, head_adornment):
+    """Yield (indicator, Adornment) for each body call of *clause*."""
+    running = set(_head_bound_vars(clause, head_adornment))
+    for literal in clause.body:
+        call_pattern = tuple(
+            "b" if _vars_all_bound(arg, running) else "f"
+            for arg in literal.args
+        )
+        indicator = literal.indicator
+        if indicator not in BUILTIN_PREDICATES:
+            yield indicator, Adornment(call_pattern)
+        _update_bound(literal, running)
+
+
+def bound_variables_before(clause, head_adornment, position):
+    """The set of variables ground before body literal *position*
+    (0-based) is attempted."""
+    running = set(_head_bound_vars(clause, head_adornment))
+    for literal in clause.body[:position]:
+        _update_bound(literal, running)
+    return running
+
+
+def _head_bound_vars(clause, adornment):
+    variables = set()
+    for position, arg in enumerate(clause.head_args, start=1):
+        if adornment.is_bound(position):
+            variables.update(term_variables(arg))
+    return variables
+
+
+def _vars_all_bound(term, bound):
+    return all(var in bound for var in term_variables(term))
+
+
+def _update_bound(literal, bound):
+    """Grow the bound-variable set after *literal* succeeds."""
+    if not literal.positive:
+        return  # negation grounds nothing
+    indicator = literal.indicator
+    name, _ = indicator
+    if indicator in BUILTIN_PREDICATES:
+        if name == "=":
+            left, right = literal.atom.args
+            if _vars_all_bound(left, bound):
+                bound.update(term_variables(right))
+            elif _vars_all_bound(right, bound):
+                bound.update(term_variables(left))
+        elif name == "is":
+            left, right = literal.atom.args
+            if _vars_all_bound(right, bound):
+                bound.update(term_variables(left))
+        return
+    # A positive user subgoal grounds all of its arguments on success.
+    for arg in literal.args:
+        bound.update(term_variables(arg))

@@ -1,0 +1,154 @@
+"""Capture-rule planning (the paper's deductive-database motivation).
+
+Section 1: "Capture rules were introduced by Ullman as a way to plan
+the evaluation of queries in a 'knowledge base' ... top-down capture
+rules require a proof of termination to justify use of top-down rule
+evaluation.  An advantage of the capture rule approach is that the
+system can attempt to choose an order for subgoals and rules that
+assures termination; not only does this remove the burden from the
+user, but different orders can be chosen for different bound-free
+query patterns."
+
+:func:`plan_capture_rules` does exactly that for one predicate: for
+every bound/free pattern it first tries the program as written, then
+searches body-subgoal reorderings of the predicate's own rules for one
+the analyzer can prove, and reports the decision per mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.lp.program import Clause, Program
+from repro.core.analyzer import TerminationAnalyzer
+
+TOP_DOWN = "top-down"
+TOP_DOWN_REORDERED = "top-down (reordered)"
+BOTTOM_UP = "bottom-up"
+BOTTOM_UP_SAFE = "bottom-up (convergence guaranteed: Datalog)"
+
+
+@dataclass
+class CaptureDecision:
+    """Outcome for one query mode."""
+
+    mode: str
+    strategy: str
+    program: Program = None       # the (possibly reordered) program
+    analysis: object = None
+
+    @property
+    def top_down_safe(self):
+        """True unless the decision fell back to bottom-up."""
+        return self.strategy != BOTTOM_UP
+
+
+@dataclass
+class CapturePlan:
+    """Decisions for every mode of one predicate."""
+
+    root: tuple
+    decisions: dict = field(default_factory=dict)
+
+    def decision(self, mode):
+        """The CaptureDecision for *mode*."""
+        return self.decisions[mode]
+
+    def describe(self):
+        """Human-readable rendering."""
+        name, arity = self.root
+        lines = ["capture rules for %s/%d:" % (name, arity)]
+        for mode in sorted(self.decisions):
+            lines.append(
+                "  %s(%s): %s" % (name, mode, self.decisions[mode].strategy)
+            )
+        return "\n".join(lines)
+
+
+def body_reorderings(program, indicator, limit=512):
+    """Programs with permuted rule bodies for *indicator* (bounded)."""
+    target_clauses = program.clauses_for(indicator)
+    body_choices = [
+        list(itertools.permutations(clause.body))
+        for clause in target_clauses
+    ]
+    produced = 0
+    for combination in itertools.product(*body_choices):
+        if produced >= limit:
+            return
+        produced += 1
+        candidate = Program()
+        replacement = {
+            id(clause): Clause(head=clause.head, body=tuple(body))
+            for clause, body in zip(target_clauses, combination)
+        }
+        for clause in program.clauses:
+            candidate.add_clause(replacement.get(id(clause), clause))
+        yield candidate
+
+
+def plan_capture_rules(
+    program, root, modes=None, settings=None, reorder=True
+):
+    """Build a :class:`CapturePlan` for *root* over the given modes.
+
+    *modes* defaults to every bound/free pattern of the predicate's
+    arity.  With ``reorder=False`` only the program as written is
+    considered (the planner then merely classifies modes).
+    """
+    name, arity = root
+    if modes is None:
+        modes = [
+            "".join(bits) for bits in itertools.product("bf", repeat=arity)
+        ]
+
+    # One analyzer per candidate program: the inter-argument inference
+    # (the expensive part, and independent of the query mode) is then
+    # shared across every mode probed against that program.
+    analyzers = {id(program): TerminationAnalyzer(program, settings=settings)}
+
+    def analyze(candidate, mode):
+        """Analyze *candidate* reusing its cached analyzer."""
+        analyzer = analyzers.get(id(candidate))
+        if analyzer is None:
+            analyzer = TerminationAnalyzer(candidate, settings=settings)
+            analyzers[id(candidate)] = analyzer
+        return analyzer.analyze(tuple(root), mode)
+
+    plan = CapturePlan(root=tuple(root))
+    reordered_candidates = None
+    for mode in modes:
+        direct = analyze(program, mode)
+        if direct.proved:
+            plan.decisions[mode] = CaptureDecision(
+                mode=mode, strategy=TOP_DOWN, program=program,
+                analysis=direct,
+            )
+            continue
+        found = None
+        if reorder:
+            if reordered_candidates is None:
+                reordered_candidates = list(
+                    body_reorderings(program, tuple(root))
+                )
+            for candidate in reordered_candidates:
+                result = analyze(candidate, mode)
+                if result.proved:
+                    found = CaptureDecision(
+                        mode=mode,
+                        strategy=TOP_DOWN_REORDERED,
+                        program=candidate,
+                        analysis=result,
+                    )
+                    break
+        if found is None:
+            from repro.lp.bottomup import is_datalog
+
+            strategy = BOTTOM_UP_SAFE if is_datalog(program) else BOTTOM_UP
+            found = CaptureDecision(
+                mode=mode, strategy=strategy, program=program,
+                analysis=direct,
+            )
+        plan.decisions[mode] = found
+    return plan

@@ -1,0 +1,88 @@
+"""Machine-readable certificate export.
+
+Serializes analysis results and termination certificates to plain
+dicts / JSON so downstream tools (query planners, CI gates, proof
+archives) can consume verdicts without importing this library.
+Fractions are rendered as strings (``"1/2"``) to stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+
+def _fraction(value):
+    value = Fraction(value)
+    if value.denominator == 1:
+        return str(value.numerator)
+    return "%d/%d" % (value.numerator, value.denominator)
+
+
+def node_to_dict(node):
+    """Serialize an adorned predicate."""
+    return {
+        "predicate": node.name,
+        "arity": node.arity,
+        "adornment": str(node.adornment),
+    }
+
+
+def scc_proof_to_dict(proof):
+    """Serialize one SCC certificate."""
+    data = {
+        "members": [node_to_dict(node) for node in proof.members],
+        "norm": proof.norm,
+        "trivially_nonrecursive": proof.trivially_nonrecursive,
+    }
+    if proof.trivially_nonrecursive:
+        return data
+    data["lambdas"] = [
+        {
+            "node": node_to_dict(node),
+            "weights": {
+                str(position): _fraction(weight)
+                for position, weight in sorted(weights.items())
+            },
+        }
+        for node, weights in sorted(
+            proof.lambdas.items(), key=lambda kv: str(kv[0])
+        )
+    ]
+    data["thetas"] = [
+        {
+            "from": node_to_dict(i),
+            "to": node_to_dict(j),
+            "value": _fraction(value),
+        }
+        for (i, j), value in sorted(
+            proof.thetas.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+        )
+    ]
+    return data
+
+
+def result_to_dict(result):
+    """Serialize an :class:`~repro.core.analyzer.AnalysisResult`."""
+    data = {
+        "root": {"predicate": result.root[0], "arity": result.root[1]},
+        "mode": result.root_mode,
+        "status": result.status,
+        "sccs": [],
+    }
+    for scc in result.scc_results:
+        if scc.proved:
+            entry = {"status": scc.status, "proof": scc_proof_to_dict(scc.proof)}
+        else:
+            entry = {
+                "status": scc.status,
+                "members": [node_to_dict(node) for node in scc.members],
+                "reason": scc.reason,
+            }
+        data["sccs"].append(entry)
+    return data
+
+
+def result_to_json(result, indent=2):
+    """Serialize an AnalysisResult to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)

@@ -1,0 +1,67 @@
+"""Human-readable analysis reports.
+
+Renders an :class:`~repro.core.analyzer.AnalysisResult` — verdict,
+per-SCC measures and thetas, the inter-argument constraints used, and
+the Eq. 1 systems — in a format suitable for terminal output or
+inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def render_report(result, show_rule_systems=False, show_environment=False):
+    """Full textual report for an analysis result."""
+    lines = []
+    lines.append("=" * 64)
+    lines.append(
+        "Termination analysis: %s/%d mode %s"
+        % (result.root[0], result.root[1], result.root_mode)
+    )
+    lines.append("Verdict: %s" % result.status)
+    lines.append("=" * 64)
+
+    if result.nodes:
+        lines.append("Adorned predicates reached:")
+        for node in sorted(result.nodes, key=str):
+            lines.append("  %s" % node)
+
+    for scc in result.scc_results:
+        lines.append("-" * 64)
+        if scc.proved:
+            lines.append(scc.proof.describe())
+            if show_rule_systems and scc.proof.rule_systems:
+                for system in scc.proof.rule_systems:
+                    lines.append("")
+                    lines.extend(
+                        "  " + line for line in system.describe().splitlines()
+                    )
+        else:
+            lines.append(
+                "SCC {%s}: %s"
+                % (", ".join(str(m) for m in scc.members), scc.status)
+            )
+            lines.append("  reason: %s" % scc.reason)
+
+    if show_environment and result.environment is not None:
+        lines.append("-" * 64)
+        lines.append("Inter-argument constraints used:")
+        text = str(result.environment)
+        lines.extend("  " + line for line in text.splitlines())
+
+    lines.append("=" * 64)
+    return "\n".join(lines)
+
+
+def render_verdict_table(rows, headers=("program", "mode", "verdict")):
+    """A plain-text table; *rows* is a list of tuples."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        """Pad one row to the column widths."""
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Independent certificate verification via the primal LP (Eq. 4).
+
+The analyzer finds lambda by Fourier–Motzkin reduction of the *dual*.
+This module re-checks a finished certificate through the opposite
+route, exactly as Section 4 sets the problem up: for every rule ×
+recursive-subgoal combination, solve the primal
+
+    minimize  lambda_i . x - lambda_j . y
+    subject to  Eq. 1  (sizes nonnegative, imported constraints)
+
+with the exact simplex and confirm the minimum is >= theta_ij (or that
+the body constraints are infeasible, in which case the recursive call
+is unreachable and the claim is vacuous).  It also re-checks the
+positive-cycle condition on the chosen thetas with the min-plus
+closure.
+
+A certificate that passes both checks is correct by the paper's
+argument regardless of any bug in the FM/dual path — the two pipelines
+share only the Eq. 1 construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.linalg.constraints import Constraint, ConstraintSystem
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.simplex import INFEASIBLE, UNBOUNDED, solve_lp
+from repro.graph.minplus import find_nonpositive_cycle
+
+
+class VerificationError(ReproError):
+    """Raised when a certificate fails independent verification."""
+
+
+def verify_proof(proof):
+    """Verify a :class:`~repro.core.certificate.TerminationProof` or a
+    single :class:`~repro.core.certificate.SCCProof`.
+
+    Returns True on success; raises :class:`VerificationError` with a
+    precise reason otherwise.
+    """
+    scc_proofs = getattr(proof, "scc_proofs", None)
+    if scc_proofs is None:
+        scc_proofs = [proof]
+    for scc_proof in scc_proofs:
+        _verify_scc(scc_proof)
+    return True
+
+
+def _verify_scc(proof):
+    if proof.trivially_nonrecursive:
+        return
+
+    _check_lambda_nonnegative(proof)
+    _check_positive_cycles(proof)
+    for system in proof.rule_systems:
+        _check_decrease(proof, system)
+
+
+def _check_lambda_nonnegative(proof):
+    for node, weights in proof.lambdas.items():
+        for position, value in weights.items():
+            if value < 0:
+                raise VerificationError(
+                    "lambda[%s][%d] = %s is negative" % (node, position, value)
+                )
+
+
+def _check_positive_cycles(proof):
+    weights = dict(proof.thetas)
+    cycle = find_nonpositive_cycle(list(proof.members), weights)
+    if cycle is not None:
+        raise VerificationError(
+            "theta weights admit a non-positive cycle: %s"
+            % " -> ".join(str(node) for node in cycle)
+        )
+
+
+def _check_decrease(proof, system):
+    """Primal check of Eq. 2 for one rule/recursive-subgoal pair."""
+    theta = proof.thetas.get(system.edge)
+    if theta is None:
+        raise VerificationError(
+            "certificate has no theta for edge %s" % (system.edge,)
+        )
+
+    head_weights = proof.lambdas.get(system.head_node, {})
+    subgoal_weights = proof.lambdas.get(system.subgoal_node, {})
+
+    objective = LinearExpr()
+    for position, expr in zip(system.x_positions, system.x_exprs):
+        weight = head_weights.get(position, Fraction(0))
+        if weight:
+            objective = objective + expr * weight
+    for position, expr in zip(system.y_positions, system.y_exprs):
+        weight = subgoal_weights.get(position, Fraction(0))
+        if weight:
+            objective = objective - expr * weight
+
+    constraints = ConstraintSystem()
+    constraints.extend(system.imported)
+    phi = set()
+    for expr in system.x_exprs:
+        phi |= expr.variables()
+    for expr in system.y_exprs:
+        phi |= expr.variables()
+    for constraint in system.imported:
+        phi |= constraint.variables()
+    for var in sorted(phi, key=repr):
+        constraints.add(Constraint.ge(LinearExpr.of(var)))
+
+    result = solve_lp(objective, constraints)
+    if result.status == INFEASIBLE:
+        return  # recursive call unreachable under the size constraints
+    if result.status == UNBOUNDED:
+        raise VerificationError(
+            "decrease objective unbounded below for rule %s" % system.clause
+        )
+    if result.value < theta:
+        raise VerificationError(
+            "decrease fails for rule %s: min(lambda.x - lambda.y) = %s "
+            "< theta = %s" % (system.clause, result.value, theta)
+        )

@@ -1,0 +1,129 @@
+"""Well-modedness checking.
+
+The termination argument reads "bound" as *ground at call time*, which
+holds when the program is well-moded for the query: every variable in
+a bound position is produced before it is consumed.  The analyzer's
+adornment inference assumes this; :func:`check_well_moded` makes the
+assumption checkable so a client can reject (or at least flag)
+programs where "bound" might not mean ground:
+
+- every variable of a clause head's bound arguments is *supplied* by
+  the caller (fine by definition);
+- every variable in a *bound* argument of a body call must be ground
+  when the call starts: supplied by the head's bound arguments or by
+  an earlier positive body literal;
+- every variable in the head's *free* arguments must be ground by the
+  end of the body (so answers are ground and the "success grounds all
+  arguments" assumption of adornment propagation is justified);
+- negative literals must be called with all their variables ground
+  (Appendix D: "normally negative subgoals are only attempted with all
+  arguments bound").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lp.program import BUILTIN_PREDICATES
+from repro.lp.terms import term_variables
+from repro.core.adornment import (
+    AdornedPredicate,
+    adorned_call_graph,
+    clause_call_adornments,
+    _head_bound_vars,
+    _update_bound,
+    _vars_all_bound,
+)
+
+
+@dataclass
+class ModeViolation:
+    """One well-modedness defect, with enough context to report."""
+
+    node: AdornedPredicate
+    clause: object
+    kind: str          # "unbound-input" | "unground-answer" | "floundering"
+    detail: str
+
+    def __str__(self):
+        return "[%s] %s in %s under %s" % (
+            self.kind, self.detail, self.clause, self.node,
+        )
+
+
+@dataclass
+class ModeReport:
+    """Aggregated well-modedness violations."""
+    violations: list = field(default_factory=list)
+
+    @property
+    def well_moded(self):
+        """True when no violations were found."""
+        return not self.violations
+
+    def describe(self):
+        """Human-readable rendering."""
+        if self.well_moded:
+            return "well-moded: yes"
+        return "well-moded: NO\n" + "\n".join(
+            "  %s" % v for v in self.violations
+        )
+
+
+def check_well_moded(program, root, mode):
+    """Check every reachable (clause, adornment) combination."""
+    _, nodes = adorned_call_graph(program, tuple(root), mode)
+    report = ModeReport()
+    for node in sorted(nodes, key=str):
+        for clause in program.clauses_for(node.indicator):
+            _check_clause(node, clause, report)
+    return report
+
+
+def _check_clause(node, clause, report):
+    bound = set(_head_bound_vars(clause, node.adornment))
+    adornments = clause_call_adornments(clause, node.adornment)
+
+    for literal, call_adornment in zip(clause.body, adornments):
+        if not literal.positive:
+            loose = [
+                v.name
+                for v in _literal_variables(literal)
+                if v not in bound
+            ]
+            if loose:
+                report.violations.append(
+                    ModeViolation(
+                        node=node,
+                        clause=clause,
+                        kind="floundering",
+                        detail="negative call %s with unbound %s"
+                        % (literal, ", ".join(loose)),
+                    )
+                )
+        elif literal.indicator not in BUILTIN_PREDICATES:
+            # Adornment inference already marks an argument bound only
+            # when all its variables are; nothing extra to check for
+            # positive user calls.  (The per-argument adornment is the
+            # input-groundness statement.)
+            pass
+        _update_bound(literal, bound)
+
+    for position, argument in enumerate(clause.head_args, start=1):
+        if node.adornment.is_bound(position):
+            continue
+        loose = [v.name for v in term_variables(argument) if v not in bound]
+        if loose:
+            report.violations.append(
+                ModeViolation(
+                    node=node,
+                    clause=clause,
+                    kind="unground-answer",
+                    detail="free head argument %d keeps %s unbound"
+                    % (position, ", ".join(loose)),
+                )
+            )
+
+
+def _literal_variables(literal):
+    return term_variables(literal.atom)

@@ -1,0 +1,23 @@
+"""Corpus of classic logic programs with expected verdicts.
+
+Each entry records the program text, the queried predicate and mode,
+the ground truth (does the query terminate under Prolog's strategy?),
+and the expected verdict of the paper's method and of each baseline —
+the raw material for the method-comparison experiment (E2) and the
+empirical-validation experiment (F2).
+"""
+
+from repro.corpus.programs import CorpusProgram, PROGRAMS
+from repro.corpus.registry import (
+    all_programs,
+    get_program,
+    programs_with_tag,
+)
+
+__all__ = [
+    "CorpusProgram",
+    "PROGRAMS",
+    "all_programs",
+    "get_program",
+    "programs_with_tag",
+]

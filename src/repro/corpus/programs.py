@@ -1,0 +1,809 @@
+"""The program corpus.
+
+Conventions
+-----------
+- ``mode`` uses ``b``/``f`` per argument of the root predicate.
+- ``terminating`` is the ground truth for the queried mode (None when
+  genuinely input-dependent).
+- ``expected`` maps method names (``paper``, ``naish83``,
+  ``uvg88_spine``, ``single_arg_structural``) to ``PROVED``/``UNKNOWN``
+  under the default structural norm.
+- ``expected_by_norm`` optionally refines the paper method's verdict
+  per norm (used by the norm-ablation experiment).
+- ``bound_kinds`` aligns with the ``b`` positions of the mode and
+  names a generator for empirical validation queries: ``list``,
+  ``int_list``, ``peano``, ``tree``, ``const``, ``int``.
+- ``requires_transform`` marks programs that need Appendix A
+  preprocessing before the analyzer can succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """One corpus entry: program text, mode, truth, expectations."""
+    name: str
+    source: str
+    root: tuple
+    mode: str
+    terminating: object           # True / False / None
+    expected: dict
+    description: str
+    tags: tuple = ()
+    bound_kinds: tuple = ()
+    expected_by_norm: dict = field(default_factory=dict)
+    requires_transform: bool = False
+    paper_ref: str = ""
+
+
+P = "PROVED"
+U = "UNKNOWN"
+
+
+PROGRAMS = [
+    CorpusProgram(
+        name="append_bbf",
+        source="""
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+        """,
+        root=("append", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="List concatenation, forward mode.",
+        tags=("list", "easy"),
+        bound_kinds=("list", "list"),
+    ),
+    CorpusProgram(
+        name="append_ffb",
+        source="""
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+        """,
+        root=("append", 3),
+        mode="ffb",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="List concatenation run backwards: enumerate splits.",
+        tags=("list", "easy", "reverse-mode"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="naive_reverse",
+        source="""
+            nrev([], []).
+            nrev([X|Xs], R) :- nrev(Xs, R1), append(R1, [X], R).
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+        """,
+        root=("nrev", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Quadratic list reverse.",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="reverse_accumulator",
+        source="""
+            rev(L, R) :- rev_acc(L, [], R).
+            rev_acc([], A, A).
+            rev_acc([X|Xs], A, R) :- rev_acc(Xs, [X|A], R).
+        """,
+        root=("rev", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Linear reverse; the accumulator argument grows.",
+        tags=("list", "easy", "accumulator"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="perm",
+        source="""
+            perm([], []).
+            perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1),
+                              perm(P1, L).
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+        """,
+        root=("perm", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Permutation generator (paper's Example 3.1): "
+        "needs the inter-argument constraint append1+append2=append3; "
+        "unprovable by the earlier published methods.",
+        tags=("list", "interarg", "headline"),
+        bound_kinds=("list",),
+        paper_ref="Example 3.1 / 4.1",
+    ),
+    CorpusProgram(
+        name="merge_variant",
+        source="""
+            merge([], Ys, Ys).
+            merge(Xs, [], Xs).
+            merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y,
+                                             merge([Y|Ys], Xs, Zs).
+            merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X,
+                                             merge(Ys, [X|Xs], Zs).
+        """,
+        root=("merge", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Order-preserving merge whose recursive calls swap "
+        "the argument positions (paper's Example 5.1): no single "
+        "argument decreases, but the sum of the two bound ones does.",
+        tags=("list", "multi-arg", "headline"),
+        bound_kinds=("int_list", "int_list"),
+        paper_ref="Example 5.1",
+    ),
+    CorpusProgram(
+        name="merge_classic",
+        source="""
+            merge([], Ys, Ys).
+            merge(Xs, [], Xs).
+            merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y,
+                                             merge(Xs, [Y|Ys], Zs).
+            merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y < X,
+                                             merge([X|Xs], Ys, Zs).
+        """,
+        root=("merge", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Textbook merge: either the first or the second "
+        "argument decreases depending on the rule — Naish's showcase.",
+        tags=("list", "multi-arg"),
+        bound_kinds=("int_list", "int_list"),
+        paper_ref="Section 1.1 (Naish discussion)",
+    ),
+    CorpusProgram(
+        name="expr_parser",
+        source="""
+            e(L, T) :- t(L, ['+'|C]), e(C, T).
+            e(L, T) :- t(L, T).
+            t(L, T) :- n(L, ['*'|C]), t(C, T).
+            t(L, T) :- n(L, T).
+            n(['('|A], T) :- e(A, [')'|T]).
+            n([L|T], T) :- z(L).
+        """,
+        root=("e", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Arithmetic expression parser (paper's Example "
+        "6.1): mutual + nonlinear recursion; needs t1 >= 2+t2.",
+        tags=("mutual", "nonlinear", "interarg", "headline"),
+        bound_kinds=("list",),
+        paper_ref="Example 6.1",
+    ),
+    CorpusProgram(
+        name="example_a1",
+        source="""
+            p(g(X)) :- e(X).
+            p(g(X)) :- q(f(X)).
+            q(Y) :- p(Y).
+            q(f(Z)) :- p(Z), q(Z).
+        """,
+        root=("p", 1),
+        mode="b",
+        terminating=True,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Paper's Example A.1: apparent mutual recursion "
+        "with unchanged sizes; provable only after Appendix A "
+        "transformations (safe unfolding + predicate splitting).",
+        tags=("mutual", "transform", "headline"),
+        bound_kinds=("g_term",),
+        requires_transform=True,
+        paper_ref="Example A.1",
+    ),
+    CorpusProgram(
+        name="mergesort",
+        source="""
+            split([], [], []).
+            split([X|Xs], [X|O], E) :- split(Xs, E, O).
+            merge([], Ys, Ys).
+            merge(Xs, [], Xs).
+            merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y,
+                                             merge(Xs, [Y|Ys], Zs).
+            merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y < X,
+                                             merge([X|Xs], Ys, Zs).
+            msort([], []).
+            msort([X], [X]).
+            msort([X,Y|Zs], S) :- split([X,Y|Zs], L1, L2),
+                                  msort(L1, S1), msort(L2, S2),
+                                  merge(S1, S2, S).
+        """,
+        root=("msort", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        expected_by_norm={"structural": U, "list_length": P},
+        description="Merge sort: halves come from split, so the "
+        "decrease needs split's inter-argument constraints; under the "
+        "structural norm a single huge element defeats the argument, "
+        "under the list-length norm it goes through (with lambda = 2).",
+        tags=("list", "interarg", "nonlinear", "norm-sensitive"),
+        bound_kinds=("int_list",),
+    ),
+    CorpusProgram(
+        name="quicksort",
+        source="""
+            part([], _, [], []).
+            part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).
+            part([Y|Ys], X, L, [Y|G]) :- X < Y, part(Ys, X, L, G).
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            qsort([], []).
+            qsort([X|Xs], S) :- part(Xs, X, L, G), qsort(L, SL),
+                                qsort(G, SG), append(SL, [X|SG], S).
+        """,
+        root=("qsort", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Quicksort: both recursive calls are on partition "
+        "outputs; needs part1 = part3 + part4 (inter-argument) and "
+        "nonlinear-recursion handling.",
+        tags=("list", "interarg", "nonlinear"),
+        bound_kinds=("int_list",),
+    ),
+    CorpusProgram(
+        name="split_list",
+        source="""
+            split([], [], []).
+            split([X|Xs], [X|O], E) :- split(Xs, E, O).
+        """,
+        root=("split", 3),
+        mode="bff",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Alternating list split.",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="flatten_tree",
+        source="""
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            flatten(leaf(X), [X]).
+            flatten(node(L, R), F) :- flatten(L, FL), flatten(R, FR),
+                                      append(FL, FR, F).
+        """,
+        root=("flatten", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": U,
+                  "single_arg_structural": P},
+        description="Binary-tree flatten: the right-spine measure "
+        "cannot bound the left child (the paper's remark that the "
+        "spine norm is 'less natural for binary trees').",
+        tags=("tree", "nonlinear", "norm-sensitive"),
+        bound_kinds=("tree",),
+    ),
+    CorpusProgram(
+        name="hanoi",
+        source="""
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            hanoi(0, _, _, _, []).
+            hanoi(s(N), A, B, C, M) :-
+                hanoi(N, A, C, B, M1), hanoi(N, C, B, A, M2),
+                append(M1, [mv(A, B)|M2], M).
+        """,
+        root=("hanoi", 5),
+        mode="bbbbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Towers of Hanoi on Peano numerals: nonlinear "
+        "recursion, first argument drops by one.",
+        tags=("peano", "nonlinear"),
+        # Small numerals only: the move list is exponential in the
+        # first argument, and the engine's substitution copying makes
+        # large instances quadratic in list length on top of that.
+        bound_kinds=("peano_small", "const", "const", "const"),
+    ),
+    CorpusProgram(
+        name="even_odd",
+        source="""
+            even(0).
+            even(s(N)) :- odd(N).
+            odd(s(N)) :- even(N).
+        """,
+        root=("even", 1),
+        mode="b",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Mutual recursion on Peano numerals.",
+        tags=("peano", "mutual", "easy"),
+        bound_kinds=("peano",),
+    ),
+    CorpusProgram(
+        name="ackermann",
+        source="""
+            ack(0, N, s(N)).
+            ack(s(M), 0, R) :- ack(M, s(0), R).
+            ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).
+        """,
+        root=("ack", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Ackermann: terminates by a lexicographic order "
+        "no single linear combination captures (the second recursive "
+        "call's middle argument is an unbounded intermediate result) — "
+        "a Section 7 limitation for every method here.",
+        tags=("peano", "nonlinear", "limitation"),
+        bound_kinds=("peano_small", "peano_small"),
+    ),
+    CorpusProgram(
+        name="list_member",
+        source="""
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+        """,
+        root=("member", 2),
+        mode="fb",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="List membership, enumerate elements of a bound list.",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="select",
+        source="""
+            select(X, [X|T], T).
+            select(X, [H|T], [H|R]) :- select(X, T, R).
+        """,
+        root=("select", 3),
+        mode="fbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Nondeterministic element selection.",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="subset_check",
+        source="""
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+            subset([], _).
+            subset([X|Xs], Ys) :- member(X, Ys), subset(Xs, Ys).
+        """,
+        root=("subset", 2),
+        mode="bb",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Subset test over bound lists.",
+        tags=("list", "easy"),
+        bound_kinds=("list", "list"),
+    ),
+    CorpusProgram(
+        name="last_element",
+        source="""
+            last([X], X).
+            last([_|T], X) :- last(T, X).
+        """,
+        root=("last", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Last element of a list.",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="delete_all",
+        source="""
+            delete([], _, []).
+            delete([X|T], X, R) :- delete(T, X, R).
+            delete([H|T], X, [H|R]) :- H \\= X, delete(T, X, R).
+        """,
+        root=("delete", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Delete every occurrence of an element.",
+        tags=("list", "easy"),
+        bound_kinds=("list", "const"),
+    ),
+    CorpusProgram(
+        name="suffix_enum",
+        source="""
+            suffix(Xs, Xs).
+            suffix(Xs, [_|Ys]) :- suffix(Xs, Ys).
+        """,
+        root=("suffix", 2),
+        mode="fb",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Enumerate suffixes of a bound list.",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="palindrome",
+        source="""
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            pal([]).
+            pal([_]).
+            pal([X|Xs]) :- append(M, [X], Xs), pal(M).
+        """,
+        root=("pal", 1),
+        mode="b",
+        terminating=True,
+        expected={"paper": P, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Palindrome check peeling both ends: the middle "
+        "list M relates to the input only through append's "
+        "inter-argument constraint.",
+        tags=("list", "interarg"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="tree_member",
+        source="""
+            tmem(X, t(_, X, _)).
+            tmem(X, t(L, _, _)) :- tmem(X, L).
+            tmem(X, t(_, _, R)) :- tmem(X, R).
+        """,
+        root=("tmem", 2),
+        mode="fb",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": U,
+                  "single_arg_structural": P},
+        description="Binary search-tree membership: left-subtree "
+        "descent defeats the right-spine measure.",
+        tags=("tree", "norm-sensitive"),
+        bound_kinds=("ternary_tree",),
+    ),
+    CorpusProgram(
+        name="tree_insert",
+        source="""
+            insert(X, leaf, t(leaf, X, leaf)).
+            insert(X, t(L, V, R), t(L1, V, R)) :- X =< V,
+                                                  insert(X, L, L1).
+            insert(X, t(L, V, R), t(L, V, R1)) :- V < X,
+                                                  insert(X, R, R1).
+        """,
+        root=("insert", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": U,
+                  "single_arg_structural": P},
+        description="Binary search-tree insertion.",
+        tags=("tree",),
+        bound_kinds=("int", "int_tree"),
+    ),
+    CorpusProgram(
+        name="fib_peano",
+        source="""
+            add(0, Y, Y).
+            add(s(X), Y, s(Z)) :- add(X, Y, Z).
+            fib(0, 0).
+            fib(s(0), s(0)).
+            fib(s(s(N)), F) :- fib(s(N), F1), fib(N, F2),
+                               add(F1, F2, F).
+        """,
+        root=("fib", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Fibonacci on Peano numerals: nonlinear recursion "
+        "with plain structural decrease.",
+        tags=("peano", "nonlinear"),
+        bound_kinds=("peano_small",),
+    ),
+    CorpusProgram(
+        name="gcd_euclid",
+        source="""
+            leq(0, _).
+            leq(s(X), s(Y)) :- leq(X, Y).
+            less(0, s(_)).
+            less(s(X), s(Y)) :- less(X, Y).
+            sub(X, 0, X).
+            sub(s(X), s(Y), Z) :- sub(X, Y, Z).
+            mod(X, Y, X) :- less(X, Y).
+            mod(X, Y, R) :- leq(Y, X), less(0, Y), sub(X, Y, Z),
+                            mod(Z, Y, R).
+            gcd(X, 0, X).
+            gcd(X, s(Y), G) :- mod(X, s(Y), R), gcd(s(Y), R, G).
+        """,
+        root=("gcd", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Euclid's algorithm on Peano numerals: gcd's "
+        "decrease rests on mod's inter-argument constraint (remainder "
+        "smaller than divisor), itself derived through less/leq/sub.",
+        tags=("peano", "interarg", "deep-pipeline"),
+        bound_kinds=("peano", "peano"),
+    ),
+    CorpusProgram(
+        name="sumlist_peano",
+        source="""
+            add(0, Y, Y).
+            add(s(X), Y, s(Z)) :- add(X, Y, Z).
+            sumlist([], 0).
+            sumlist([X|Xs], S) :- sumlist(Xs, S1), add(X, S1, S).
+        """,
+        root=("sumlist", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Sum of a list of Peano numerals.",
+        tags=("list", "peano", "easy"),
+        bound_kinds=("peano_list",),
+    ),
+    CorpusProgram(
+        name="zip_lists",
+        source="""
+            zip([], [], []).
+            zip([X|Xs], [Y|Ys], [p(X, Y)|Zs]) :- zip(Xs, Ys, Zs).
+        """,
+        root=("zip", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Pairwise zip of two lists.",
+        tags=("list", "easy"),
+        bound_kinds=("list", "list"),
+    ),
+    CorpusProgram(
+        name="double_list",
+        source="""
+            add(0, Y, Y).
+            add(s(X), Y, s(Z)) :- add(X, Y, Z).
+            double([], []).
+            double([X|Xs], [Y|Ys]) :- add(X, X, Y), double(Xs, Ys).
+        """,
+        root=("double", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Map doubling over a Peano-numeral list.",
+        tags=("list", "peano", "easy"),
+        bound_kinds=("peano_list",),
+    ),
+    CorpusProgram(
+        name="binary_increment",
+        source="""
+            inc([], [1]).
+            inc([0|B], [1|B]).
+            inc([1|B], [0|B1]) :- inc(B, B1).
+        """,
+        root=("inc", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Binary counter increment over little-endian bit "
+        "lists (carry propagation).",
+        tags=("list", "easy"),
+        bound_kinds=("bit_list",),
+    ),
+    CorpusProgram(
+        name="subsets_enum",
+        source="""
+            subsets([], []).
+            subsets([X|Xs], [X|Ys]) :- subsets(Xs, Ys).
+            subsets([_|Xs], Ys) :- subsets(Xs, Ys).
+        """,
+        root=("subsets", 2),
+        mode="bf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Enumerate all sublists (exponentially many "
+        "answers, each derivation linear).",
+        tags=("list", "easy"),
+        bound_kinds=("list",),
+    ),
+    CorpusProgram(
+        name="list_difference",
+        source="""
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+            diff([], _, []).
+            diff([X|Xs], Ys, [X|Zs]) :- \\+ member(X, Ys),
+                                        diff(Xs, Ys, Zs).
+            diff([X|Xs], Ys, Zs) :- member(X, Ys), diff(Xs, Ys, Zs).
+        """,
+        root=("diff", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="List difference: a negative subgoal precedes the "
+        "recursion and is discarded per Appendix D.",
+        tags=("list", "negation", "easy"),
+        bound_kinds=("list", "list"),
+        paper_ref="Appendix D",
+    ),
+    CorpusProgram(
+        name="even_via_negation",
+        source="""
+            even_n(0).
+            even_n(s(N)) :- \\+ even_n(N).
+        """,
+        root=("even_n", 1),
+        mode="b",
+        terminating=True,
+        expected={"paper": P, "naish83": P, "uvg88_spine": P,
+                  "single_arg_structural": P},
+        description="Evenness through negation as failure: the "
+        "recursive subgoal itself is negative and 'is treated as "
+        "though it were positive' (Appendix D).",
+        tags=("peano", "negation"),
+        bound_kinds=("peano",),
+        paper_ref="Appendix D",
+    ),
+    # -- non-terminating / limitation entries -----------------------------
+    CorpusProgram(
+        name="loop_direct",
+        source="p(X) :- p(X).",
+        root=("p", 1),
+        mode="b",
+        terminating=False,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Direct infinite loop; no measure can decrease.",
+        tags=("nonterminating",),
+        bound_kinds=("const",),
+    ),
+    CorpusProgram(
+        name="loop_growing",
+        source="q([X|L]) :- q([X, X|L]).",
+        root=("q", 1),
+        mode="b",
+        terminating=False,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="The bound argument grows on every call.",
+        tags=("nonterminating",),
+        bound_kinds=("list_nonempty",),
+    ),
+    CorpusProgram(
+        name="loop_swap",
+        source="p(X, Y) :- p(Y, X).",
+        root=("p", 2),
+        mode="bb",
+        terminating=False,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Arguments swap forever; total size is constant.",
+        tags=("nonterminating",),
+        bound_kinds=("const", "const"),
+    ),
+    CorpusProgram(
+        name="loop_mutual",
+        source="""
+            p(X) :- q(X).
+            q(X) :- p(X).
+        """,
+        root=("p", 1),
+        mode="b",
+        terminating=False,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Mutual loop with unchanged argument: both thetas "
+        "are forced to 0, producing the zero-weight-cycle rejection of "
+        "Section 6.1.",
+        tags=("nonterminating", "mutual", "zero-cycle"),
+        bound_kinds=("const",),
+    ),
+    CorpusProgram(
+        name="tc_left_recursive",
+        source="""
+            e(a, b).
+            e(b, c).
+            e(c, d).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- tc(X, Z), e(Z, Y).
+        """,
+        root=("tc", 2),
+        mode="bf",
+        terminating=False,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Left-recursive transitive closure: loops under "
+        "Prolog (the bound argument repeats unchanged), converges "
+        "bottom-up — the paper's capture-rule motivation.",
+        tags=("nonterminating", "datalog", "capture-rule"),
+        bound_kinds=("const",),
+        paper_ref="Section 1",
+    ),
+    CorpusProgram(
+        name="count_up",
+        source="c(N) :- c(s(N)).",
+        root=("c", 1),
+        mode="b",
+        terminating=False,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Counter that only grows.",
+        tags=("nonterminating", "peano"),
+        bound_kinds=("peano_small",),
+    ),
+    CorpusProgram(
+        name="seesaw",
+        source="""
+            p(0).
+            p(X) :- q(s(X)).
+            q(s(s(s(X)))) :- p(X).
+        """,
+        root=("p", 1),
+        mode="b",
+        terminating=True,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="The argument GROWS from p to q and shrinks by "
+        "three from q back to p: every cycle still decreases, but "
+        "only negative theta weights (Appendix C) can express it — "
+        "the standard 0/1 assignment forces theta_pq = 0 and the "
+        "combined system is infeasible.  The paper says 'no natural "
+        "examples are known'; this synthetic one exercises the "
+        "machinery.",
+        tags=("peano", "mutual", "negative-theta"),
+        bound_kinds=("peano_small",),
+        paper_ref="Appendix C",
+    ),
+    CorpusProgram(
+        name="bounded_counter",
+        source="""
+            less(0, s(_)).
+            less(s(X), s(Y)) :- less(X, Y).
+            count(N, Max, [N]) :- less(N, Max), \\+ less(s(N), Max).
+            count(N, Max, [N|R]) :- less(s(N), Max),
+                                    count(s(N), Max, R).
+        """,
+        root=("count", 3),
+        mode="bbf",
+        terminating=True,
+        expected={"paper": U, "naish83": U, "uvg88_spine": U,
+                  "single_arg_structural": U},
+        description="Counts N up to a bound: terminates because "
+        "Max - N shrinks, but that combination needs a negative "
+        "lambda coefficient the method forbids (a Section 7 "
+        "limitation).",
+        tags=("peano", "limitation"),
+        bound_kinds=("peano_small", "peano"),
+    ),
+]

@@ -1,0 +1,135 @@
+"""Corpus lookup helpers and query generation for empirical checks."""
+
+from __future__ import annotations
+
+from repro.lp.program import Program
+from repro.lp.terms import Atom, Struct, make_list
+from repro.corpus.programs import PROGRAMS
+
+
+_BY_NAME = {program.name: program for program in PROGRAMS}
+
+
+def all_programs():
+    """Every corpus entry, in definition order."""
+    return tuple(PROGRAMS)
+
+
+def get_program(name):
+    """Corpus entry by name (KeyError with a helpful list otherwise)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            "no corpus program %r; available: %s"
+            % (name, ", ".join(sorted(_BY_NAME)))
+        ) from None
+
+
+def programs_with_tag(tag):
+    """Corpus entries carrying *tag*."""
+    return tuple(p for p in PROGRAMS if tag in p.tags)
+
+
+def load(entry):
+    """Parse a corpus entry's source into a Program."""
+    return Program.from_text(entry.source)
+
+
+def _peano(n):
+    term = Atom(0)
+    for _ in range(n):
+        term = Struct("s", (term,))
+    return term
+
+
+def make_bound_term(kind, generator):
+    """One random ground term of the given *kind* (see programs.py)."""
+    random = generator._random  # deterministic, seeded by the caller
+    if kind == "list":
+        return generator.ground_list(max_length=6)
+    if kind == "list_nonempty":
+        return make_list([generator.constant()] + _elements(generator, 5))
+    if kind == "int_list":
+        return generator.sorted_integer_list(max_length=6)
+    if kind == "bit_list":
+        return make_list(
+            Atom(random.randint(0, 1))
+            for _ in range(random.randint(0, 8))
+        )
+    if kind == "peano":
+        return _peano(random.randint(0, 12))
+    if kind == "peano_small":
+        return _peano(random.randint(0, 3))
+    if kind == "peano_list":
+        return make_list(_peano(random.randint(0, 4)) for _ in range(random.randint(0, 4)))
+    if kind == "tree":
+        return _leaf_tree(generator, depth=random.randint(0, 3))
+    if kind == "ternary_tree":
+        return _ternary_tree(generator, depth=random.randint(0, 3))
+    if kind == "int_tree":
+        return _int_tree(random, low=0, high=20, depth=random.randint(0, 3))
+    if kind == "const":
+        return generator.constant()
+    if kind == "int":
+        return generator.integer()
+    if kind == "g_term":
+        return Struct("g", (generator.constant(),))
+    raise ValueError("unknown bound-term kind %r" % kind)
+
+
+def _elements(generator, count):
+    return [generator.constant() for _ in range(count)]
+
+
+def _leaf_tree(generator, depth):
+    """node/leaf tree used by flatten_tree."""
+    if depth <= 0:
+        return Struct("leaf", (generator.constant(),))
+    return Struct(
+        "node",
+        (_leaf_tree(generator, depth - 1), _leaf_tree(generator, depth - 1)),
+    )
+
+
+def _ternary_tree(generator, depth):
+    """t(L, V, R) tree with constant values (tmem)."""
+    if depth <= 0:
+        return Atom("nil")
+    return Struct(
+        "t",
+        (
+            _ternary_tree(generator, depth - 1),
+            generator.constant(),
+            _ternary_tree(generator, depth - 1),
+        ),
+    )
+
+
+def _int_tree(random, low, high, depth):
+    """t(L, V, R) search tree over integers; leaf atom is ``leaf``."""
+    if depth <= 0:
+        return Atom("leaf")
+    return Struct(
+        "t",
+        (
+            _int_tree(random, low, high, depth - 1),
+            Atom(random.randint(low, high)),
+            _int_tree(random, low, high, depth - 1),
+        ),
+    )
+
+
+def make_query(entry, generator):
+    """A random well-moded query atom for a corpus entry."""
+    name, arity = entry.root
+    kinds = iter(entry.bound_kinds)
+    args = []
+    for mode_char in entry.mode:
+        if mode_char == "b":
+            args.append(make_bound_term(next(kinds), generator))
+        else:
+            args.append(generator.fresh_var())
+    if not args:
+        return Atom(name)
+    return Struct(name, tuple(args))

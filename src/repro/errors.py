@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PrologSyntaxError(ReproError):
+    """Raised when Prolog source text cannot be tokenized or parsed.
+
+    Carries the line and column of the offending token when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d, column %d: %s" % (line, column or 0, message)
+        super().__init__(message)
+
+
+class UnificationError(ReproError):
+    """Raised for misuse of the unification API (not for mere failure)."""
+
+
+class EngineLimitError(ReproError):
+    """Raised when the SLD engine exceeds its depth or step budget."""
+
+    def __init__(self, message, depth=None, steps=None):
+        self.depth = depth
+        self.steps = steps
+        super().__init__(message)
+
+
+class LinAlgError(ReproError):
+    """Base class for linear-algebra subsystem errors."""
+
+
+class InfeasibleError(LinAlgError):
+    """Raised when an LP is infeasible but a solution was required."""
+
+
+class UnboundedError(LinAlgError):
+    """Raised when an LP objective is unbounded."""
+
+
+class AnalysisError(ReproError):
+    """Raised when termination analysis is given malformed input."""
+
+
+class ModeError(AnalysisError):
+    """Raised for inconsistent or underspecified bound/free adornments."""
+
+
+class TransformError(ReproError):
+    """Raised when a syntactic transformation cannot be applied."""

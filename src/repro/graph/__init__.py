@@ -1,0 +1,18 @@
+"""Graph substrate: digraphs, SCCs, min-plus closure.
+
+Supports Section 2.3 (predicate dependency graphs and their strongly
+connected components) and Section 6.1 (min-plus closure of the
+theta-weighted dependency graph, checked for zero-weight cycles).
+"""
+
+from repro.graph.digraph import Digraph
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.minplus import min_plus_closure, has_nonpositive_cycle
+
+__all__ = [
+    "Digraph",
+    "condensation",
+    "strongly_connected_components",
+    "min_plus_closure",
+    "has_nonpositive_cycle",
+]

@@ -1,0 +1,92 @@
+"""A minimal directed-graph value type with hashable nodes."""
+
+from __future__ import annotations
+
+
+class Digraph:
+    """Directed graph over hashable nodes; parallel edges collapse."""
+
+    def __init__(self):
+        self._successors = {}
+        self._predecessors = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node):
+        """Insert *node* (idempotent)."""
+        if node not in self._successors:
+            self._successors[node] = set()
+            self._predecessors[node] = set()
+
+    def add_edge(self, source, target):
+        """Insert the edge source -> target (nodes auto-created)."""
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source].add(target)
+        self._predecessors[target].add(source)
+
+    @classmethod
+    def from_edges(cls, edges, nodes=()):
+        """Build a graph from an edge iterable (plus isolated *nodes*)."""
+        graph = cls()
+        for node in nodes:
+            graph.add_node(node)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def nodes(self):
+        """Every node, in insertion order."""
+        return tuple(self._successors)
+
+    def successors(self, node):
+        """Direct successors of *node*."""
+        return frozenset(self._successors[node])
+
+    def predecessors(self, node):
+        """Direct predecessors of *node*."""
+        return frozenset(self._predecessors[node])
+
+    def edges(self):
+        """Yield every (source, target) edge."""
+        for source, targets in self._successors.items():
+            for target in targets:
+                yield (source, target)
+
+    def has_edge(self, source, target):
+        """True if the edge source -> target exists."""
+        return source in self._successors and target in self._successors[source]
+
+    def has_node(self, node):
+        """True if *node* is in the graph."""
+        return node in self._successors
+
+    def __len__(self):
+        return len(self._successors)
+
+    def __contains__(self, node):
+        return node in self._successors
+
+    def subgraph(self, nodes):
+        """Induced subgraph on *nodes*."""
+        keep = set(nodes)
+        graph = Digraph()
+        for node in self._successors:
+            if node in keep:
+                graph.add_node(node)
+        for source, target in self.edges():
+            if source in keep and target in keep:
+                graph.add_edge(source, target)
+        return graph
+
+    def reversed(self):
+        """A new graph with every edge flipped."""
+        graph = Digraph()
+        for node in self._successors:
+            graph.add_node(node)
+        for source, target in self.edges():
+            graph.add_edge(target, source)
+        return graph

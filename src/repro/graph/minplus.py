@@ -1,0 +1,100 @@
+"""Min-plus (tropical) closure via Floyd's algorithm.
+
+Section 6.1: with the theta values as edge weights on the dependency
+graph, the analyzer computes the min-plus closure and rejects the SCC if
+any cycle has non-positive total weight (a zero-weight cycle is "strong
+evidence of nontermination").
+"""
+
+from __future__ import annotations
+
+#: Sentinel for "no path".
+INFINITY = None
+
+
+def min_plus_closure(nodes, weights):
+    """All-pairs shortest path lengths under (min, +).
+
+    *nodes* is a sequence of hashable node ids; *weights* maps
+    ``(u, v)`` to a numeric edge weight (missing pairs mean no edge).
+    Returns a dict ``dist[(u, v)]`` with :data:`INFINITY` (None) for
+    unreachable pairs.  Handles negative weights; with a negative cycle,
+    distances are still the Floyd–Warshall fixpoint after |V| rounds
+    (callers should use :func:`has_nonpositive_cycle`).
+    """
+    nodes = list(nodes)
+    dist = {}
+    for u in nodes:
+        for v in nodes:
+            dist[(u, v)] = weights.get((u, v), INFINITY)
+    for k in nodes:
+        for i in nodes:
+            through_k = dist[(i, k)]
+            if through_k is INFINITY:
+                continue
+            for j in nodes:
+                tail = dist[(k, j)]
+                if tail is INFINITY:
+                    continue
+                candidate = through_k + tail
+                current = dist[(i, j)]
+                if current is INFINITY or candidate < current:
+                    dist[(i, j)] = candidate
+    return dist
+
+
+def has_nonpositive_cycle(nodes, weights, strict_zero=False):
+    """True if some cycle's total weight is <= 0 (or == 0 if strict).
+
+    With ``strict_zero=True``, only *exactly zero* weight cycles
+    count — used when negative weights have already been excluded.
+    """
+    dist = min_plus_closure(nodes, weights)
+    for node in nodes:
+        self_distance = dist[(node, node)]
+        if self_distance is INFINITY:
+            continue
+        if strict_zero:
+            if self_distance == 0:
+                return True
+        elif self_distance <= 0:
+            return True
+    return False
+
+
+def find_nonpositive_cycle(nodes, weights):
+    """Return a witness cycle of non-positive weight, or None.
+
+    The witness is a list of nodes ``[n0, n1, ..., n0]``.  For each
+    start node, a hop-bounded dynamic program computes the cheapest
+    walk of exactly ``h`` edges (``h <= |V|``) with parent pointers; a
+    closed walk of non-positive weight then reconstructs exactly (the
+    classic Floyd–Warshall successor-matrix trick mis-reconstructs when
+    an inner negative loop corrupts the distances).
+    """
+    nodes = list(nodes)
+    hop_limit = len(nodes)
+    for start in nodes:
+        # best[h][v] = cheapest walk start -> v using exactly h edges.
+        best = {0: {start: 0}}
+        parent = {}
+        for hops in range(1, hop_limit + 1):
+            layer = {}
+            for (u, v), weight in weights.items():
+                previous = best[hops - 1].get(u)
+                if previous is None:
+                    continue
+                candidate = previous + weight
+                if v not in layer or candidate < layer[v]:
+                    layer[v] = candidate
+                    parent[(hops, v)] = u
+            best[hops] = layer
+            if layer.get(start) is not None and layer[start] <= 0:
+                cycle = [start]
+                node = start
+                for h in range(hops, 0, -1):
+                    node = parent[(h, node)]
+                    cycle.append(node)
+                cycle.reverse()
+                return cycle
+    return None

@@ -1,0 +1,117 @@
+"""Strongly connected components (iterative Tarjan) and condensation.
+
+The analyzer processes one SCC of interdependent predicates at a time,
+lower SCCs first (Section 2.3), so
+:func:`strongly_connected_components` returns components in reverse
+topological order of the condensation — every component precedes the
+components that depend on it.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import Digraph
+
+
+def strongly_connected_components(graph):
+    """Return SCCs of *graph* as tuples of nodes, lower SCCs first.
+
+    "Lower first" means: if any node of component A has an edge into
+    component B (A depends on B), then B appears before A.  Tarjan's
+    algorithm emits components in exactly this order.
+    """
+    index_counter = [0]
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    components = []
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        # Iterative Tarjan: work items are (node, iterator over successors).
+        work = [(root, iter(sorted(graph.successors(root), key=repr)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (
+                            successor,
+                            iter(sorted(graph.successors(successor), key=repr)),
+                        )
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(tuple(component))
+    return components
+
+
+def condensation(graph):
+    """Return (components, dag) where *dag* is the component graph.
+
+    Component nodes in the DAG are their index into *components*.
+    """
+    components = strongly_connected_components(graph)
+    component_of = {}
+    for i, component in enumerate(components):
+        for node in component:
+            component_of[node] = i
+    dag = Digraph()
+    for i in range(len(components)):
+        dag.add_node(i)
+    for source, target in graph.edges():
+        a, b = component_of[source], component_of[target]
+        if a != b:
+            dag.add_edge(a, b)
+    return components, dag
+
+
+def is_recursive_component(graph, component):
+    """A component is recursive if it has >1 node or a self-loop."""
+    if len(component) > 1:
+        return True
+    node = component[0]
+    return graph.has_edge(node, node)
+
+
+def topological_order(dag):
+    """Topological order of an acyclic digraph (raises on cycles)."""
+    in_degree = {node: len(dag.predecessors(node)) for node in dag.nodes}
+    ready = [node for node, degree in in_degree.items() if degree == 0]
+    order = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for successor in dag.successors(node):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+    if len(order) != len(dag):
+        raise ValueError("graph has a cycle; no topological order")
+    return order

@@ -1,0 +1,26 @@
+"""Inter-argument constraint inference — the [VG90] substrate.
+
+The paper *imports* linear feasibility constraints on the argument
+sizes of derivable facts (e.g. ``append1 + append2 = append3``,
+``t1 >= 2 + t2``) and cites Van Gelder [VG90] for their derivation.
+This package computes them automatically: a bottom-up fixpoint over a
+convex-polyhedron abstract domain, one strongly connected component at
+a time, with widening for termination and one descending (narrowing)
+pass for precision.
+
+Public API: :func:`infer_interargument_constraints` and
+:class:`SizeEnvironment`.
+"""
+
+from repro.interarg.domain import SizeEnvironment, instantiate_on_args
+from repro.interarg.inference import (
+    InferenceSettings,
+    infer_interargument_constraints,
+)
+
+__all__ = [
+    "SizeEnvironment",
+    "instantiate_on_args",
+    "InferenceSettings",
+    "infer_interargument_constraints",
+]

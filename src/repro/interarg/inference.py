@@ -1,0 +1,228 @@
+"""Bottom-up polyhedral fixpoint inferring inter-argument constraints.
+
+For each SCC of the predicate dependency graph (processed lower SCCs
+first), iterate the abstract immediate-consequence operator: each
+clause contributes the projection, onto the head's argument-size
+dimensions, of
+
+  - the head argument size equations,
+  - the instantiated size polyhedra of its positive body subgoals,
+  - ``size = size`` links for positive equality subgoals,
+  - nonnegativity of every logical-variable size;
+
+clause contributions are joined (convex hull), and widening after a
+delay guarantees termination.  One descending pass (re-evaluating the
+operator once without widening) recovers precision lost to widening.
+
+This derives the constraints the paper imports from [VG90]:
+``append1 + append2 = append3`` for append, ``t1 >= 2 + t2`` for the
+parser SCC, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lp.program import BUILTIN_PREDICATES
+from repro.linalg.constraints import Constraint
+from repro.linalg.polyhedron import Polyhedron
+from repro.sizes.norms import get_norm
+from repro.sizes.size_equations import arg_dimension, atom_size_equations
+from repro.interarg.domain import (
+    SizeEnvironment,
+    bottom_polyhedron,
+    default_polyhedron,
+    instantiate_on_args,
+    variable_nonnegativity,
+)
+
+
+@dataclass
+class InferenceSettings:
+    """Tuning knobs for the fixpoint (exposed for the ablation bench).
+
+    ``widen_after`` — ascending iterations before widening kicks in.
+    ``max_iterations`` — hard cap; on hitting it the affected
+    predicates fall back to the sound nonnegative-orthant default.
+    ``narrowing_passes`` — descending iterations after stabilization.
+    ``max_rows`` — iterate-complexity bound: polyhedra are weakened
+    (rows dropped, soundly) past this size so pathological predicates
+    cannot stall the fixpoint.
+    ``join_strategy`` — ``"exact"`` (convex hull; discovers new facet
+    directions) or ``"weak"`` (constraint-candidate join; cheaper but
+    cannot discover directions — loses e.g. the gcd pipeline).
+    """
+
+    widen_after: int = 4
+    max_iterations: int = 40
+    narrowing_passes: int = 1
+    max_rows: int = 16
+    join_strategy: str = "exact"
+
+
+def infer_interargument_constraints(
+    program, norm="structural", settings=None, external=None
+):
+    """Infer a :class:`SizeEnvironment` for every predicate of *program*.
+
+    *external* may carry a pre-populated :class:`SizeEnvironment` whose
+    entries are trusted verbatim (the paper's externally supplied
+    constraints); predicates present there are not re-analyzed.
+    """
+    norm = get_norm(norm)
+    settings = settings or InferenceSettings()
+    env = external.copy() if external is not None else SizeEnvironment()
+
+    graph = program.dependency_graph()
+    for component in program.sccs():
+        members = [
+            indicator
+            for indicator in component
+            if program.predicate(*indicator) is not None
+            and not env.known(indicator)
+        ]
+        if not members:
+            continue
+        _solve_component(program, graph, members, env, norm, settings)
+    return env
+
+
+def _solve_component(program, graph, members, env, norm, settings):
+    recursive = _is_recursive(graph, members)
+
+    if not recursive:
+        # A single non-recursive predicate needs exactly one evaluation.
+        indicator = members[0]
+        env.set(
+            indicator,
+            _predicate_step(program, indicator, env, norm, settings),
+        )
+        return
+
+    current = {ind: bottom_polyhedron(ind) for ind in members}
+    stable = False
+    for iteration in range(settings.max_iterations):
+        proposal = {}
+        # Jacobi-style round: evaluate every member against the state
+        # from the previous round (plus lower SCCs already in env).
+        round_env = _overlay(env, current)
+        for indicator in members:
+            proposal[indicator] = _predicate_step(
+                program, indicator, round_env, norm, settings
+            )
+        if iteration >= settings.widen_after:
+            proposal = {
+                ind: current[ind].widen(proposal[ind]) for ind in members
+            }
+        if all(
+            proposal[ind].equivalent(current[ind]) for ind in members
+        ):
+            stable = True
+            break
+        current = proposal
+
+    if not stable:
+        # Sound fallback: sizes are nonnegative, nothing more.
+        for indicator in members:
+            env.set(indicator, default_polyhedron(indicator))
+        return
+
+    for _ in range(settings.narrowing_passes):
+        round_env = _overlay(env, current)
+        descended = {
+            ind: _predicate_step(
+                program, ind, round_env, norm, settings
+            )
+            for ind in members
+        }
+        # Keep the descent only while it stays a sound fixpoint
+        # (F(descended) must be below descended).
+        if all(descended[ind].entails(current[ind]) for ind in members):
+            current = descended
+        else:
+            break
+
+    for indicator in members:
+        env.set(indicator, current[indicator])
+
+
+def _overlay(env, overrides):
+    overlay = env.copy()
+    for indicator, poly in overrides.items():
+        overlay.set(indicator, poly)
+    return overlay
+
+
+def _is_recursive(graph, members):
+    if len(members) > 1:
+        return True
+    node = members[0]
+    return graph.has_node(node) and graph.has_edge(node, node)
+
+
+def _predicate_step(program, indicator, env, norm, settings=None):
+    """One application of the abstract consequence operator."""
+    settings = settings or InferenceSettings()
+    max_rows = settings.max_rows
+    result = bottom_polyhedron(indicator)
+    for clause in program.clauses_for(indicator):
+        contribution = _clause_polyhedron(clause, env, norm).weakened(max_rows)
+        if settings.join_strategy == "weak":
+            if result.is_empty():
+                result = contribution
+            elif not contribution.is_empty():
+                result = result.join_weak(contribution)
+        else:
+            result = result.join(contribution)
+    return result.weakened(max_rows)
+
+
+def _clause_polyhedron(clause, env, norm):
+    """Project one clause's size constraints onto its head dimensions."""
+    _, arity = clause.indicator
+    head_dims = tuple(arg_dimension(i) for i in range(1, arity + 1))
+
+    constraints = list(atom_size_equations(clause.head, norm))
+    atoms = [clause.head]
+    for literal in clause.body:
+        if not literal.positive:
+            continue  # negative subgoals bind nothing (Appendix D)
+        atoms.append(literal.atom)
+        body_constraints = _literal_constraints(literal, env, norm)
+        if body_constraints is None:
+            return bottom_polyhedron(clause.indicator)
+        constraints.extend(body_constraints)
+    constraints.extend(variable_nonnegativity(atoms, norm))
+
+    big = Polyhedron(
+        _all_variables(constraints, head_dims), constraints
+    )
+    if big.is_empty():
+        return bottom_polyhedron(clause.indicator)
+    return big.project(head_dims)
+
+
+def _literal_constraints(literal, env, norm):
+    """Constraints a positive body literal contributes, or None if the
+    literal's predicate is currently bottom (no derivable facts yet)."""
+    indicator = literal.indicator
+    if indicator in BUILTIN_PREDICATES:
+        name, _ = indicator
+        if name == "=":
+            left, right = literal.atom.args
+            norm_obj = get_norm(norm)
+            return [
+                Constraint.eq(norm_obj.size_expr(left), norm_obj.size_expr(right))
+            ]
+        return []  # comparisons etc. supply no size information
+    poly = env.get(indicator)
+    if poly.is_empty():
+        return None
+    return instantiate_on_args(poly, literal.atom, norm)
+
+
+def _all_variables(constraints, extra):
+    names = set(extra)
+    for constraint in constraints:
+        names |= constraint.variables()
+    return sorted(names, key=repr)

@@ -1,0 +1,45 @@
+"""Exact rational linear algebra: expressions, constraints, FM, simplex.
+
+Everything here computes over :class:`fractions.Fraction`, so results
+are exact — a termination *proof* must not depend on floating-point
+rounding.  The subpackage provides:
+
+- :mod:`repro.linalg.linexpr` — immutable linear expressions.
+- :mod:`repro.linalg.constraints` — constraints and constraint systems.
+- :mod:`repro.linalg.fourier_motzkin` — projection by Fourier–Motzkin
+  elimination with redundancy pruning (the paper's workhorse, Section 4).
+- :mod:`repro.linalg.simplex` — a two-phase exact simplex LP solver with
+  dual values (used for the duality cross-checks and ablations).
+- :mod:`repro.linalg.polyhedron` — convex polyhedra in constraint form
+  with emptiness, entailment, projection, and convex hull (the abstract
+  domain behind inter-argument inference).
+"""
+
+from repro.linalg.linexpr import LinearExpr, variable
+from repro.linalg.constraints import (
+    Constraint,
+    ConstraintSystem,
+    EQ,
+    GE,
+    LE,
+)
+from repro.linalg.fourier_motzkin import eliminate, eliminate_all, project_onto
+from repro.linalg.simplex import LPResult, solve_lp, is_feasible
+from repro.linalg.polyhedron import Polyhedron
+
+__all__ = [
+    "LinearExpr",
+    "variable",
+    "Constraint",
+    "ConstraintSystem",
+    "EQ",
+    "GE",
+    "LE",
+    "eliminate",
+    "eliminate_all",
+    "project_onto",
+    "LPResult",
+    "solve_lp",
+    "is_feasible",
+    "Polyhedron",
+]

@@ -1,0 +1,300 @@
+"""Fourier–Motzkin variable elimination with redundancy pruning.
+
+Section 4 of the paper: "This set of constraints is very amenable to
+reduction by Fourier–Motzkin elimination ... a variable is eliminated by
+'cancelling' all positive occurrences with all negative occurrences,
+pairwise, creating new rows."
+
+Elimination preserves satisfiability and computes the exact projection
+of the solution set onto the remaining variables.  Equalities containing
+the eliminated variable are used for Gaussian substitution first — it is
+both cheaper and produces no spurious rows.
+
+Redundancy control: syntactic normalization + de-duplication happens in
+:class:`~repro.linalg.constraints.Constraint`, and
+:func:`prune_redundant` offers quick pairwise-dominance pruning plus an
+optional exact LP-based pass (used by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import LinAlgError
+from repro.linalg.constraints import Constraint, ConstraintSystem, GE
+from repro.linalg.linexpr import LinearExpr
+
+
+class FMBlowupError(LinAlgError):
+    """Raised when a tracked elimination exceeds its row budget.
+
+    Callers fall back to a sound over-approximation (weak join /
+    forget) instead of paying worst-case exponential FM cost.
+    """
+
+
+def eliminate(system, var, prune=True):
+    """Eliminate *var* from *system*; the result has no occurrence of it.
+
+    Returns a new :class:`ConstraintSystem` over the remaining
+    variables whose solution set is exactly the projection.
+    """
+    relevant_eq = None
+    for constraint in system:
+        if constraint.is_equality() and var in constraint.variables():
+            relevant_eq = constraint
+            break
+
+    if relevant_eq is not None:
+        return _eliminate_by_substitution(system, var, relevant_eq)
+    return _eliminate_by_combination(system, var, prune=prune)
+
+
+def _eliminate_by_substitution(system, var, equality):
+    """Solve *equality* for *var* and substitute everywhere else."""
+    coeff = equality.expr.coefficient(var)
+    # var = -(rest)/coeff  where  expr = coeff*var + rest = 0
+    rest = equality.expr - LinearExpr.of(var, coeff)
+    replacement = rest * (Fraction(-1) / coeff)
+    result = ConstraintSystem()
+    for constraint in system:
+        if constraint is equality:
+            continue
+        if var in constraint.variables():
+            result.add(constraint.substitute({var: replacement}))
+        else:
+            result.add(constraint)
+    return result
+
+
+def _eliminate_by_combination(system, var, prune=True):
+    """Classic FM: pair each positive occurrence with each negative."""
+    positives = []
+    negatives = []
+    result = ConstraintSystem()
+    for constraint in system.inequalities():
+        coeff = constraint.expr.coefficient(var)
+        if coeff > 0:
+            positives.append(constraint)
+        elif coeff < 0:
+            negatives.append(constraint)
+        else:
+            result.add(constraint)
+    for pos in positives:
+        pos_coeff = pos.expr.coefficient(var)
+        for neg in negatives:
+            neg_coeff = neg.expr.coefficient(var)
+            # pos.expr >= 0 has +a*var, neg.expr >= 0 has -b*var (a,b>0):
+            # b*pos.expr + a*neg.expr >= 0 cancels var.
+            combined = pos.expr * (-neg_coeff) + neg.expr * pos_coeff
+            result.add(Constraint(combined, GE))
+    if prune:
+        result = prune_redundant(result)
+    return result
+
+
+def eliminate_all(system, variables, prune=True, lp_prune_threshold=None):
+    """Eliminate every variable in *variables*, cheapest-first.
+
+    The next variable to eliminate is chosen greedily to minimize the
+    number of new rows (|positives| * |negatives|), the standard FM
+    heuristic.
+
+    FM can square the row count at every step; *lp_prune_threshold*
+    (when set) bounds the blow-up by running the exact LP-based
+    redundancy removal whenever the intermediate system exceeds that
+    many rows.  This is the practical move that keeps repeated convex
+    hulls (inter-argument inference) tractable.
+    """
+    remaining = set(variables)
+    current = system
+    while remaining:
+        present = remaining & current.variables()
+        if not present:
+            break
+        var = min(present, key=lambda v: _elimination_cost(current, v))
+        current = eliminate(current, var, prune=prune)
+        if (
+            lp_prune_threshold is not None
+            and len(current) > lp_prune_threshold
+        ):
+            current = prune_redundant(current, use_lp=True)
+        remaining.discard(var)
+    return current
+
+
+def _elimination_cost(system, var):
+    positives = negatives = 0
+    has_equality = False
+    for constraint in system:
+        coeff = constraint.expr.coefficient(var)
+        if coeff == 0:
+            continue
+        if constraint.is_equality():
+            has_equality = True
+        elif coeff > 0:
+            positives += 1
+        else:
+            negatives += 1
+    if has_equality:
+        return (-1, repr(var))  # substitution is always cheapest
+    return (positives * negatives, repr(var))
+
+
+def project_onto(system, keep, prune=True, lp_prune_threshold=None):
+    """Project the solution set onto the variables in *keep*."""
+    keep = set(keep)
+    to_eliminate = system.variables() - keep
+    return eliminate_all(
+        system, to_eliminate, prune=prune,
+        lp_prune_threshold=lp_prune_threshold,
+    )
+
+
+def eliminate_all_tracked(
+    system, variables, final_lp_prune=True, max_rows=600
+):
+    """Projection by pure-inequality FM with Chernikov ancestor pruning.
+
+    Equalities are split into inequality pairs; every row carries the
+    set of *original* row indices it was combined from, and after ``k``
+    eliminations any row whose ancestor set exceeds ``k + 1`` rows is
+    redundant and dropped (Chernikov's rule).  This keeps the exact
+    projection while bounding the classic FM blow-up, which makes the
+    repeated convex hulls of inter-argument inference tractable.
+
+    Raises :class:`FMBlowupError` once the intermediate row count
+    passes *max_rows* — callers choose a sound over-approximation
+    instead.  A final exact LP prune (small by then) yields a tidy
+    result.
+    """
+    rows = []
+    for index, constraint in enumerate(system.inequalities()):
+        rows.append((constraint, frozenset((index,))))
+
+    remaining = set(variables)
+    eliminated = 0
+    while remaining:
+        present = set()
+        for constraint, _ in rows:
+            present |= constraint.variables() & remaining
+        if not present:
+            break
+        var = min(
+            present, key=lambda v: _tracked_cost(rows, v)
+        )
+        remaining.discard(var)
+        eliminated += 1
+        rows = _tracked_step(rows, var, eliminated)
+        if max_rows is not None and len(rows) > max_rows:
+            raise FMBlowupError(
+                "tracked elimination exceeded %d rows" % max_rows
+            )
+
+    result = ConstraintSystem(constraint for constraint, _ in rows)
+    # The exact LP prune is quadratic in rows x simplex cost; only tidy
+    # results that are already small (the quadratic pass on a big
+    # system would dominate everything else).
+    if final_lp_prune and 1 < len(result) <= 60:
+        result = prune_redundant(result, use_lp=True)
+    else:
+        result = prune_redundant(result)
+    return result
+
+
+def _tracked_cost(rows, var):
+    positives = negatives = 0
+    for constraint, _ in rows:
+        coeff = constraint.expr.coefficient(var)
+        if coeff > 0:
+            positives += 1
+        elif coeff < 0:
+            negatives += 1
+    return (positives * negatives, repr(var))
+
+
+def _tracked_step(rows, var, eliminated):
+    positives = []
+    negatives = []
+    kept = []
+    for row in rows:
+        coeff = row[0].expr.coefficient(var)
+        if coeff > 0:
+            positives.append(row)
+        elif coeff < 0:
+            negatives.append(row)
+        else:
+            kept.append(row)
+    limit = eliminated + 1
+    seen = {constraint for constraint, _ in kept}
+    for pos, pos_history in positives:
+        pos_coeff = pos.expr.coefficient(var)
+        for neg, neg_history in negatives:
+            history = pos_history | neg_history
+            if len(history) > limit:
+                continue  # Chernikov: provably redundant
+            neg_coeff = neg.expr.coefficient(var)
+            combined = Constraint(
+                pos.expr * (-neg_coeff) + neg.expr * pos_coeff, GE
+            )
+            if combined.is_trivial() or combined in seen:
+                continue
+            seen.add(combined)
+            kept.append((combined, history))
+    return _dominance_filter(kept)
+
+
+def _dominance_filter(rows):
+    """Keep only the tightest row per linear part (cheap pruning)."""
+    best = {}
+    for constraint, history in rows:
+        linear = constraint.expr - LinearExpr.constant(constraint.expr.const)
+        current = best.get(linear)
+        if current is None or constraint.expr.const < current[0].expr.const:
+            best[linear] = (constraint, history)
+    return list(best.values())
+
+
+def prune_redundant(system, use_lp=False):
+    """Remove redundant inequality rows.
+
+    Always applies the cheap pairwise-dominance test: a row
+    ``e + c1 >= 0`` is dropped when another row ``e + c0 >= 0`` with
+    ``c0 <= c1`` exists (same linear part, weaker constant).  With
+    ``use_lp=True``, additionally removes every inequality implied by
+    the others (exact, via simplex) — quadratic in system size but
+    yields an irredundant description.
+    """
+    by_linear_part = {}
+    equalities = []
+    for constraint in system:
+        if constraint.is_equality():
+            equalities.append(constraint)
+            continue
+        linear_part = constraint.expr - LinearExpr.constant(
+            constraint.expr.const
+        )
+        key = linear_part
+        best = by_linear_part.get(key)
+        if best is None or constraint.expr.const < best.expr.const:
+            by_linear_part[key] = constraint
+    pruned = ConstraintSystem(equalities)
+    pruned.extend(by_linear_part.values())
+
+    if not use_lp:
+        return pruned
+    return _prune_with_lp(pruned)
+
+
+def _prune_with_lp(system):
+    from repro.linalg.simplex import entails
+
+    rows = list(system)
+    kept = list(rows)
+    for candidate in rows:
+        if candidate.is_equality():
+            continue
+        others = ConstraintSystem(c for c in kept if c != candidate)
+        if entails(others, candidate):
+            kept = [c for c in kept if c != candidate]
+    return ConstraintSystem(kept)

@@ -1,0 +1,356 @@
+"""Convex polyhedra in constraint form.
+
+The abstract domain behind inter-argument constraint inference (the
+[VG90] substrate): each predicate's set of derivable argument-size
+vectors is over-approximated by a convex polyhedron over its argument
+dimensions.  Operations:
+
+- ``meet`` — conjunction (used when composing rule bodies),
+- ``project`` — existential elimination via Fourier–Motzkin,
+- ``join`` — closed convex hull of the union (via the standard lifted
+  construction with mixing multipliers, projected by FM),
+- ``widen`` — standard constraint-dropping widening so fixpoints
+  terminate,
+- ``entails`` / ``equivalent`` — exact, via simplex.
+
+A polyhedron stores its dimension list explicitly; auxiliary variables
+introduced during construction must be projected away by the caller.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.linalg.constraints import Constraint, ConstraintSystem, GE
+from repro.linalg.fourier_motzkin import (
+    FMBlowupError,
+    eliminate_all_tracked,
+    prune_redundant,
+)
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.simplex import entails as lp_entails, is_feasible
+
+_hull_counter = itertools.count(1)
+
+#: Row-count threshold beyond which Fourier–Motzkin projections inside
+#: polyhedron operations run exact LP-based redundancy pruning.  Keeps
+#: repeated convex hulls (fixpoint iteration) polynomial in practice.
+LP_PRUNE_THRESHOLD = 24
+
+
+class Polyhedron:
+    """A convex polyhedron { x : constraints } over named dimensions."""
+
+    def __init__(self, dimensions, constraints=()):
+        self.dimensions = tuple(dimensions)
+        system = ConstraintSystem()
+        for constraint in constraints:
+            extra = constraint.variables() - set(self.dimensions)
+            if extra:
+                raise ValueError(
+                    "constraint %s uses non-dimension variables %s"
+                    % (constraint, sorted(extra, key=repr))
+                )
+            system.add(constraint)
+        self.system = system
+        self._empty_cache = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def top(cls, dimensions):
+        """The whole space (no constraints)."""
+        return cls(dimensions)
+
+    @classmethod
+    def bottom(cls, dimensions):
+        """The empty polyhedron."""
+        false = Constraint(LinearExpr.constant(-1), GE)
+        poly = cls(dimensions)
+        poly.system.add(false)
+        poly._empty_cache = True
+        return poly
+
+    @classmethod
+    def nonnegative_orthant(cls, dimensions):
+        """{ x : x_i >= 0 } — argument sizes are always nonnegative."""
+        return cls(
+            dimensions,
+            (Constraint.ge(LinearExpr.of(d)) for d in dimensions),
+        )
+
+    def copy(self):
+        """An independent copy."""
+        poly = Polyhedron(self.dimensions, self.system)
+        poly._empty_cache = self._empty_cache
+        return poly
+
+    # -- basic queries --------------------------------------------------------------
+
+    def is_empty(self):
+        """True iff the polyhedron has no points (decided by LP)."""
+        if self._empty_cache is None:
+            if self.system.has_contradiction_row():
+                self._empty_cache = True
+            else:
+                self._empty_cache = not is_feasible(self.system)
+        return self._empty_cache
+
+    def is_top(self):
+        """True when unconstrained (the whole space)."""
+        return len(self.system) == 0
+
+    def entails_constraint(self, constraint):
+        # Fast path: a row we literally contain is entailed (rows are
+        # canonically normalized, so hashing catches scaled variants).
+        """Does every point satisfy *constraint*?"""
+        if constraint in self.system:
+            return True
+        return lp_entails(self.system, constraint)
+
+    def entails(self, other):
+        """True if self is a subset of *other* (same dimensions)."""
+        if self.is_empty():
+            return True
+        return all(
+            self.entails_constraint(constraint) for constraint in other.system
+        )
+
+    def equivalent(self, other):
+        # Identical constraint sets are equivalent without any LP work —
+        # the common case when a fixpoint iteration has stabilized.
+        """Mutual entailment (same point set)."""
+        if self.system.constraint_set() == other.system.constraint_set():
+            return True
+        return self.entails(other) and other.entails(self)
+
+    def contains_point(self, assignment):
+        """Membership test for a concrete assignment."""
+        return self.system.satisfied_by(assignment)
+
+    # -- lattice / geometric operations ------------------------------------------------
+
+    def meet(self, other):
+        """Intersection; dimensions are merged."""
+        dimensions = list(self.dimensions)
+        for dim in other.dimensions:
+            if dim not in dimensions:
+                dimensions.append(dim)
+        result = Polyhedron(dimensions)
+        result.system.extend(self.system)
+        result.system.extend(other.system)
+        return result
+
+    def with_constraints(self, constraints):
+        """A copy strengthened with extra constraints."""
+        result = self.copy()
+        result.system.extend(constraints)
+        result._empty_cache = None
+        return result
+
+    def project(self, keep_dimensions):
+        """Existentially eliminate every dimension not in *keep*.
+
+        Uses history-tracked Fourier–Motzkin (Chernikov pruning) so the
+        projection stays exact without the classic row blow-up; should
+        the row budget still overflow, falls back to *forgetting* — a
+        sound over-approximation that simply drops every constraint
+        mentioning an eliminated variable.
+        """
+        keep = [d for d in self.dimensions if d in set(keep_dimensions)]
+        to_eliminate = self.system.variables() - set(keep)
+        try:
+            system = eliminate_all_tracked(self.system, to_eliminate)
+        except FMBlowupError:
+            system = _forget(self.system, to_eliminate)
+        return Polyhedron(keep, system)
+
+    def rename(self, mapping):
+        """Rename variables via *mapping*."""
+        dimensions = [mapping.get(d, d) for d in self.dimensions]
+        if len(set(dimensions)) != len(dimensions):
+            raise ValueError("renaming collapses dimensions: %r" % mapping)
+        return Polyhedron(dimensions, self.system.rename(mapping))
+
+    def join(self, other):
+        """Closed convex hull of the union — exact, via
+        :meth:`join_exact` with history-tracked FM.
+
+        Kept as the default because the fixpoint must *discover* new
+        facet directions (e.g. ``arg2 >= arg1 + 1`` for a ``less``
+        predicate arises only as the hull of successive iterates); the
+        cheaper :meth:`join_weak` cannot do that.  When the exact hull
+        overflows its row budget the weak join serves as the sound
+        fallback.
+        """
+        if self.dimensions != other.dimensions:
+            raise ValueError("join requires identical dimension lists")
+        if self.system.constraint_set() == other.system.constraint_set():
+            return self.copy()
+        try:
+            return self.join_exact(other)
+        except FMBlowupError:
+            return self.join_weak(other)
+
+    def join_weak(self, other):
+        """An upper bound of the union: the *constraint-candidate* join.
+
+        Collects the linear parts of both polyhedra's constraints as
+        candidate facet directions and keeps, for each candidate
+        ``l``, the inequality ``l >= min(min_P1 l, min_P2 l)`` when
+        both minima exist.  The result contains the exact convex hull
+        (so it is a sound over-approximation for the fixpoint) but can
+        be strictly larger: it reuses existing facet directions only.
+        Cost: two small LPs per candidate, no Fourier–Motzkin at all.
+        Used by the ablation benchmarks.
+        """
+        if self.dimensions != other.dimensions:
+            raise ValueError("join requires identical dimension lists")
+        if self.is_empty():
+            return other.copy()
+        if other.is_empty():
+            return self.copy()
+
+        from repro.linalg.simplex import OPTIMAL, solve_lp
+
+        candidates = {}
+        for system in (self.system, other.system):
+            for constraint in system.inequalities():
+                linear = constraint.expr - LinearExpr.constant(
+                    constraint.expr.const
+                )
+                candidates[linear] = None
+        kept = []
+        for linear in candidates:
+            first = solve_lp(linear, self.system)
+            if first.status != OPTIMAL:
+                continue
+            second = solve_lp(linear, other.system)
+            if second.status != OPTIMAL:
+                continue
+            bound = min(first.value, second.value)
+            kept.append(Constraint(linear - LinearExpr.constant(bound), GE))
+        return Polyhedron(self.dimensions, kept)
+
+    def join_exact(self, other):
+        """Closed convex hull of the union (same dimension list).
+
+        Uses the lifted construction: a point x is in the hull iff
+        x = y1 + y2 with ``A1 y1 >= -b1*m1``, ``A2 y2 >= -b2*m2``,
+        ``m1 + m2 = 1``, ``m1, m2 >= 0`` — with ``m_i = 0`` the y_i
+        range over the recession cone, which makes the construction
+        exact for unbounded polyhedra.  The auxiliary variables are
+        eliminated by history-tracked Fourier–Motzkin (Chernikov
+        pruning), which keeps the projection exact without the classic
+        row blow-up.
+        """
+        if self.dimensions != other.dimensions:
+            raise ValueError("join requires identical dimension lists")
+        if self.is_empty():
+            return other.copy()
+        if other.is_empty():
+            return self.copy()
+
+        tag = next(_hull_counter)
+        y1 = {d: ("hull_y1", tag, d) for d in self.dimensions}
+        y2 = {d: ("hull_y2", tag, d) for d in self.dimensions}
+        m1 = ("hull_m1", tag)
+        m2 = ("hull_m2", tag)
+
+        lifted = ConstraintSystem()
+        for d in self.dimensions:
+            lifted.add(
+                Constraint.eq(
+                    LinearExpr.of(d),
+                    LinearExpr.of(y1[d]) + LinearExpr.of(y2[d]),
+                )
+            )
+        lifted.extend(_homogenize(self.system, y1, m1))
+        lifted.extend(_homogenize(other.system, y2, m2))
+        lifted.add(
+            Constraint.eq(LinearExpr.of(m1) + LinearExpr.of(m2), 1)
+        )
+        lifted.add(Constraint.ge(LinearExpr.of(m1)))
+        lifted.add(Constraint.ge(LinearExpr.of(m2)))
+
+        to_eliminate = lifted.variables() - set(self.dimensions)
+        projected = eliminate_all_tracked(lifted, to_eliminate)
+        return Polyhedron(self.dimensions, projected)
+
+    def widen(self, newer):
+        """Standard widening: keep only our constraints *newer* entails.
+
+        Requires self ⊑ newer in the fixpoint iteration (old first).
+        Equalities are split so that one surviving half-space is kept
+        even when the other direction grew.
+        """
+        if self.is_empty():
+            return newer.copy()
+        kept = []
+        for constraint in self.system:
+            for half in constraint.as_inequalities():
+                if newer.entails_constraint(half):
+                    kept.append(half)
+        return Polyhedron(self.dimensions, kept)
+
+    def minimized(self):
+        """Equivalent polyhedron with LP-irredundant constraints."""
+        return Polyhedron(
+            self.dimensions, prune_redundant(self.system, use_lp=True)
+        )
+
+    def weakened(self, max_rows):
+        """A sound over-approximation with at most *max_rows* rows.
+
+        Keeps the syntactically simplest constraints (fewest variables,
+        smallest coefficients) — dropping rows only enlarges the
+        polyhedron, so every client of the abstract domain stays sound.
+        Used by the fixpoint to bound iterate complexity.
+        """
+        if len(self.system) <= max_rows:
+            return self
+
+        def complexity(constraint):
+            """Sort key: fewest variables, smallest coefficients first."""
+            coefficients = [abs(c) for _, c in constraint.expr.items()]
+            return (
+                len(coefficients),
+                max(coefficients, default=0),
+                abs(constraint.expr.const),
+                repr(constraint),
+            )
+
+        kept = sorted(self.system, key=complexity)[:max_rows]
+        return Polyhedron(self.dimensions, kept)
+
+    # -- rendering --------------------------------------------------------------------------
+
+    def __str__(self):
+        if self.is_empty():
+            return "<empty polyhedron over %s>" % (list(self.dimensions),)
+        if self.is_top():
+            return "<top polyhedron over %s>" % (list(self.dimensions),)
+        return str(self.system)
+
+    def __repr__(self):
+        return "Polyhedron(%r, %r)" % (self.dimensions, self.system.constraints)
+
+
+def _forget(system, variables):
+    """Sound projection fallback: drop rows mentioning *variables*."""
+    variables = set(variables)
+    return ConstraintSystem(
+        constraint
+        for constraint in system
+        if not (constraint.variables() & variables)
+    )
+
+
+def _homogenize(system, var_mapping, multiplier):
+    """Rows ``linear . x + const >= 0`` become
+    ``linear . y + const * m >= 0`` (same for equalities)."""
+    for constraint in system:
+        linear = constraint.expr - LinearExpr.constant(constraint.expr.const)
+        renamed = linear.rename(var_mapping)
+        expr = renamed + LinearExpr.of(multiplier, constraint.expr.const)
+        yield Constraint(expr, constraint.relation)

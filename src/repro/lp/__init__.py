@@ -1,0 +1,58 @@
+"""Logic-program substrate: terms, parsing, unification, SLD engine.
+
+This package implements the Prolog-like language the paper analyzes:
+
+- :mod:`repro.lp.terms` — variables, atoms, compound terms, lists.
+- :mod:`repro.lp.tokenizer` / :mod:`repro.lp.parser` — a Prolog-subset
+  reader with operator precedence, lists, and comments.
+- :mod:`repro.lp.program` — clauses, procedures, programs.
+- :mod:`repro.lp.unify` — unification with optional occurs check.
+- :mod:`repro.lp.engine` — a budgeted top-down SLD resolution engine used
+  to validate termination verdicts empirically.
+- :mod:`repro.lp.generate` — random well-moded query/term generators.
+"""
+
+from repro.lp.terms import (
+    Atom,
+    Term,
+    Var,
+    Struct,
+    cons,
+    make_list,
+    list_elements,
+    term_variables,
+)
+from repro.lp.modes import ModeDeclaration
+from repro.lp.parser import parse_program, parse_term, parse_query
+from repro.lp.program import Clause, Literal, Predicate, Program
+from repro.lp.unify import unify, apply_subst, compose_subst, rename_apart
+from repro.lp.engine import SLDEngine, SolveResult
+from repro.lp.bottomup import BottomUpEngine, BottomUpResult, is_datalog
+
+__all__ = [
+    "Atom",
+    "Term",
+    "Var",
+    "Struct",
+    "cons",
+    "make_list",
+    "list_elements",
+    "term_variables",
+    "ModeDeclaration",
+    "parse_program",
+    "parse_term",
+    "parse_query",
+    "Clause",
+    "Literal",
+    "Predicate",
+    "Program",
+    "unify",
+    "apply_subst",
+    "compose_subst",
+    "rename_apart",
+    "SLDEngine",
+    "SolveResult",
+    "BottomUpEngine",
+    "BottomUpResult",
+    "is_datalog",
+]

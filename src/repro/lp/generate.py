@@ -1,0 +1,81 @@
+"""Random ground-term and query generators.
+
+Used by the empirical-validation benchmark (experiment F2) and by tests
+that need a stream of well-moded queries: the bound arguments of a query
+are filled with random *ground* terms, the free ones with fresh
+variables.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lp.terms import Atom, Struct, Var, make_list
+
+#: Constant pool used for list elements and leaves.
+DEFAULT_CONSTANTS = tuple(Atom(name) for name in "abcdefgh")
+
+
+class TermGenerator:
+    """Deterministic (seeded) generator of ground terms and queries."""
+
+    def __init__(self, seed=0, constants=DEFAULT_CONSTANTS):
+        self._random = random.Random(seed)
+        self._constants = tuple(constants)
+        self._fresh = 0
+
+    def constant(self):
+        """An expression with only a constant term."""
+        return self._random.choice(self._constants)
+
+    def integer(self, low=0, high=20):
+        """A random integer constant in [low, high]."""
+        return Atom(self._random.randint(low, high))
+
+    def ground_list(self, max_length=6, element=None):
+        """A proper list of random constants (or *element()* results)."""
+        length = self._random.randint(0, max_length)
+        make_element = element or self.constant
+        return make_list(make_element() for _ in range(length))
+
+    def sorted_integer_list(self, max_length=6, low=0, high=20):
+        """An ascending integer list — valid input for ``merge``-style
+        procedures whose guards compare elements."""
+        length = self._random.randint(0, max_length)
+        values = sorted(
+            self._random.randint(low, high) for _ in range(length)
+        )
+        return make_list(Atom(v) for v in values)
+
+    def ground_tree(self, functor="f", max_depth=4):
+        """A random binary tree over *functor* with constant leaves."""
+        if max_depth <= 0 or self._random.random() < 0.3:
+            return self.constant()
+        return Struct(
+            functor,
+            (
+                self.ground_tree(functor, max_depth - 1),
+                self.ground_tree(functor, max_depth - 1),
+            ),
+        )
+
+    def fresh_var(self):
+        """A fresh query variable."""
+        self._fresh += 1
+        return Var("Q%d" % self._fresh)
+
+    def query_atom(self, name, modes, bound_maker=None):
+        """Build a query atom for predicate *name* from a mode string.
+
+        *modes* is a string over ``{'b', 'f'}``: each ``b`` position gets
+        a random ground term (from *bound_maker* or :meth:`ground_list`),
+        each ``f`` position a fresh variable.
+        """
+        make_bound = bound_maker or self.ground_list
+        args = tuple(
+            make_bound() if mode == "b" else self.fresh_var()
+            for mode in modes
+        )
+        if not args:
+            return Atom(name)
+        return Struct(name, args)

@@ -1,0 +1,77 @@
+"""Mode declarations: ``:- mode(append(b, b, f)).``
+
+Deductive-database systems need to know which query patterns a
+procedure supports; the paper's capture-rule story assumes exactly
+this.  A program may carry mode directives::
+
+    :- mode(append(b, b, f)).
+    :- mode(append(f, f, b)).
+    :- mode(perm(b, f)).
+
+Each declares one bound/free pattern under which the predicate is
+meant to be invoked.  :class:`~repro.lp.program.Program` collects them
+as :class:`ModeDeclaration` values; the CLI's ``--all-modes`` and the
+lint example analyze every declared mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PrologSyntaxError
+from repro.lp.terms import Atom, Struct
+
+
+@dataclass(frozen=True)
+class ModeDeclaration:
+    """One declared query pattern for a predicate."""
+
+    indicator: tuple       # (name, arity)
+    mode: str              # e.g. "bbf"
+
+    def __str__(self):
+        return ":- mode(%s(%s))." % (
+            self.indicator[0],
+            ", ".join(self.mode),
+        )
+
+
+def parse_mode_directive(term):
+    """Parse the argument of a ``:- mode(...)`` directive.
+
+    *term* is the directive body, e.g. ``mode(append(b, b, f))``.
+    Returns a :class:`ModeDeclaration` or None when the directive is
+    not a mode declaration (callers may ignore other directives).
+    """
+    if not (
+        isinstance(term, Struct)
+        and term.functor == "mode"
+        and term.arity == 1
+    ):
+        return None
+    pattern = term.args[0]
+    if isinstance(pattern, Atom):
+        return ModeDeclaration(indicator=(pattern.name, 0), mode="")
+    if not isinstance(pattern, Struct):
+        raise PrologSyntaxError(
+            "mode directive needs a predicate pattern: %s" % term
+        )
+    letters = []
+    for argument in pattern.args:
+        if argument == Atom("b"):
+            letters.append("b")
+        elif argument == Atom("f"):
+            letters.append("f")
+        elif argument in (Atom("+"), Atom("++")):
+            letters.append("b")  # common Mercury/SWI spelling
+        elif argument in (Atom("-"), Atom("?")):
+            letters.append("f")
+        else:
+            raise PrologSyntaxError(
+                "mode argument must be b/f (or +/-), got %s in %s"
+                % (argument, term)
+            )
+    return ModeDeclaration(
+        indicator=(pattern.functor, pattern.arity),
+        mode="".join(letters),
+    )

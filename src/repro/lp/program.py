@@ -1,0 +1,318 @@
+"""Clause and program model.
+
+A :class:`Program` is an ordered collection of :class:`Clause` objects,
+indexed by predicate ``name/arity``.  Bodies are flat sequences of
+:class:`Literal` (an atom plus a polarity — negative literals come from
+``\\+ Goal``).
+
+Builtin comparison predicates (``=<``, ``<``, ...) are modelled as
+always-lowest EDB predicates: they never appear in rule heads, impose no
+size constraints by themselves, and the SLD engine evaluates them over
+integer constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError, PrologSyntaxError
+from repro.lp.terms import Atom, Struct, Term, Var, terms_variables
+
+#: Builtins the engine evaluates directly and the analyzer treats as EDB.
+BUILTIN_PREDICATES = {
+    ("=<", 2),
+    ("<", 2),
+    (">", 2),
+    (">=", 2),
+    ("==", 2),
+    ("\\==", 2),
+    ("=", 2),
+    ("\\=", 2),
+    ("is", 2),
+    ("true", 0),
+    ("fail", 0),
+    ("!", 0),
+}
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A body literal: an atom with a polarity.
+
+    ``positive`` is False exactly for negated subgoals ``\\+ atom``.
+    """
+
+    atom: Term
+    positive: bool = True
+
+    def __post_init__(self):
+        if not isinstance(self.atom, (Atom, Struct)):
+            raise AnalysisError(
+                "literal must be an atom or compound, got %r" % (self.atom,)
+            )
+
+    @property
+    def indicator(self):
+        """The ``(name, arity)`` pair of the literal's predicate."""
+        if isinstance(self.atom, Struct):
+            return (self.atom.functor, self.atom.arity)
+        return (self.atom.name, 0)
+
+    @property
+    def args(self):
+        """The literal's argument terms."""
+        if isinstance(self.atom, Struct):
+            return self.atom.args
+        return ()
+
+    def negate(self):
+        """The same literal with flipped polarity."""
+        return Literal(self.atom, positive=not self.positive)
+
+    def __str__(self):
+        text = str(self.atom)
+        return text if self.positive else "\\+ %s" % text
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One rule ``head :- body`` (facts have an empty body)."""
+
+    head: Term
+    body: tuple = ()
+
+    def __post_init__(self):
+        if not isinstance(self.head, (Atom, Struct)):
+            raise AnalysisError("clause head must be an atom: %r" % (self.head,))
+        if isinstance(self.head, Struct) and any(
+            not isinstance(lit, Literal) for lit in self.body
+        ):
+            raise AnalysisError("clause body must contain Literals")
+
+    @property
+    def indicator(self):
+        """The (name, arity) predicate indicator."""
+        if isinstance(self.head, Struct):
+            return (self.head.functor, self.head.arity)
+        return (self.head.name, 0)
+
+    @property
+    def head_args(self):
+        """The head's argument terms."""
+        if isinstance(self.head, Struct):
+            return self.head.args
+        return ()
+
+    def is_fact(self):
+        """True when the body is empty."""
+        return not self.body
+
+    def variables(self):
+        """Distinct variables of the whole clause, head first."""
+        terms = [self.head] + [lit.atom for lit in self.body]
+        return terms_variables(terms)
+
+    def __str__(self):
+        if self.is_fact():
+            return "%s." % self.head
+        return "%s :- %s." % (
+            self.head,
+            ", ".join(str(lit) for lit in self.body),
+        )
+
+
+@dataclass
+class Predicate:
+    """All clauses for one ``name/arity``, in source order."""
+
+    name: str
+    arity: int
+    clauses: list = field(default_factory=list)
+
+    @property
+    def indicator(self):
+        """The (name, arity) predicate indicator."""
+        return (self.name, self.arity)
+
+    def __str__(self):
+        return "%s/%d" % (self.name, self.arity)
+
+
+class Program:
+    """An ordered logic program with predicate indexing.
+
+    Construction from parsed clause terms understands ``:-/2`` rules,
+    ``,/2`` conjunction bodies, and ``\\+/1`` negation.
+    """
+
+    def __init__(self, clauses=()):
+        self._clauses = []
+        self._predicates = {}
+        self._mode_declarations = []
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_clause_terms(cls, terms):
+        """Build a Program from parsed clause terms."""
+        from repro.lp.modes import parse_mode_directive
+
+        program = cls()
+        for term in terms:
+            if (
+                isinstance(term, Struct)
+                and term.functor == ":-"
+                and term.arity == 1
+            ):
+                declaration = parse_mode_directive(term.args[0])
+                if declaration is None:
+                    raise PrologSyntaxError(
+                        "unsupported directive: %s" % term
+                    )
+                program.add_mode_declaration(declaration)
+                continue
+            program.add_clause(clause_from_term(term))
+        return program
+
+    @classmethod
+    def from_text(cls, text):
+        """Parse Prolog text into a Program."""
+        from repro.lp.parser import parse_clause_terms
+
+        return cls.from_clause_terms(parse_clause_terms(text))
+
+    def add_clause(self, clause):
+        """Append a clause and index it by predicate."""
+        if clause.indicator in BUILTIN_PREDICATES:
+            raise AnalysisError(
+                "cannot define builtin predicate %s/%d" % clause.indicator
+            )
+        self._clauses.append(clause)
+        predicate = self._predicates.get(clause.indicator)
+        if predicate is None:
+            predicate = Predicate(*clause.indicator)
+            self._predicates[clause.indicator] = predicate
+        predicate.clauses.append(clause)
+
+    def add_mode_declaration(self, declaration):
+        """Record one ':- mode(...)' declaration."""
+        self._mode_declarations.append(declaration)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def mode_declarations(self):
+        """Declared ``:- mode(...)`` query patterns, in source order."""
+        return tuple(self._mode_declarations)
+
+    @property
+    def clauses(self):
+        """Every clause, in source order."""
+        return tuple(self._clauses)
+
+    @property
+    def predicates(self):
+        """Predicates in first-definition order."""
+        return tuple(self._predicates.values())
+
+    def predicate(self, name, arity):
+        """The Predicate record for name/arity, or None."""
+        return self._predicates.get((name, arity))
+
+    def clauses_for(self, indicator):
+        """The clauses of one predicate indicator, in order."""
+        predicate = self._predicates.get(indicator)
+        return tuple(predicate.clauses) if predicate else ()
+
+    def defined_indicators(self):
+        """Indicators that have at least one clause."""
+        return set(self._predicates)
+
+    def edb_indicators(self):
+        """Indicators referenced in bodies but never defined (plus builtins
+        are excluded — they are not 'relations' for analysis purposes)."""
+        referenced = set()
+        for clause in self._clauses:
+            for literal in clause.body:
+                referenced.add(literal.indicator)
+        return {
+            ind
+            for ind in referenced
+            if ind not in self._predicates and ind not in BUILTIN_PREDICATES
+        }
+
+    def __len__(self):
+        return len(self._clauses)
+
+    def __str__(self):
+        return "\n".join(str(clause) for clause in self._clauses)
+
+    # -- dependency structure ----------------------------------------------
+
+    def dependency_edges(self):
+        """Yield (head_indicator, subgoal_indicator) arcs p -> q.
+
+        Follows Section 2.3: an arc for every rule of p with a subgoal q.
+        Builtins are skipped — they cannot participate in recursion.
+        """
+        for clause in self._clauses:
+            for literal in clause.body:
+                if literal.indicator in BUILTIN_PREDICATES:
+                    continue
+                yield (clause.indicator, literal.indicator)
+
+    def dependency_graph(self):
+        """The predicate dependency digraph (Section 2.3)."""
+        from repro.graph.digraph import Digraph
+
+        graph = Digraph()
+        for indicator in self._predicates:
+            graph.add_node(indicator)
+        for source, target in self.dependency_edges():
+            graph.add_node(target)
+            graph.add_edge(source, target)
+        return graph
+
+    def sccs(self):
+        """Strongly connected components in bottom-up (reverse topological)
+        order — lower SCCs first, as the analyzer consumes them."""
+        from repro.graph.scc import strongly_connected_components
+
+        graph = self.dependency_graph()
+        return strongly_connected_components(graph)
+
+
+def clause_from_term(term):
+    """Convert a parsed ``:-/2`` (or fact) term into a :class:`Clause`."""
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 2:
+        head, body_term = term.args
+        return Clause(head=head, body=tuple(body_literals(body_term)))
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 1:
+        raise PrologSyntaxError("directives are not supported: %s" % term)
+    if isinstance(term, (Atom, Struct)):
+        return Clause(head=term)
+    raise PrologSyntaxError("clause must be an atom or rule: %r" % (term,))
+
+
+def body_literals(term):
+    """Flatten a ``,/2`` conjunction into literals, handling ``\\+``."""
+    if isinstance(term, Struct) and term.functor == "," and term.arity == 2:
+        yield from body_literals(term.args[0])
+        yield from body_literals(term.args[1])
+        return
+    if isinstance(term, Struct) and term.functor in (";", "->") and term.arity == 2:
+        raise PrologSyntaxError(
+            "disjunction/if-then-else is not supported; split %r into "
+            "separate clauses" % str(term)
+        )
+    if isinstance(term, Struct) and term.functor == "\\+" and term.arity == 1:
+        inner = term.args[0]
+        if isinstance(inner, Var):
+            raise PrologSyntaxError("\\+ applied to a variable: %s" % term)
+        yield Literal(inner, positive=False)
+        return
+    if isinstance(term, Var):
+        raise PrologSyntaxError("unbound variable used as a goal: %s" % term)
+    yield Literal(term)

@@ -1,0 +1,302 @@
+"""Logical terms: variables, constants, and compound terms.
+
+A *term* is a logical variable, a constant (atom or integer), or a
+function symbol applied to argument terms (Section 2.1 of the paper).
+Terms are immutable and hashable so they can be used as dictionary keys
+in substitutions and memo tables.
+
+The paper's *structural term size* of a ground term is the number of
+edges in its tree — equivalently, the sum of the arities of its function
+symbols (Section 2.2).  The symbolic version over non-ground terms lives
+in :mod:`repro.sizes.norms`; here we provide the ground-term measure and
+generic traversal utilities.
+"""
+
+from __future__ import annotations
+
+
+class Term:
+    """Abstract base class for logical terms.
+
+    Concrete subclasses are :class:`Var`, :class:`Atom`, and
+    :class:`Struct`.  All are immutable value objects.
+    """
+
+    __slots__ = ()
+
+    def is_ground(self):
+        """Return True if the term contains no variables."""
+        return not any(True for _ in self.variables())
+
+    def variables(self):
+        """Yield each variable occurrence (with repetition) in order."""
+        raise NotImplementedError
+
+    def structural_size(self):
+        """Number of edges in the term tree; requires a ground term."""
+        raise NotImplementedError
+
+    def subterms(self):
+        """Yield this term and every subterm, pre-order."""
+        raise NotImplementedError
+
+    def functors(self):
+        """Yield (name, arity) for every function symbol occurrence."""
+        raise NotImplementedError
+
+
+class Var(Term):
+    """A logical variable, identified by name.
+
+    Within one clause, equal names denote the same variable.  Renaming
+    apart (for resolution) is done by :func:`repro.lp.unify.rename_apart`.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", str(name))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Var is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+    def __repr__(self):
+        return "Var(%r)" % self.name
+
+    def __str__(self):
+        return self.name
+
+    def variables(self):
+        """The variables occurring in this object."""
+        yield self
+
+    def structural_size(self):
+        """Number of edges in the term tree (ground terms)."""
+        raise ValueError("structural_size of non-ground term %s" % self)
+
+    def subterms(self):
+        """Yield this term and every subterm, pre-order."""
+        yield self
+
+    def functors(self):
+        """Yield (name, arity) for every function symbol occurrence."""
+        return iter(())
+
+
+class Atom(Term):
+    """A constant: a Prolog atom or an integer.
+
+    Constants are functions of zero arity, so their structural size is 0.
+    The empty list ``[]`` is the atom named ``"[]"``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Atom", self.name))
+
+    def __repr__(self):
+        return "Atom(%r)" % (self.name,)
+
+    def __str__(self):
+        return str(self.name)
+
+    def variables(self):
+        """The variables occurring in this object."""
+        return iter(())
+
+    def structural_size(self):
+        """Number of edges in the term tree (ground terms)."""
+        return 0
+
+    def subterms(self):
+        """Yield this term and every subterm, pre-order."""
+        yield self
+
+    def functors(self):
+        """Yield (name, arity) for every function symbol occurrence."""
+        yield (self.name, 0)
+
+
+#: The empty-list constant, written ``[]`` in Prolog syntax.
+NIL = Atom("[]")
+
+#: The list constructor functor name.  ``'.'(H, T)`` is written ``H . T``
+#: in the paper (read "cons") and ``[H|T]`` in Prolog.
+CONS = "."
+
+
+class Struct(Term):
+    """A compound term: an uninterpreted function symbol with arguments.
+
+    ``Struct(".", (h, t))`` is the list cell the paper writes ``h . t``.
+    """
+
+    __slots__ = ("functor", "args")
+
+    def __init__(self, functor, args):
+        args = tuple(args)
+        if not functor:
+            raise ValueError("functor must be non-empty")
+        if not args:
+            raise ValueError(
+                "Struct must have at least one argument; use Atom for %r"
+                % functor
+            )
+        if not all(isinstance(arg, Term) for arg in args):
+            raise TypeError("Struct arguments must be Terms: %r" % (args,))
+        object.__setattr__(self, "functor", str(functor))
+        object.__setattr__(self, "args", args)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Struct is immutable")
+
+    @property
+    def arity(self):
+        """The number of arguments."""
+        return len(self.args)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Struct)
+            and self.functor == other.functor
+            and self.args == other.args
+        )
+
+    def __hash__(self):
+        return hash(("Struct", self.functor, self.args))
+
+    def __repr__(self):
+        return "Struct(%r, %r)" % (self.functor, self.args)
+
+    def __str__(self):
+        if self.functor == CONS and self.arity == 2:
+            return _format_list(self)
+        return "%s(%s)" % (self.functor, ", ".join(str(a) for a in self.args))
+
+    def variables(self):
+        """The variables occurring in this object."""
+        for arg in self.args:
+            yield from arg.variables()
+
+    def structural_size(self):
+        """Number of edges in the term tree (ground terms)."""
+        return self.arity + sum(arg.structural_size() for arg in self.args)
+
+    def subterms(self):
+        """Yield this term and every subterm, pre-order."""
+        yield self
+        for arg in self.args:
+            yield from arg.subterms()
+
+    def functors(self):
+        """Yield (name, arity) for every function symbol occurrence."""
+        yield (self.functor, self.arity)
+        for arg in self.args:
+            yield from arg.functors()
+
+
+def _format_list(term):
+    """Render a cons chain using Prolog list notation ``[a, b | T]``."""
+    elements = []
+    node = term
+    while isinstance(node, Struct) and node.functor == CONS and node.arity == 2:
+        elements.append(str(node.args[0]))
+        node = node.args[1]
+    if node == NIL:
+        return "[%s]" % ", ".join(elements)
+    return "[%s|%s]" % (", ".join(elements), node)
+
+
+def cons(head, tail):
+    """Build the list cell ``head . tail`` (paper notation) / ``[H|T]``."""
+    return Struct(CONS, (head, tail))
+
+
+def make_list(elements, tail=NIL):
+    """Build a proper (or partial, given *tail*) list from *elements*."""
+    result = tail
+    for element in reversed(list(elements)):
+        result = cons(element, result)
+    return result
+
+
+def list_elements(term):
+    """Return (elements, tail) of a cons chain.
+
+    For a proper list the tail is :data:`NIL`.  A non-list term yields
+    ``([], term)``.
+    """
+    elements = []
+    node = term
+    while isinstance(node, Struct) and node.functor == CONS and node.arity == 2:
+        elements.append(node.args[0])
+        node = node.args[1]
+    return elements, node
+
+
+def term_variables(term):
+    """Return the distinct variables of *term* in first-occurrence order."""
+    seen = []
+    seen_set = set()
+    for var in term.variables():
+        if var not in seen_set:
+            seen_set.add(var)
+            seen.append(var)
+    return seen
+
+
+def terms_variables(terms):
+    """Distinct variables across an iterable of terms, in order."""
+    seen = []
+    seen_set = set()
+    for term in terms:
+        for var in term.variables():
+            if var not in seen_set:
+                seen_set.add(var)
+                seen.append(var)
+    return seen
+
+
+def integer(value):
+    """Represent a Python int as a constant term.
+
+    Integers are uninterpreted constants for size analysis (arity 0,
+    structural size 0), matching the paper's treatment of constants.
+    """
+    return Atom(int(value))
+
+
+def is_integer_atom(term):
+    """True if *term* is a constant carrying a Python int."""
+    return isinstance(term, Atom) and isinstance(term.name, int)
+
+
+def walk(term, fn):
+    """Rebuild *term* bottom-up, applying *fn* to every node.
+
+    *fn* receives a term whose arguments have already been rewritten and
+    returns the replacement node.  Useful for substitutions and renamings
+    implemented outside :mod:`repro.lp.unify`.
+    """
+    if isinstance(term, Struct):
+        new_args = tuple(walk(arg, fn) for arg in term.args)
+        return fn(Struct(term.functor, new_args))
+    return fn(term)

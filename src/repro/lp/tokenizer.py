@@ -1,0 +1,196 @@
+"""Tokenizer for the Prolog subset the analyzer reads.
+
+Recognizes:
+
+- unquoted atoms (``append``), quoted atoms (``'+'``), symbolic atoms
+  (``=<``, ``:-``, ...),
+- variables (``Xs``, ``_Tail``, ``_``),
+- integers,
+- punctuation ``( ) [ ] , |`` and the clause-terminating period,
+- ``%`` line comments and ``/* ... */`` block comments.
+
+A period is a clause terminator when followed by whitespace, a comment,
+or end of input; otherwise it is a symbolic atom character (so ``a.b``
+tokenizes with an infix ``.`` should the grammar want it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PrologSyntaxError
+
+#: Characters that may form symbolic atoms, per ISO Prolog.
+SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+
+#: Token kinds.
+ATOM = "atom"
+VARIABLE = "variable"
+INTEGER = "integer"
+PUNCT = "punct"
+END = "end"          # clause-terminating period
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self):
+        if self.kind == EOF:
+            return "<end of input>"
+        return repr(self.text)
+
+
+class Tokenizer:
+    """Streaming tokenizer over Prolog source text."""
+
+    def __init__(self, text):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def _error(self, message):
+        raise PrologSyntaxError(message, line=self._line, column=self._column)
+
+    def _peek(self, offset=0):
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_layout(self):
+        """Skip whitespace and comments; error on unterminated block."""
+        while True:
+            char = self._peek()
+            if char and char.isspace():
+                self._advance()
+            elif char == "%":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        self._error("unterminated block comment")
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self):
+        """Yield every token, ending with a single EOF token."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind == EOF:
+                return
+
+    def next_token(self):
+        """Scan and return the next token (EOF token at end)."""
+        self._skip_layout()
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if not char:
+            return Token(EOF, "", line, column)
+
+        if char.isdigit():
+            return self._read_integer(line, column)
+
+        if char == "_" or char.isalpha():
+            return self._read_name(line, column)
+
+        if char == "'":
+            return self._read_quoted_atom(line, column)
+
+        if char in "()[],|!":
+            self._advance()
+            return Token(PUNCT, char, line, column)
+
+        if char in SYMBOL_CHARS:
+            return self._read_symbolic(line, column)
+
+        self._error("unexpected character %r" % char)
+
+    def _read_integer(self, line, column):
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        return Token(INTEGER, self._text[start:self._pos], line, column)
+
+    def _read_name(self, line, column):
+        start = self._pos
+        while self._peek() == "_" or self._peek().isalnum():
+            self._advance()
+        text = self._text[start:self._pos]
+        if text[0] == "_" or text[0].isupper():
+            return Token(VARIABLE, text, line, column)
+        return Token(ATOM, text, line, column)
+
+    def _read_quoted_atom(self, line, column):
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            char = self._peek()
+            if not char:
+                self._error("unterminated quoted atom")
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chars.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(ATOM, "".join(chars), line, column)
+            if char == "\\":
+                self._advance()
+                chars.append(self._read_escape())
+                continue
+            chars.append(char)
+            self._advance()
+
+    def _read_escape(self):
+        mapping = {"n": "\n", "t": "\t", "\\": "\\", "'": "'"}
+        char = self._peek()
+        if char in mapping:
+            self._advance()
+            return mapping[char]
+        self._error("unsupported escape \\%s" % char)
+
+    def _read_symbolic(self, line, column):
+        # A period terminates the clause when followed by layout or EOF.
+        if self._peek() == ".":
+            follower = self._peek(1)
+            if not follower or follower.isspace() or follower == "%":
+                self._advance()
+                return Token(END, ".", line, column)
+        # Maximal munch: a symbolic run consumes every symbol char.
+        # The clause-terminating period is only recognized when a "."
+        # *begins* a token (checked above), matching ISO behaviour —
+        # so "=.." lexes as the single univ operator.
+        start = self._pos
+        while self._peek() in SYMBOL_CHARS:
+            self._advance()
+        return Token(ATOM, self._text[start:self._pos], line, column)
+
+
+def tokenize(text):
+    """Return the full token list (EOF token included) for *text*."""
+    return list(Tokenizer(text).tokens())

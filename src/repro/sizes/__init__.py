@@ -1,0 +1,30 @@
+"""Term-size measures and argument-size equations (Section 2.2).
+
+- :mod:`repro.sizes.norms` — structural term size (the paper's norm)
+  plus the list-length and right-spine norms from earlier work, all
+  producing linear polynomials over logical-variable sizes.
+- :mod:`repro.sizes.size_equations` — derivation of the argument size
+  equations ``x(i) = const + sum(coeff * var)`` for an atom's arguments
+  (the source of the nonnegative ``a, A, b, B`` data of Eq. 1).
+"""
+
+from repro.sizes.norms import (
+    LIST_LENGTH,
+    RIGHT_SPINE,
+    STRUCTURAL,
+    Norm,
+    get_norm,
+    size_variable,
+)
+from repro.sizes.size_equations import argument_size_exprs, atom_size_equations
+
+__all__ = [
+    "Norm",
+    "STRUCTURAL",
+    "LIST_LENGTH",
+    "RIGHT_SPINE",
+    "get_norm",
+    "size_variable",
+    "argument_size_exprs",
+    "atom_size_equations",
+]

@@ -1,0 +1,139 @@
+"""Term norms: symbolic size polynomials over logical variables.
+
+The paper's measure is *structural term size*: for ground terms, the
+number of edges of the term tree (sum of functor arities); for terms
+with variables, the obvious linear polynomial in one nonnegative real
+variable per logical variable (Section 2.2).  For example, with ``f``
+ternary and ``g`` unary::
+
+    size(f(V1, g(V2), V2)) = 4 + V1 + 2*V2
+
+Two alternative norms from the prior work are provided for the norm
+ablation (experiment F3):
+
+- list-length (``|[]| = 0``, ``|[H|T]| = 1 + |T|``, other terms 0),
+- right spine (Ullman & Van Gelder 1988: length of the path of
+  rightmost children).
+
+Every norm must satisfy: (i) nonnegative on ground terms, and
+(ii) the symbolic polynomial has nonnegative coefficients and constant
+— Eq. 1 relies on the ``a, A, b, B`` data being nonnegative.
+"""
+
+from __future__ import annotations
+
+from repro.lp.terms import Atom, Struct, Term, Var, CONS
+from repro.linalg.linexpr import LinearExpr
+
+
+def size_variable(var):
+    """The real variable standing for the size of logical variable
+    *var*.  Namespaced so it cannot clash with argument-size or dual
+    variables in mixed systems."""
+    return ("sz", var.name)
+
+
+class Norm:
+    """A term-size measure producing linear polynomials.
+
+    Subclasses implement :meth:`size_expr`.  ``name`` identifies the
+    norm in reports and benchmark tables.
+    """
+
+    name = "abstract"
+
+    def size_expr(self, term):
+        """Linear polynomial for the size of *term*.
+
+        Variables of the polynomial are :func:`size_variable` names.
+        """
+        raise NotImplementedError
+
+    def ground_size(self, term):
+        """Exact integer size of a ground term."""
+        if not term.is_ground():
+            raise ValueError("ground_size of non-ground term %s" % term)
+        value = self.size_expr(term)
+        assert value.is_constant()
+        return int(value.const)
+
+    def __repr__(self):
+        return "<norm %s>" % self.name
+
+
+class StructuralSizeNorm(Norm):
+    """The paper's norm: number of edges in the term tree."""
+
+    name = "structural"
+
+    def size_expr(self, term):
+        """The linear size polynomial of *term* under this norm."""
+        if isinstance(term, Var):
+            return LinearExpr.of(size_variable(term))
+        if isinstance(term, Atom):
+            return LinearExpr.constant(0)
+        result = LinearExpr.constant(term.arity)
+        for arg in term.args:
+            result = result + self.size_expr(arg)
+        return result
+
+
+class ListLengthNorm(Norm):
+    """Length of the cons spine; non-list structure measures 0.
+
+    A variable in list-tail position contributes its own size variable
+    (the unknown remaining length); a variable elsewhere also
+    contributes its variable, which keeps the norm sound for programs
+    that move whole terms between list positions.
+    """
+
+    name = "list_length"
+
+    def size_expr(self, term):
+        """The linear size polynomial of *term* under this norm."""
+        if isinstance(term, Var):
+            return LinearExpr.of(size_variable(term))
+        if isinstance(term, Struct) and term.functor == CONS and term.arity == 2:
+            return LinearExpr.constant(1) + self.size_expr(term.args[1])
+        return LinearExpr.constant(0)
+
+
+class RightSpineNorm(Norm):
+    """Ullman & Van Gelder's measure: length of the rightmost path.
+
+    ``size(f(t1, ..., tn)) = 1 + size(tn)``; constants are 0.  This
+    coincides with list length on lists but is "less natural for binary
+    trees" (paper, Section 1.1).
+    """
+
+    name = "right_spine"
+
+    def size_expr(self, term):
+        """The linear size polynomial of *term* under this norm."""
+        if isinstance(term, Var):
+            return LinearExpr.of(size_variable(term))
+        if isinstance(term, Atom):
+            return LinearExpr.constant(0)
+        return LinearExpr.constant(1) + self.size_expr(term.args[-1])
+
+
+STRUCTURAL = StructuralSizeNorm()
+LIST_LENGTH = ListLengthNorm()
+RIGHT_SPINE = RightSpineNorm()
+
+_NORMS = {
+    norm.name: norm for norm in (STRUCTURAL, LIST_LENGTH, RIGHT_SPINE)
+}
+
+
+def get_norm(name):
+    """Look a norm up by name (``structural`` / ``list_length`` /
+    ``right_spine``)."""
+    if isinstance(name, Norm):
+        return name
+    try:
+        return _NORMS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown norm %r; choose from %s" % (name, sorted(_NORMS))
+        ) from None

@@ -1,0 +1,57 @@
+"""Argument size equations for atoms (Section 2.2).
+
+For an atom ``p(t1, ..., tn)`` and a norm, the i-th *argument size
+expression* is the norm's polynomial for ``t_i``.  Writing
+``x(i) = a_i + sum_v A_iv * v`` over logical-variable sizes ``v`` gives
+the paper's nonnegative ``(a, A)`` data; the same derivation applied to
+a body subgoal gives ``(b, B)``.
+
+The module also offers the equation form used when the sizes are
+related to explicit argument-size variables, e.g. for feeding the
+inter-argument inference engine.
+"""
+
+from __future__ import annotations
+
+from repro.lp.terms import Atom, Struct
+from repro.linalg.constraints import Constraint
+from repro.linalg.linexpr import LinearExpr
+from repro.sizes.norms import get_norm
+
+
+def atom_arguments(atom):
+    """The argument terms of an atom (|| for constants)."""
+    if isinstance(atom, Struct):
+        return atom.args
+    if isinstance(atom, Atom):
+        return ()
+    raise TypeError("expected an atom, got %r" % (atom,))
+
+
+def argument_size_exprs(atom, norm="structural"):
+    """Size polynomials of every argument of *atom*, in order.
+
+    >>> from repro.lp.parser import parse_term
+    >>> exprs = argument_size_exprs(parse_term("p(f(V1, g(V2), V2), V1)"))
+    >>> [str(e) for e in exprs]
+    ['sz.V1 + 2*sz.V2 + 4', 'sz.V1']
+    """
+    norm = get_norm(norm)
+    return [norm.size_expr(arg) for arg in atom_arguments(atom)]
+
+
+def arg_dimension(position):
+    """Canonical name for the *position*-th (1-based) argument-size
+    dimension of a predicate-local polyhedron."""
+    return ("arg", position)
+
+
+def atom_size_equations(atom, norm="structural", dimension=arg_dimension):
+    """Equations ``dim_i = size(t_i)`` linking argument-size dimensions
+    to the logical-variable size polynomials of *atom*'s arguments."""
+    equations = []
+    for position, expr in enumerate(argument_size_exprs(atom, norm), start=1):
+        equations.append(
+            Constraint.eq(LinearExpr.of(dimension(position)), expr)
+        )
+    return equations

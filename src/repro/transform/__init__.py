@@ -1,0 +1,41 @@
+"""Syntactic normal-form transformations (Appendix A).
+
+Three rewrites expose the "true computational structure" of rules
+before termination analysis:
+
+- :mod:`repro.transform.equality` — positive-equality elimination
+  (``r(Z) :- U = f(Z), p(U)`` becomes ``r(Z) :- p(f(Z))``);
+- :mod:`repro.transform.unfolding` — *safe unfolding*: a predicate
+  none of whose rules call it may be unfolded away, shrinking its SCC;
+- :mod:`repro.transform.splitting` — *predicate splitting*: when a
+  subgoal cannot unify with some rule heads of its predicate, the
+  predicate is partitioned into the unifying and non-unifying parts.
+
+Splitting can introduce mutual recursion and unfolding can introduce
+term structure, so (per the paper) the :mod:`repro.transform.driver`
+alternates bounded phases of each — "say 3 of each".
+"""
+
+from repro.transform.equality import eliminate_positive_equality
+from repro.transform.splitting import (
+    find_split_trigger,
+    split_predicate,
+)
+from repro.transform.unfolding import (
+    safe_unfold,
+    safe_unfold_candidates,
+)
+from repro.transform.driver import TransformLog, normalize_program
+from repro.transform.subsumption import eliminate_subsumed, subsumes
+
+__all__ = [
+    "eliminate_positive_equality",
+    "find_split_trigger",
+    "split_predicate",
+    "safe_unfold",
+    "safe_unfold_candidates",
+    "TransformLog",
+    "normalize_program",
+    "eliminate_subsumed",
+    "subsumes",
+]

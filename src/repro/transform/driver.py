@@ -1,0 +1,129 @@
+"""Alternating-phase transformation driver (Appendix A).
+
+"Predicate splitting may introduce mutual recursion, while safe
+unfolding may introduce additional term structure ... it is not clear
+whether repeatedly using both of these heuristics together is certain
+to terminate.  Until this question is settled, an automated application
+should run alternate phases of safe unfolding and predicate splitting,
+and halt after a fixed number of phases, say 3 of each."
+
+:func:`normalize_program` does exactly that: positive-equality
+elimination once, then up to *phases* rounds of (unfold-to-quiescence,
+split-to-quiescence), with per-phase step caps as a safety net, and an
+optional reachability prune at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transform.equality import eliminate_positive_equality
+from repro.transform.splitting import find_split_trigger, split_predicate
+from repro.transform.unfolding import (
+    remove_unreachable,
+    safe_unfold,
+    safe_unfold_candidates,
+)
+
+
+@dataclass
+class TransformLog:
+    """Record of which transformations fired, for reports and tests."""
+
+    steps: list = field(default_factory=list)
+
+    def record(self, kind, detail):
+        """Append one (kind, detail) step."""
+        self.steps.append((kind, detail))
+
+    def count(self, kind):
+        """Number of recorded steps of *kind*."""
+        return sum(1 for step_kind, _ in self.steps if step_kind == kind)
+
+    def __str__(self):
+        return "\n".join("%s: %s" % step for step in self.steps)
+
+
+def normalize_program(
+    program, phases=3, max_steps_per_phase=25, roots=None, log=None,
+    subsumption=False,
+):
+    """Run Appendix A preprocessing; returns (program, log).
+
+    *roots* (indicators) enable dead-predicate pruning after the
+    phases — the paper's "if p and p1 are not referenced elsewhere,
+    their rules may be discarded".  ``subsumption=True`` additionally
+    drops subsumed clauses at the end ("considerable further
+    simplifications are possible by subsumption, assuming a 'pure'
+    language").
+    """
+    log = log or TransformLog()
+
+    program = eliminate_positive_equality(program)
+    log.record("equality", "positive equalities eliminated")
+
+    for phase in range(1, phases + 1):
+        changed = False
+
+        steps = 0
+        while steps < max_steps_per_phase:
+            candidates = safe_unfold_candidates(program)
+            if not candidates:
+                break
+            target = candidates[0]
+            program = safe_unfold(program, target)
+            log.record(
+                "unfold", "phase %d: unfolded %s/%d" % (phase, *target)
+            )
+            changed = True
+            steps += 1
+
+        steps = 0
+        while steps < max_steps_per_phase:
+            trigger = find_split_trigger(program)
+            if trigger is None:
+                break
+            clause = program.clauses[trigger[0]]
+            literal = clause.body[trigger[1]]
+            program = split_predicate(program, trigger)
+            log.record(
+                "split",
+                "phase %d: split %s/%d at subgoal %s"
+                % (phase, *literal.indicator, literal.atom),
+            )
+            changed = True
+            steps += 1
+
+        if not changed:
+            break
+
+    if roots is not None:
+        before = len(program)
+        program = remove_unreachable(program, roots)
+        if len(program) != before:
+            log.record(
+                "prune", "removed %d unreachable clauses" % (before - len(program))
+            )
+
+    if subsumption:
+        from repro.transform.subsumption import eliminate_subsumed
+
+        before = len(program)
+        program = eliminate_subsumed(program)
+        if len(program) != before:
+            log.record(
+                "subsume",
+                "removed %d subsumed clauses" % (before - len(program)),
+            )
+    return _tidy_variables(program), log
+
+
+def _tidy_variables(program):
+    """Rename unfolding-generated variables back to parseable names."""
+    from repro.lp.program import Program
+    from repro.lp.unify import canonicalize_clause_variables
+
+    tidy = Program()
+    for clause in program.clauses:
+        tidy.add_clause(canonicalize_clause_variables(clause))
+    return tidy

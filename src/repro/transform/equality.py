@@ -1,0 +1,50 @@
+"""Positive-equality elimination (Appendix A, first paragraph).
+
+"Any rule with positive equality has a logical equivalent without
+positive equality; e.g. ``r(Z) :- U = f(Z), p(U)`` is equivalent to
+``r(Z) :- p(f(Z))``."
+
+Each positive ``=/2`` literal is removed by unifying its two sides
+(with occurs check) and applying the unifier to the rest of the clause.
+A clause whose equality cannot unify can never succeed and is dropped.
+Negative equalities (``\\+ X = Y``) are left alone — they produce no
+bindings.
+"""
+
+from __future__ import annotations
+
+from repro.lp.program import Clause, Program
+from repro.lp.unify import apply_subst, apply_subst_literal, unify
+
+
+def eliminate_positive_equality(program):
+    """Return an equivalent program with no positive ``=/2`` subgoals."""
+    result = Program()
+    for clause in program.clauses:
+        rewritten = _eliminate_in_clause(clause)
+        if rewritten is not None:
+            result.add_clause(rewritten)
+    return result
+
+
+def _eliminate_in_clause(clause):
+    """Rewrite one clause; None when an equality can never hold."""
+    head = clause.head
+    body = list(clause.body)
+    index = 0
+    while index < len(body):
+        literal = body[index]
+        if literal.positive and literal.indicator == ("=", 2):
+            left, right = literal.atom.args
+            subst = unify(left, right, occurs_check=True)
+            if subst is None:
+                return None
+            head = apply_subst(head, subst)
+            body = [
+                apply_subst_literal(other, subst)
+                for position, other in enumerate(body)
+                if position != index
+            ]
+            continue  # re-examine from the same index
+        index += 1
+    return Clause(head=head, body=tuple(body))

@@ -1,0 +1,166 @@
+"""Predicate splitting (Appendix A).
+
+When a subgoal ``p(~t)`` carries term structure, it may fail to unify
+with the heads of some rules for ``p``; those rules' behaviour can
+obscure termination.  Splitting partitions ``p``'s rules into the
+group the subgoal cannot unify with (renamed ``p__1``) and the group
+it can (renamed ``p__2``), adds the bridge rules
+
+    p(~X) :- p__1(~X).      p(~X) :- p__2(~X).
+
+and specializes every other ``p`` subgoal in the program to ``p__1``
+or ``p__2`` where only one group's heads can match.
+
+"Repeated application of predicate splitting terminates, essentially
+because rules are simply partitioned" — the driver still applies a
+phase bound because splitting alternated with unfolding has no known
+global termination proof (the paper leaves it open).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import TransformError
+from repro.lp.program import Clause, Literal, Program
+from repro.lp.terms import Struct, Var
+from repro.lp.unify import rename_apart, rename_term_apart, unify
+
+_split_counter = itertools.count(1)
+
+
+def find_split_trigger(program):
+    """The first subgoal occurrence that splits its predicate.
+
+    Returns ``(clause_index, body_position)`` for a positive subgoal
+    whose predicate's rules partition into a nonempty unifying and a
+    nonempty non-unifying group, or None.
+    """
+    for clause_index, clause in enumerate(program.clauses):
+        for body_position, literal in enumerate(clause.body):
+            if not literal.positive:
+                continue
+            definitions = program.clauses_for(literal.indicator)
+            if len(definitions) < 2:
+                continue
+            unifying, blocking = _partition(definitions, literal.atom)
+            if unifying and blocking:
+                return (clause_index, body_position)
+    return None
+
+
+def _partition(definitions, atom):
+    """Split *definitions* into (unifying, non-unifying) vs *atom*."""
+    unifying = []
+    blocking = []
+    probe = rename_term_apart(atom)
+    for definition in definitions:
+        renamed = rename_apart(definition)
+        if unify(probe, renamed.head, occurs_check=True) is not None:
+            unifying.append(definition)
+        else:
+            blocking.append(definition)
+    return unifying, blocking
+
+
+def split_predicate(program, trigger):
+    """Apply predicate splitting at *trigger* (from
+    :func:`find_split_trigger`); returns the transformed program."""
+    clause_index, body_position = trigger
+    literal = program.clauses[clause_index].body[body_position]
+    indicator = literal.indicator
+    name, arity = indicator
+    definitions = program.clauses_for(indicator)
+    unifying, blocking = _partition(definitions, literal.atom)
+    if not unifying or not blocking:
+        raise TransformError(
+            "subgoal %s does not split %s/%d" % (literal.atom, name, arity)
+        )
+
+    tag = next(_split_counter)
+    blocking_name = "%s__s%da" % (name, tag)
+    unifying_name = "%s__s%db" % (name, tag)
+    group_of = {}
+    for definition in blocking:
+        group_of[id(definition)] = blocking_name
+    for definition in unifying:
+        group_of[id(definition)] = unifying_name
+
+    blocking_heads = [c.head for c in blocking]
+    unifying_heads = [c.head for c in unifying]
+
+    result = Program()
+    for clause in program.clauses:
+        if clause.indicator == indicator:
+            new_name = group_of[id(clause)]
+            new_head = _rename_head(clause.head, new_name)
+            new_body = _specialize_body(
+                clause.body, indicator,
+                blocking_name, unifying_name,
+                blocking_heads, unifying_heads,
+            )
+            result.add_clause(Clause(head=new_head, body=new_body))
+        else:
+            new_body = _specialize_body(
+                clause.body, indicator,
+                blocking_name, unifying_name,
+                blocking_heads, unifying_heads,
+            )
+            result.add_clause(Clause(head=clause.head, body=new_body))
+
+    # Bridge rules: p(~X) :- p__a(~X).   p(~X) :- p__b(~X).
+    fresh_args = tuple(Var("S%d" % i) for i in range(1, arity + 1))
+    bridge_head = Struct(name, fresh_args) if arity else None
+    if bridge_head is None:
+        raise TransformError("cannot split a propositional predicate")
+    for group_name in (blocking_name, unifying_name):
+        result.add_clause(
+            Clause(
+                head=bridge_head,
+                body=(Literal(Struct(group_name, fresh_args)),),
+            )
+        )
+    return result
+
+
+def _rename_head(head, new_name):
+    if isinstance(head, Struct):
+        return Struct(new_name, head.args)
+    raise TransformError("cannot rename propositional head %s" % head)
+
+
+def _specialize_body(
+    body, indicator, blocking_name, unifying_name,
+    blocking_heads, unifying_heads,
+):
+    """Redirect each ``p`` literal to the unique group it can match."""
+    new_body = []
+    for literal in body:
+        if literal.indicator != indicator:
+            new_body.append(literal)
+            continue
+        matches_blocking = _matches_any(literal.atom, blocking_heads)
+        matches_unifying = _matches_any(literal.atom, unifying_heads)
+        if matches_blocking and not matches_unifying:
+            new_body.append(_redirect(literal, blocking_name))
+        elif matches_unifying and not matches_blocking:
+            new_body.append(_redirect(literal, unifying_name))
+        else:
+            new_body.append(literal)  # both (or neither): keep the bridge
+    return tuple(new_body)
+
+
+def _matches_any(atom, heads):
+    probe = rename_term_apart(atom)
+    for head in heads:
+        candidate = rename_term_apart(head)
+        if unify(probe, candidate, occurs_check=True) is not None:
+            return True
+    return False
+
+
+def _redirect(literal, new_name):
+    atom = literal.atom
+    if isinstance(atom, Struct):
+        return Literal(Struct(new_name, atom.args), positive=literal.positive)
+    raise TransformError("cannot redirect propositional literal %s" % atom)

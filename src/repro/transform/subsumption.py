@@ -1,0 +1,132 @@
+"""Clause subsumption elimination.
+
+Example A.1 closes with: "Considerable further simplifications are
+possible by subsumption, assuming a 'pure' language without
+side-effects."  A clause ``C`` *subsumes* a clause ``D`` when some
+substitution ``theta`` maps ``C``'s head to ``D``'s head and every
+body literal of ``C theta`` into ``D``'s body (as a subset) — then
+``D`` contributes no answers ``C`` does not, and can be dropped.
+
+The subset matching is the classic theta-subsumption test; bodies here
+are small, so the backtracking matcher is plenty.  Duplicate body
+literals within one clause are also removed (``q2(f(g(X))) :- e(X),
+e(X).`` becomes ``q2(f(g(X))) :- e(X).``), which is sound for the same
+purity reason.
+"""
+
+from __future__ import annotations
+
+from repro.lp.program import Clause, Program
+from repro.lp.unify import apply_subst, rename_apart, unify
+
+
+def subsumes(general, specific):
+    """Does clause *general* theta-subsume clause *specific*?
+
+    Requires a single substitution applied to *general* whose head
+    equals *specific*'s head and whose body literals each occur in
+    *specific*'s body (with matching polarity).
+    """
+    if general.indicator != specific.indicator:
+        return False
+    renamed = rename_apart(general)
+    # Skolemize the specific clause: its variables act as constants
+    # for subsumption (only the general side may be instantiated).
+    specific = _skolemize(specific)
+    subst = _match(renamed.head, specific.head, {})
+    if subst is None:
+        return False
+    return _match_body(list(renamed.body), tuple(specific.body), subst)
+
+
+def _skolemize(clause):
+    """Replace each variable of *clause* with a fresh constant."""
+    from repro.lp.terms import Atom
+    from repro.lp.unify import apply_subst_clause
+
+    mapping = {
+        var: Atom("$sk_%s" % var.name) for var in clause.variables()
+    }
+    return apply_subst_clause(clause, mapping)
+
+
+def _match(pattern, target, subst):
+    """One-way matching: instantiate *pattern* only."""
+    from repro.lp.terms import Atom, Struct, Var
+
+    pattern = apply_subst(pattern, subst)
+    if isinstance(pattern, Var):
+        new = dict(subst)
+        existing = new.get(pattern)
+        if existing is not None:
+            return new if existing == target else None
+        new[pattern] = target
+        return new
+    if isinstance(pattern, Atom):
+        return dict(subst) if pattern == target else None
+    if not isinstance(target, Struct):
+        return None
+    if pattern.functor != target.functor or pattern.arity != target.arity:
+        return None
+    current = dict(subst)
+    for p_arg, t_arg in zip(pattern.args, target.args):
+        current = _match(p_arg, t_arg, current)
+        if current is None:
+            return None
+    return current
+
+
+def _match_body(pattern_literals, target_body, subst):
+    if not pattern_literals:
+        return True
+    first, rest = pattern_literals[0], pattern_literals[1:]
+    for candidate in target_body:
+        if candidate.positive != first.positive:
+            continue
+        extended = _match(first.atom, candidate.atom, subst)
+        if extended is None:
+            continue
+        if _match_body(rest, target_body, extended):
+            return True
+    return False
+
+
+def _dedupe_body(clause):
+    seen = []
+    for literal in clause.body:
+        if literal not in seen:
+            seen.append(literal)
+    if len(seen) == len(clause.body):
+        return clause
+    return Clause(head=clause.head, body=tuple(seen))
+
+
+def eliminate_subsumed(program):
+    """Drop every clause subsumed by another clause of the program.
+
+    Clause order is preserved for the survivors; within-clause
+    duplicate literals are removed first.  When two clauses subsume
+    each other (variants), the earlier one wins.
+    """
+    clauses = [_dedupe_body(clause) for clause in program.clauses]
+    kept = []
+    for index, clause in enumerate(clauses):
+        dominated = False
+        for other_index, other in enumerate(clauses):
+            if other_index == index:
+                continue
+            if not subsumes(other, clause):
+                continue
+            if subsumes(clause, other):
+                # Variants: keep the first occurrence only.
+                dominated = other_index < index
+            else:
+                dominated = True
+            if dominated:
+                break
+        if not dominated:
+            kept.append(clause)
+    result = Program()
+    for clause in kept:
+        result.add_clause(clause)
+    return result

@@ -1,0 +1,157 @@
+"""Safe unfolding (Appendix A).
+
+Unfolding is resolution: a subgoal ``p(~Z)`` in a rule is replaced by
+the body of each rule for ``p``, under the most general unifier of the
+rule's head with the subgoal.  *Safe* unfolding is the special case in
+which no rule for ``p`` has ``p`` as a subgoal; then every positive
+``p`` subgoal can be replaced, and ``p`` drops out of its SCC of the
+dependency graph.  "Repeated application of safe unfolding must
+terminate because SCCs shrink upon each application."
+
+Candidate selection targets what the transformation is for: predicates
+in *multi-member* SCCs (mutual recursion) whose own rules do not call
+them, and which are never called under negation from inside their SCC
+(negative occurrences cannot be unfolded, so the SCC would not shrink).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.lp.program import Clause, Program
+from repro.lp.unify import (
+    apply_subst,
+    apply_subst_literal,
+    rename_apart,
+    unify,
+)
+
+
+def safe_unfold_candidates(program):
+    """Predicates eligible for safe unfolding, deterministically ordered.
+
+    A candidate is a defined predicate ``p`` such that:
+
+    - ``p`` lies in an SCC with at least two predicates (the point of
+      the transformation is to break mutual recursion),
+    - no rule of ``p`` has a ``p`` subgoal (the "safe" condition),
+    - every occurrence of ``p`` inside its SCC's rules is positive.
+    """
+    graph = program.dependency_graph()
+    candidates = []
+    for component in program.sccs():
+        if len(component) < 2:
+            continue
+        members = set(component)
+        for indicator in sorted(component, key=repr):
+            if program.predicate(*indicator) is None:
+                continue
+            if _calls_itself(program, indicator):
+                continue
+            if _negated_within(program, indicator, members):
+                continue
+            candidates.append(indicator)
+    return candidates
+
+
+def _calls_itself(program, indicator):
+    for clause in program.clauses_for(indicator):
+        for literal in clause.body:
+            if literal.indicator == indicator:
+                return True
+    return False
+
+
+def _negated_within(program, indicator, members):
+    for member in members:
+        for clause in program.clauses_for(member):
+            for literal in clause.body:
+                if not literal.positive and literal.indicator == indicator:
+                    return True
+    return False
+
+
+def safe_unfold(program, indicator):
+    """Unfold every positive occurrence of *indicator* away.
+
+    The predicate's own rules are kept (callers outside the program
+    text may still reference it); use
+    :func:`remove_unreachable` afterwards to prune dead predicates.
+    """
+    if _calls_itself(program, indicator):
+        raise TransformError(
+            "%s/%d calls itself; safe unfolding does not apply" % indicator
+        )
+    definitions = program.clauses_for(indicator)
+    if not definitions:
+        raise TransformError("%s/%d has no rules to unfold" % indicator)
+
+    result = Program()
+    for clause in program.clauses:
+        for unfolded in _unfold_clause(clause, indicator, definitions):
+            result.add_clause(unfolded)
+    return result
+
+
+def _unfold_clause(clause, indicator, definitions):
+    """Yield the clauses replacing *clause* (itself, if no occurrence)."""
+    position = _first_positive_occurrence(clause, indicator)
+    if position is None:
+        yield clause
+        return
+    subgoal = clause.body[position]
+    for definition in definitions:
+        renamed = rename_apart(definition)
+        subst = unify(subgoal.atom, renamed.head, occurs_check=True)
+        if subst is None:
+            continue
+        new_body = (
+            tuple(
+                apply_subst_literal(lit, subst)
+                for lit in clause.body[:position]
+            )
+            + tuple(
+                apply_subst_literal(lit, subst) for lit in renamed.body
+            )
+            + tuple(
+                apply_subst_literal(lit, subst)
+                for lit in clause.body[position + 1:]
+            )
+        )
+        new_clause = Clause(
+            head=apply_subst(clause.head, subst), body=new_body
+        )
+        # The spliced body may contain further occurrences (from later
+        # positions of the original body); recurse until none remain.
+        yield from _unfold_clause(new_clause, indicator, definitions)
+
+
+def _first_positive_occurrence(clause, indicator):
+    if clause.indicator == indicator:
+        return None  # never rewrite the predicate's own rules
+    for position, literal in enumerate(clause.body):
+        if literal.positive and literal.indicator == indicator:
+            return position
+    return None
+
+
+def remove_unreachable(program, roots):
+    """Drop predicates unreachable from *roots* (dead after unfolding).
+
+    *roots* is an iterable of indicators; EDB predicates have no rules
+    and are unaffected.
+    """
+    graph = program.dependency_graph()
+    reachable = set()
+    worklist = [tuple(root) for root in roots]
+    while worklist:
+        node = worklist.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        if graph.has_node(node):
+            worklist.extend(graph.successors(node))
+    result = Program()
+    for clause in program.clauses:
+        if clause.indicator in reachable:
+            result.add_clause(clause)
+    return result

@@ -1,0 +1,185 @@
+"""Unit tests for the baseline termination methods."""
+
+import pytest
+
+from repro.lp import parse_program
+from repro.lp.parser import parse_term
+from repro.baselines import (
+    NaishMethod,
+    SingleArgumentMethod,
+    UVGSpineMethod,
+)
+from repro.baselines.naish import is_subterm
+from repro.baselines.uvg_spine import spine_decrease
+from repro.baselines.single_arg import structural_decrease
+
+
+APPEND = """
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+"""
+
+
+class TestIsSubterm:
+    def test_equal_is_subterm(self):
+        term = parse_term("f(a)")
+        assert is_subterm(term, term)
+        assert not is_subterm(term, term, proper=True)
+
+    def test_proper_subterm(self):
+        outer = parse_term("[X|Xs]")
+        assert is_subterm(parse_term("Xs"), outer, proper=True)
+
+    def test_deep_subterm(self):
+        outer = parse_term("f(g(h(X)))")
+        assert is_subterm(parse_term("h(X)"), outer, proper=True)
+
+    def test_variables_must_match(self):
+        assert not is_subterm(parse_term("Ys"), parse_term("[X|Xs]"))
+
+    def test_not_subterm(self):
+        assert not is_subterm(parse_term("b"), parse_term("f(a)"))
+
+
+class TestDecreaseMeasures:
+    def test_spine_decrease_on_lists(self):
+        head = parse_term("[X|Xs]")
+        sub = parse_term("Xs")
+        assert spine_decrease(head, sub) == 1
+
+    def test_spine_decrease_fails_on_left_descent(self):
+        head = parse_term("node(L, R)")
+        assert spine_decrease(head, parse_term("L")) is None
+        assert spine_decrease(head, parse_term("R")) == 1
+
+    def test_structural_decrease_on_left_descent(self):
+        head = parse_term("node(L, R)")
+        assert structural_decrease(head, parse_term("L")) == 2
+
+    def test_decrease_none_when_growing(self):
+        assert structural_decrease(
+            parse_term("X"), parse_term("f(X)")
+        ) is None
+
+    def test_unrelated_variables_fail(self):
+        assert structural_decrease(
+            parse_term("f(X)"), parse_term("Y")
+        ) is None
+
+
+class TestNaish:
+    def test_append_proved(self):
+        result = NaishMethod().analyze(parse_program(APPEND), ("append", 3), "bbf")
+        assert result.proved
+
+    def test_classic_merge_proved(self):
+        program = parse_program(
+            """
+            merge([], Ys, Ys).
+            merge(Xs, [], Xs).
+            merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge(Xs, [Y|Ys], Zs).
+            merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y < X, merge([X|Xs], Ys, Zs).
+            """
+        )
+        assert NaishMethod().analyze(program, ("merge", 3), "bbf").proved
+
+    def test_swapping_merge_unknown(self, merge_program):
+        # Example 5.1's variant swaps argument contents: Naish fails.
+        result = NaishMethod().analyze(merge_program, ("merge", 3), "bbf")
+        assert not result.proved
+        assert result.failing_sccs
+
+    def test_perm_unknown(self, perm_program):
+        assert not NaishMethod().analyze(perm_program, ("perm", 2), "bf").proved
+
+    def test_accumulator_growth_tolerated(self):
+        # rev_acc grows arg2 but the subset {1} never mentions it.
+        program = parse_program(
+            """
+            rev_acc([], A, A).
+            rev_acc([X|Xs], A, R) :- rev_acc(Xs, [X|A], R).
+            """
+        )
+        assert NaishMethod().analyze(program, ("rev_acc", 3), "bbf").proved
+
+    def test_mutual_with_aligned_subsets(self):
+        program = parse_program(
+            "even(0).\neven(s(N)) :- odd(N).\nodd(s(N)) :- even(N)."
+        )
+        assert NaishMethod().analyze(program, ("even", 1), "b").proved
+
+
+class TestUVGSpine:
+    def test_append_proved(self):
+        result = UVGSpineMethod().analyze(
+            parse_program(APPEND), ("append", 3), "bbf"
+        )
+        assert result.proved
+
+    def test_flatten_unknown(self):
+        # Left-subtree descent defeats the right-spine measure — the
+        # paper's "less natural for binary trees".
+        program = parse_program(
+            """
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            flatten(leaf(X), [X]).
+            flatten(node(L, R), F) :- flatten(L, FL), flatten(R, FR),
+                                      append(FL, FR, F).
+            """
+        )
+        assert not UVGSpineMethod().analyze(program, ("flatten", 2), "bf").proved
+
+    def test_parser_unknown(self, parser_program):
+        assert not UVGSpineMethod().analyze(parser_program, ("e", 2), "bf").proved
+
+
+class TestSingleArgument:
+    def test_append_proved(self):
+        result = SingleArgumentMethod().analyze(
+            parse_program(APPEND), ("append", 3), "bbf"
+        )
+        assert result.proved
+
+    def test_merge_variant_unknown(self, merge_program):
+        # The decrease needs a *combination* of arguments.
+        result = SingleArgumentMethod().analyze(
+            merge_program, ("merge", 3), "bbf"
+        )
+        assert not result.proved
+
+    def test_perm_unknown(self, perm_program):
+        # The decrease needs *inter-argument constraints*.
+        result = SingleArgumentMethod().analyze(
+            perm_program, ("perm", 2), "bf"
+        )
+        assert not result.proved
+
+    def test_nonrecursive_trivial(self):
+        result = SingleArgumentMethod().analyze(
+            parse_program("p(X) :- q(X).\nq(a)."), ("p", 1), "b"
+        )
+        assert result.proved
+
+
+class TestUniformInterface:
+    @pytest.mark.parametrize(
+        "method", [NaishMethod(), UVGSpineMethod(), SingleArgumentMethod()]
+    )
+    def test_loop_unknown_everywhere(self, method):
+        result = method.analyze(
+            parse_program("p(X) :- p(X)."), ("p", 1), "b"
+        )
+        assert result.status == "UNKNOWN"
+
+    @pytest.mark.parametrize(
+        "method", [NaishMethod(), UVGSpineMethod(), SingleArgumentMethod()]
+    )
+    def test_text_program_accepted(self, method):
+        assert method.analyze(APPEND, ("append", 3), "bbf").proved
+
+    def test_method_names_distinct(self):
+        from repro.baselines import ALL_BASELINES
+
+        names = [m.name for m in ALL_BASELINES]
+        assert len(names) == len(set(names)) == 3

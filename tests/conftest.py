@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.lp import parse_program
+
+
+APPEND = """
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+"""
+
+PERM = APPEND + """
+perm([], []).
+perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+"""
+
+MERGE_VARIANT = """
+merge([], Ys, Ys).
+merge(Xs, [], Xs).
+merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+"""
+
+EXPR_PARSER = """
+e(L, T) :- t(L, ['+'|C]), e(C, T).
+e(L, T) :- t(L, T).
+t(L, T) :- n(L, ['*'|C]), t(C, T).
+t(L, T) :- n(L, T).
+n(['('|A], T) :- e(A, [')'|T]).
+n([L|T], T) :- z(L).
+"""
+
+EXAMPLE_A1 = """
+p(g(X)) :- e(X).
+p(g(X)) :- q(f(X)).
+q(Y) :- p(Y).
+q(f(Z)) :- p(Z), q(Z).
+"""
+
+
+@pytest.fixture
+def append_program():
+    return parse_program(APPEND)
+
+
+@pytest.fixture
+def perm_program():
+    return parse_program(PERM)
+
+
+@pytest.fixture
+def merge_program():
+    return parse_program(MERGE_VARIANT)
+
+
+@pytest.fixture
+def parser_program():
+    return parse_program(EXPR_PARSER)
+
+
+@pytest.fixture
+def a1_program():
+    return parse_program(EXAMPLE_A1)

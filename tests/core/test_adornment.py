@@ -1,0 +1,131 @@
+"""Unit tests for adornment inference and adorned call graphs."""
+
+import pytest
+
+from repro.errors import ModeError
+from repro.lp import parse_program
+from repro.core.adornment import (
+    Adornment,
+    AdornedPredicate,
+    adorned_call_graph,
+    clause_call_adornments,
+    infer_adornments,
+)
+
+
+class TestAdornment:
+    def test_parse(self):
+        adornment = Adornment.parse("bfb")
+        assert adornment.arity == 3
+        assert adornment.bound_positions() == (1, 3)
+
+    def test_parse_rejects_bad_chars(self):
+        with pytest.raises(ModeError):
+            Adornment.parse("bx")
+
+    def test_is_bound(self):
+        adornment = Adornment.parse("bf")
+        assert adornment.is_bound(1)
+        assert not adornment.is_bound(2)
+
+    def test_meet(self):
+        meet = Adornment.parse("bb").meet(Adornment.parse("bf"))
+        assert str(meet) == "bf"
+
+    def test_meet_arity_mismatch(self):
+        with pytest.raises(ModeError):
+            Adornment.parse("b").meet(Adornment.parse("bb"))
+
+
+class TestAdornedPredicate:
+    def test_equality_and_hash(self):
+        first = AdornedPredicate(("p", 2), "bf")
+        second = AdornedPredicate(("p", 2), Adornment.parse("bf"))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != AdornedPredicate(("p", 2), "bb")
+
+    def test_str(self):
+        assert str(AdornedPredicate(("append", 3), "bbf")) == "append/3^bbf"
+
+    def test_bound_positions(self):
+        node = AdornedPredicate(("p", 3), "fbf")
+        assert node.bound_positions() == (2,)
+
+
+class TestClauseCallAdornments:
+    def test_head_bindings_propagate(self, append_program):
+        clause = append_program.clauses[1]
+        (call,) = clause_call_adornments(clause, Adornment.parse("bbf"))
+        assert str(call) == "bbf"
+
+    def test_left_to_right_binding(self, perm_program):
+        # perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), ...
+        clause = perm_program.clauses_for(("perm", 2))[1]
+        calls = clause_call_adornments(clause, Adornment.parse("bf"))
+        assert [str(c) for c in calls] == ["ffb", "bbf", "bf"]
+
+    def test_builtins_bind_nothing_via_comparison(self, merge_program):
+        clause = merge_program.clauses_for(("merge", 3))[2]
+        calls = clause_call_adornments(clause, Adornment.parse("bbf"))
+        # =< then the recursive call: the call pattern stays bbf.
+        assert str(calls[1]) == "bbf"
+
+    def test_equals_binds_one_side(self):
+        program = parse_program("p(X, Y) :- X = f(Z), q(Z, Y).")
+        clause = program.clauses[0]
+        calls = clause_call_adornments(clause, Adornment.parse("bf"))
+        # X bound => Z becomes bound through X = f(Z).
+        assert str(calls[1]) == "bf"
+
+    def test_negation_binds_nothing(self):
+        program = parse_program("p(X) :- \\+ q(X, Y), r(Y).")
+        clause = program.clauses[0]
+        calls = clause_call_adornments(clause, Adornment.parse("b"))
+        assert str(calls[1]) == "f"
+
+
+class TestInferAdornments:
+    def test_merge_single_mode(self, merge_program):
+        adornments = infer_adornments(merge_program, ("merge", 3), "bbf")
+        assert str(adornments[("merge", 3)]) == "bbf"
+
+    def test_meet_on_conflicting_calls(self, perm_program):
+        adornments = infer_adornments(perm_program, ("perm", 2), "bf")
+        # append is called as ffb and bbf; the meet is fff.
+        assert str(adornments[("append", 3)]) == "fff"
+
+    def test_mode_arity_checked(self, merge_program):
+        with pytest.raises(ModeError):
+            infer_adornments(merge_program, ("merge", 3), "bf")
+
+
+class TestAdornedCallGraph:
+    def test_perm_splits_append_modes(self, perm_program):
+        graph, nodes = adorned_call_graph(perm_program, ("perm", 2), "bf")
+        names = {str(n) for n in nodes}
+        assert "append/3^ffb" in names
+        assert "append/3^bbf" in names
+        assert "perm/2^bf" in names
+
+    def test_self_loops_present(self, append_program):
+        graph, _ = adorned_call_graph(append_program, ("append", 3), "bbf")
+        node = AdornedPredicate(("append", 3), "bbf")
+        assert graph.has_edge(node, node)
+
+    def test_parser_keeps_one_mode_each(self, parser_program):
+        _, nodes = adorned_call_graph(parser_program, ("e", 2), "bf")
+        by_name = {}
+        for node in nodes:
+            by_name.setdefault(node.name, set()).add(str(node.adornment))
+        assert by_name["e"] == {"bf"}
+        assert by_name["t"] == {"bf"}
+        assert by_name["n"] == {"bf"}
+
+    def test_edb_leaves_included(self, parser_program):
+        _, nodes = adorned_call_graph(parser_program, ("e", 2), "bf")
+        assert any(node.name == "z" for node in nodes)
+
+    def test_mode_arity_checked(self, append_program):
+        with pytest.raises(ModeError):
+            adorned_call_graph(append_program, ("append", 3), "bb")

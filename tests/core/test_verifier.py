@@ -1,0 +1,120 @@
+"""Unit tests for the independent certificate verifier."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp import parse_program
+from repro.core import analyze_program, verify_proof
+from repro.core.adornment import AdornedPredicate
+from repro.core.verifier import VerificationError
+
+
+class TestAcceptsValidProofs:
+    @pytest.mark.parametrize(
+        "name",
+        ["perm", "merge_variant", "expr_parser", "quicksort",
+         "gcd_euclid", "even_odd", "fib_peano"],
+    )
+    def test_corpus_proofs_verify(self, name):
+        from repro.corpus.registry import get_program, load
+
+        entry = get_program(name)
+        result = analyze_program(load(entry), entry.root, entry.mode)
+        assert result.proved
+        assert verify_proof(result.proof)
+
+    def test_single_scc_proof_accepted(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        (scc_result,) = [
+            r for r in result.scc_results
+            if not r.proof.trivially_nonrecursive
+        ]
+        assert verify_proof(scc_result.proof)
+
+
+class TestRejectsTamperedProofs:
+    def _merge_proof(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        (scc,) = [
+            r for r in result.scc_results
+            if not r.proof.trivially_nonrecursive
+        ]
+        return scc.proof
+
+    def test_zeroed_lambda_rejected(self, merge_program):
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        proof.lambdas[node] = {1: Fraction(0), 2: Fraction(0)}
+        with pytest.raises(VerificationError):
+            verify_proof(proof)
+
+    def test_single_weight_rejected_for_merge(self, merge_program):
+        # Example 5.1's whole point: one argument alone cannot work.
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        proof.lambdas[node] = {1: Fraction(1), 2: Fraction(0)}
+        with pytest.raises(VerificationError):
+            verify_proof(proof)
+
+    def test_negative_lambda_rejected(self, merge_program):
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        proof.lambdas[node] = {1: Fraction(1), 2: Fraction(-1)}
+        with pytest.raises(VerificationError):
+            verify_proof(proof)
+
+    def test_zero_theta_cycle_rejected(self, merge_program):
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        proof.thetas[(node, node)] = Fraction(0)
+        with pytest.raises(VerificationError):
+            verify_proof(proof)
+
+    def test_missing_theta_rejected(self, merge_program):
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        del proof.thetas[(node, node)]
+        with pytest.raises(VerificationError):
+            verify_proof(proof)
+
+    def test_inflated_theta_rejected(self, merge_program):
+        # The decrease is exactly 2 for lambda = (1, 1); claiming a
+        # drop of 3 per call must fail the primal check.
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        proof.lambdas[node] = {1: Fraction(1), 2: Fraction(1)}
+        proof.thetas[(node, node)] = Fraction(3)
+        with pytest.raises(VerificationError):
+            verify_proof(proof)
+
+    def test_exact_theta_two_accepted_for_merge(self, merge_program):
+        # ... while a drop of exactly 2 is genuine.
+        proof = self._merge_proof(merge_program)
+        node = AdornedPredicate(("merge", 3), "bbf")
+        proof.lambdas[node] = {1: Fraction(1), 2: Fraction(1)}
+        proof.thetas[(node, node)] = Fraction(2)
+        assert verify_proof(proof)
+
+
+class TestVacuousDecrease:
+    def test_unreachable_recursion_verifies(self):
+        # The imported constraints are contradictory: the recursive
+        # call can never be reached, so any lambda verifies.
+        program = parse_program("p(s(X)) :- q(X), p(X).")
+        from repro.core.analyzer import TerminationAnalyzer
+        from repro.interarg import SizeEnvironment
+        from repro.linalg.constraints import Constraint
+        from repro.linalg.linexpr import LinearExpr
+        from repro.sizes.size_equations import arg_dimension
+
+        env = SizeEnvironment()
+        env.set_from_constraints(
+            ("q", 1),
+            [Constraint.le(LinearExpr.of(arg_dimension(1)), -1)],
+        )
+        analyzer = TerminationAnalyzer(program)
+        analyzer.use_external_constraints(env)
+        result = analyzer.analyze(("p", 1), "b")
+        assert result.proved
+        assert verify_proof(result.proof)

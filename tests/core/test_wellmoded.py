@@ -1,0 +1,63 @@
+"""Unit tests for well-modedness checking."""
+
+from repro.lp import parse_program
+from repro.core.wellmoded import check_well_moded
+
+
+class TestWellModedPrograms:
+    def test_append_bbf(self, append_program):
+        report = check_well_moded(append_program, ("append", 3), "bbf")
+        assert report.well_moded
+
+    def test_perm_bf(self, perm_program):
+        report = check_well_moded(perm_program, ("perm", 2), "bf")
+        assert report.well_moded
+
+    def test_merge_bbf(self, merge_program):
+        report = check_well_moded(merge_program, ("merge", 3), "bbf")
+        assert report.well_moded
+
+    def test_parser_bf(self, parser_program):
+        report = check_well_moded(parser_program, ("e", 2), "bf")
+        assert report.well_moded
+
+
+class TestViolations:
+    def test_unground_answer(self):
+        # p(X, Y) :- q(X).  leaves Y unbound in the free answer slot.
+        program = parse_program("p(X, Y) :- q(X).\nq(a).")
+        report = check_well_moded(program, ("p", 2), "bf")
+        assert not report.well_moded
+        (violation,) = report.violations
+        assert violation.kind == "unground-answer"
+        assert "Y" in violation.detail
+
+    def test_floundering_negation(self):
+        program = parse_program("p(X) :- \\+ q(X, Y), r(Y).\nq(a, b).\nr(b).")
+        report = check_well_moded(program, ("p", 1), "b")
+        kinds = {v.kind for v in report.violations}
+        assert "floundering" in kinds
+
+    def test_negation_after_binding_is_fine(self):
+        program = parse_program(
+            "p(X) :- r(X, Y), \\+ q(X, Y).\nq(a, b).\nr(a, b)."
+        )
+        report = check_well_moded(program, ("p", 1), "b")
+        assert report.well_moded
+
+    def test_describe_mentions_clause(self):
+        program = parse_program("p(X, Y) :- q(X).\nq(a).")
+        report = check_well_moded(program, ("p", 2), "bf")
+        assert "unground-answer" in report.describe()
+
+
+class TestCorpusWellModed:
+    def test_every_corpus_program_is_well_moded(self):
+        from repro.corpus import all_programs
+        from repro.corpus.registry import load
+
+        for entry in all_programs():
+            report = check_well_moded(load(entry), entry.root, entry.mode)
+            assert report.well_moded, "%s: %s" % (
+                entry.name, report.describe(),
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for the corpus registry and query generation."""
+
+import pytest
+
+from repro.lp import SLDEngine
+from repro.lp.generate import TermGenerator
+from repro.corpus import all_programs, get_program, programs_with_tag
+from repro.corpus.registry import load, make_bound_term, make_query
+
+
+class TestRegistry:
+    def test_all_programs_nonempty(self):
+        assert len(all_programs()) >= 30
+
+    def test_names_unique(self):
+        names = [p.name for p in all_programs()]
+        assert len(names) == len(set(names))
+
+    def test_get_program(self):
+        assert get_program("perm").root == ("perm", 2)
+
+    def test_get_unknown_raises_with_listing(self):
+        with pytest.raises(KeyError) as info:
+            get_program("nope")
+        assert "perm" in str(info.value)
+
+    def test_tags(self):
+        headline = programs_with_tag("headline")
+        assert {p.name for p in headline} >= {
+            "perm", "merge_variant", "expr_parser", "example_a1",
+        }
+
+    def test_every_entry_parses(self):
+        for entry in all_programs():
+            program = load(entry)
+            assert len(program) >= 1
+
+    def test_mode_matches_arity(self):
+        for entry in all_programs():
+            assert len(entry.mode) == entry.root[1], entry.name
+
+    def test_bound_kinds_match_mode(self):
+        for entry in all_programs():
+            assert len(entry.bound_kinds) == entry.mode.count("b"), entry.name
+
+    def test_expected_covers_all_methods(self):
+        required = {
+            "paper", "naish83", "uvg88_spine", "single_arg_structural",
+        }
+        for entry in all_programs():
+            assert set(entry.expected) == required, entry.name
+
+
+class TestQueryGeneration:
+    def test_bound_term_kinds(self):
+        generator = TermGenerator(seed=3)
+        for kind in (
+            "list", "list_nonempty", "int_list", "peano", "peano_small",
+            "peano_list", "tree", "ternary_tree", "int_tree", "const",
+            "int", "g_term",
+        ):
+            term = make_bound_term(kind, generator)
+            assert term.is_ground(), kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_bound_term("widget", TermGenerator())
+
+    def test_make_query_well_moded(self):
+        generator = TermGenerator(seed=1)
+        entry = get_program("merge_variant")
+        query = make_query(entry, generator)
+        assert query.functor == "merge"
+        assert query.args[0].is_ground()
+        assert query.args[1].is_ground()
+        assert not query.args[2].is_ground()
+
+    def test_queries_actually_run(self):
+        generator = TermGenerator(seed=5)
+        for name in ("append_bbf", "merge_variant", "even_odd"):
+            entry = get_program(name)
+            engine = SLDEngine(load(entry))
+            query = make_query(entry, generator)
+            result = engine.solve([query], max_depth=200, max_steps=50000)
+            assert result.completed, name

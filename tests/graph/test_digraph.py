@@ -1,0 +1,63 @@
+"""Unit tests for the digraph type."""
+
+from repro.graph.digraph import Digraph
+
+
+def sample():
+    return Digraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]
+    )
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        graph = sample()
+        assert set(graph.nodes) == {"a", "b", "c", "d"}
+
+    def test_isolated_nodes(self):
+        graph = Digraph.from_edges([], nodes=["x"])
+        assert graph.has_node("x")
+        assert graph.successors("x") == frozenset()
+
+    def test_parallel_edges_collapse(self):
+        graph = Digraph.from_edges([("a", "b"), ("a", "b")])
+        assert len(list(graph.edges())) == 1
+
+    def test_self_loop(self):
+        graph = Digraph.from_edges([("a", "a")])
+        assert graph.has_edge("a", "a")
+
+
+class TestAccess:
+    def test_successors_predecessors(self):
+        graph = sample()
+        assert graph.successors("c") == {"a", "d"}
+        assert graph.predecessors("a") == {"c"}
+
+    def test_has_edge(self):
+        graph = sample()
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_len_and_contains(self):
+        graph = sample()
+        assert len(graph) == 4
+        assert "a" in graph
+        assert "z" not in graph
+
+
+class TestDerived:
+    def test_subgraph(self):
+        sub = sample().subgraph({"a", "b"})
+        assert set(sub.nodes) == {"a", "b"}
+        assert sub.has_edge("a", "b")
+        assert not sub.has_node("c")
+
+    def test_reversed(self):
+        rev = sample().reversed()
+        assert rev.has_edge("b", "a")
+        assert not rev.has_edge("a", "b")
+
+    def test_hashable_tuple_nodes(self):
+        graph = Digraph.from_edges([(("p", 1), ("q", 2))])
+        assert graph.has_edge(("p", 1), ("q", 2))

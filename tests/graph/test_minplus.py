@@ -1,0 +1,102 @@
+"""Unit tests for min-plus closure and cycle detection."""
+
+from fractions import Fraction
+
+from repro.graph.minplus import (
+    find_nonpositive_cycle,
+    has_nonpositive_cycle,
+    min_plus_closure,
+)
+
+
+class TestClosure:
+    def test_shortest_paths(self):
+        nodes = ["a", "b", "c"]
+        weights = {("a", "b"): 1, ("b", "c"): 2, ("a", "c"): 10}
+        dist = min_plus_closure(nodes, weights)
+        assert dist[("a", "c")] == 3
+
+    def test_unreachable_is_none(self):
+        dist = min_plus_closure(["a", "b"], {("a", "b"): 1})
+        assert dist[("b", "a")] is None
+
+    def test_negative_edges(self):
+        nodes = ["a", "b"]
+        weights = {("a", "b"): -2, ("b", "a"): 3}
+        dist = min_plus_closure(nodes, weights)
+        assert dist[("a", "a")] == 1
+
+    def test_fractional_weights(self):
+        nodes = ["a", "b"]
+        weights = {("a", "b"): Fraction(1, 2), ("b", "a"): Fraction(1, 2)}
+        dist = min_plus_closure(nodes, weights)
+        assert dist[("a", "a")] == 1
+
+
+class TestCycleDetection:
+    def test_positive_cycle_ok(self):
+        nodes = ["a", "b"]
+        weights = {("a", "b"): 1, ("b", "a"): 0}
+        assert not has_nonpositive_cycle(nodes, weights)
+
+    def test_zero_cycle_detected(self):
+        nodes = ["a", "b"]
+        weights = {("a", "b"): 0, ("b", "a"): 0}
+        assert has_nonpositive_cycle(nodes, weights)
+
+    def test_negative_cycle_detected(self):
+        nodes = ["a", "b"]
+        weights = {("a", "b"): 1, ("b", "a"): -2}
+        assert has_nonpositive_cycle(nodes, weights)
+
+    def test_strict_zero_mode(self):
+        nodes = ["a"]
+        assert has_nonpositive_cycle(
+            nodes, {("a", "a"): 0}, strict_zero=True
+        )
+        assert not has_nonpositive_cycle(
+            nodes, {("a", "a"): 1}, strict_zero=True
+        )
+
+    def test_self_loop_zero(self):
+        assert has_nonpositive_cycle(["a"], {("a", "a"): 0})
+
+    def test_no_edges_no_cycles(self):
+        assert not has_nonpositive_cycle(["a", "b"], {})
+
+
+class TestWitness:
+    def test_witness_returned(self):
+        nodes = ["a", "b", "c"]
+        weights = {("a", "b"): 0, ("b", "a"): 0, ("b", "c"): 5}
+        cycle = find_nonpositive_cycle(nodes, weights)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) <= {"a", "b"}
+
+    def test_no_witness_when_positive(self):
+        nodes = ["a", "b"]
+        weights = {("a", "b"): 1, ("b", "a"): 1}
+        assert find_nonpositive_cycle(nodes, weights) is None
+
+    def test_witness_weight_nonpositive(self):
+        nodes = ["a", "b", "c"]
+        weights = {
+            ("a", "b"): 2, ("b", "c"): -3, ("c", "a"): 0,
+            ("a", "a"): 5,
+        }
+        cycle = find_nonpositive_cycle(nodes, weights)
+        total = sum(
+            weights[(u, v)] for u, v in zip(cycle, cycle[1:])
+        )
+        assert total <= 0
+
+    def test_paper_parser_thetas_pass(self):
+        # Example 6.1: theta_et = theta_tn = 0, theta_ne = 1 plus
+        # self-loops of 1: no zero-weight cycle.
+        nodes = ["e", "t", "n"]
+        weights = {
+            ("e", "e"): 1, ("t", "t"): 1,
+            ("e", "t"): 0, ("t", "n"): 0, ("n", "e"): 1,
+        }
+        assert find_nonpositive_cycle(nodes, weights) is None

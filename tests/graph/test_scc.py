@@ -1,0 +1,116 @@
+"""Unit tests for Tarjan SCC and condensation."""
+
+import pytest
+
+from repro.graph.digraph import Digraph
+from repro.graph.scc import (
+    condensation,
+    is_recursive_component,
+    strongly_connected_components,
+    topological_order,
+)
+
+
+class TestSCC:
+    def test_single_node(self):
+        graph = Digraph.from_edges([], nodes=["a"])
+        assert strongly_connected_components(graph) == [("a",)]
+
+    def test_cycle(self):
+        graph = Digraph.from_edges([("a", "b"), ("b", "a")])
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert set(components[0]) == {"a", "b"}
+
+    def test_chain_order_bottom_up(self):
+        # a -> b -> c: c is lowest, must come first.
+        graph = Digraph.from_edges([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        assert components.index(("c",)) < components.index(("b",))
+        assert components.index(("b",)) < components.index(("a",))
+
+    def test_mixed(self):
+        # perm -> append (append lower).
+        graph = Digraph.from_edges(
+            [
+                (("perm", 2), ("append", 3)),
+                (("perm", 2), ("perm", 2)),
+                (("append", 3), ("append", 3)),
+            ]
+        )
+        components = strongly_connected_components(graph)
+        assert components[0] == (("append", 3),)
+
+    def test_two_cycles_joined(self):
+        graph = Digraph.from_edges(
+            [
+                ("a", "b"), ("b", "a"),      # SCC {a, b}
+                ("b", "c"),
+                ("c", "d"), ("d", "c"),      # SCC {c, d}
+            ]
+        )
+        components = strongly_connected_components(graph)
+        sets = [frozenset(c) for c in components]
+        assert frozenset({"a", "b"}) in sets
+        assert frozenset({"c", "d"}) in sets
+        assert sets.index(frozenset({"c", "d"})) < sets.index(
+            frozenset({"a", "b"})
+        )
+
+    def test_matches_networkx_on_random_graphs(self):
+        import random
+
+        import networkx
+
+        rng = random.Random(11)
+        for _ in range(20):
+            n = rng.randint(1, 12)
+            edges = [
+                (rng.randrange(n), rng.randrange(n))
+                for _ in range(rng.randint(0, 3 * n))
+            ]
+            ours = strongly_connected_components(
+                Digraph.from_edges(edges, nodes=range(n))
+            )
+            nx_graph = networkx.DiGraph(edges)
+            nx_graph.add_nodes_from(range(n))
+            theirs = {
+                frozenset(c)
+                for c in networkx.strongly_connected_components(nx_graph)
+            }
+            assert {frozenset(c) for c in ours} == theirs
+
+
+class TestRecursiveComponent:
+    def test_self_loop_recursive(self):
+        graph = Digraph.from_edges([("a", "a")])
+        assert is_recursive_component(graph, ("a",))
+
+    def test_singleton_nonrecursive(self):
+        graph = Digraph.from_edges([("a", "b")])
+        assert not is_recursive_component(graph, ("a",))
+
+    def test_multi_member_recursive(self):
+        graph = Digraph.from_edges([("a", "b"), ("b", "a")])
+        assert is_recursive_component(graph, ("a", "b"))
+
+
+class TestCondensation:
+    def test_dag_structure(self):
+        graph = Digraph.from_edges(
+            [("a", "b"), ("b", "a"), ("b", "c")]
+        )
+        components, dag = condensation(graph)
+        assert len(components) == 2
+        assert len(list(dag.edges())) == 1
+
+    def test_topological_order(self):
+        graph = Digraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        _, dag = condensation(graph)
+        order = topological_order(dag)
+        assert len(order) == 3
+
+    def test_topological_order_rejects_cycles(self):
+        graph = Digraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            topological_order(graph)

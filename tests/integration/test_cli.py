@@ -1,0 +1,106 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main, parse_root
+
+
+@pytest.fixture
+def perm_file(tmp_path):
+    path = tmp_path / "perm.pl"
+    path.write_text(
+        "perm([], []).\n"
+        "perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), "
+        "perm(P1, L).\n"
+        "append([], Ys, Ys).\n"
+        "append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.pl"
+    path.write_text("p(X) :- p(X).\n")
+    return str(path)
+
+
+@pytest.fixture
+def a1_file(tmp_path):
+    path = tmp_path / "a1.pl"
+    path.write_text(
+        "p(g(X)) :- e(X).\n"
+        "p(g(X)) :- q(f(X)).\n"
+        "q(Y) :- p(Y).\n"
+        "q(f(Z)) :- p(Z), q(Z).\n"
+    )
+    return str(path)
+
+
+class TestParseRoot:
+    def test_simple(self):
+        assert parse_root("perm/2") == ("perm", 2)
+
+    def test_bad_format(self):
+        with pytest.raises(SystemExit):
+            parse_root("perm")
+
+
+class TestMain:
+    def test_proved_exit_zero(self, perm_file, capsys):
+        code = main([perm_file, "--root", "perm/2", "--mode", "bf"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROVED" in out
+
+    def test_unknown_exit_one(self, loop_file, capsys):
+        code = main([loop_file, "--root", "p/1", "--mode", "b"])
+        assert code == 1
+        assert "UNKNOWN" in capsys.readouterr().out
+
+    def test_parse_error_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pl"
+        bad.write_text("p(a")
+        code = main([str(bad), "--root", "p/1", "--mode", "b"])
+        assert code == 2
+
+    def test_verify_flag(self, perm_file, capsys):
+        code = main(
+            [perm_file, "--root", "perm/2", "--mode", "bf", "--verify"]
+        )
+        assert code == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verbose_shows_environment(self, perm_file, capsys):
+        main([perm_file, "--root", "perm/2", "--mode", "bf", "--verbose"])
+        out = capsys.readouterr().out
+        assert "Inter-argument constraints" in out
+
+    def test_transform_flag_on_a1(self, a1_file, capsys):
+        without = main([a1_file, "--root", "p/1", "--mode", "b"])
+        assert without == 1
+        with_transform = main(
+            [a1_file, "--root", "p/1", "--mode", "b", "--transform"]
+        )
+        assert with_transform == 0
+
+    def test_no_interarg_flag(self, perm_file):
+        code = main(
+            [perm_file, "--root", "perm/2", "--mode", "bf", "--no-interarg"]
+        )
+        assert code == 1
+
+    def test_norm_flag(self, tmp_path):
+        path = tmp_path / "msort.pl"
+        from repro.corpus.registry import get_program
+
+        path.write_text(get_program("mergesort").source)
+        structural = main(
+            [str(path), "--root", "msort/2", "--mode", "bf"]
+        )
+        lengths = main(
+            [str(path), "--root", "msort/2", "--mode", "bf",
+             "--norm", "list_length"]
+        )
+        assert structural == 1
+        assert lengths == 0

@@ -1,0 +1,115 @@
+"""Cross-cutting integration tests: analyzer vs engine vs verifier.
+
+Analyses are computed once per module (a couple of corpus entries take
+tens of seconds); every test reads the shared cache.
+"""
+
+import pytest
+
+from repro.lp import SLDEngine
+from repro.lp.generate import TermGenerator
+from repro.core import analyze_program, verify_proof
+from repro.corpus import all_programs
+from repro.corpus.registry import load, make_query
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    """{name: (entry, AnalysisResult)} for the whole corpus."""
+    cache = {}
+    for entry in all_programs():
+        cache[entry.name] = (
+            entry,
+            analyze_program(load(entry), entry.root, entry.mode),
+        )
+    return cache
+
+
+def proved_names():
+    return [
+        entry.name
+        for entry in all_programs()
+        if entry.expected["paper"] == "PROVED"
+    ]
+
+
+def nonterminating_names():
+    return [
+        entry.name for entry in all_programs() if entry.terminating is False
+    ]
+
+
+class TestExpectedVerdictMatrix:
+    """The corpus's expected-verdict table *is* experiment E2; keep the
+    library honest against it on every run."""
+
+    def test_paper_method_verdicts(self, analyses):
+        mismatches = {
+            name: (result.status, entry.expected["paper"])
+            for name, (entry, result) in analyses.items()
+            if result.status != entry.expected["paper"]
+        }
+        assert mismatches == {}
+
+    def test_paper_strictly_stronger_than_baselines(self):
+        """Our method proves a strict superset of each baseline."""
+        for entry in all_programs():
+            for method in ("naish83", "uvg88_spine", "single_arg_structural"):
+                if entry.expected[method] == "PROVED":
+                    assert entry.expected["paper"] == "PROVED", (
+                        "%s: %s proves it but the paper method should too"
+                        % (entry.name, method)
+                    )
+
+    def test_separating_programs_exist(self):
+        """The headline claim: programs no earlier method handles."""
+        separating = [
+            entry.name
+            for entry in all_programs()
+            if entry.expected["paper"] == "PROVED"
+            and all(
+                entry.expected[m] == "UNKNOWN"
+                for m in ("naish83", "uvg88_spine", "single_arg_structural")
+            )
+        ]
+        assert {"perm", "merge_variant", "expr_parser"} <= set(separating)
+
+
+class TestSoundnessEndToEnd:
+    """Every program we PROVE must empirically terminate (experiment
+    F2's core claim, spot-checked here; the benchmark runs it at
+    scale)."""
+
+    @pytest.mark.parametrize("name", proved_names())
+    def test_certificate_verifies(self, analyses, name):
+        entry, result = analyses[name]
+        assert result.proved, name
+        verify_proof(result.proof)
+
+    @pytest.mark.parametrize("name", proved_names())
+    def test_terminates_empirically(self, analyses, name):
+        entry, result = analyses[name]
+        engine = SLDEngine(load(entry))
+        generator = TermGenerator(seed=42)
+        for _ in range(3):
+            query = make_query(entry, generator)
+            outcome = engine.solve(
+                [query], max_depth=250, max_steps=200000
+            )
+            assert outcome.completed, "%s diverged on %s" % (name, query)
+
+
+class TestNonterminatorsExhaustBudget:
+    @pytest.mark.parametrize("name", nonterminating_names())
+    def test_diverges(self, name):
+        entry = next(e for e in all_programs() if e.name == name)
+        engine = SLDEngine(load(entry))
+        generator = TermGenerator(seed=7)
+        query = make_query(entry, generator)
+        outcome = engine.solve([query], max_depth=150, max_steps=20000)
+        assert not outcome.completed, name
+
+    @pytest.mark.parametrize("name", nonterminating_names())
+    def test_never_proved(self, analyses, name):
+        _, result = analyses[name]
+        assert result.status == "UNKNOWN", name

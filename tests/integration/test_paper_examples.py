@@ -1,0 +1,169 @@
+"""End-to-end reproduction of every worked example in the paper.
+
+These tests pin the *numbers* the paper derives, not just the verdicts:
+
+- Example 3.1/4.1 (perm): the single final constraint is 2*lambda >= 1
+  and lambda = 1/2 proves termination;
+- Example 5.1 (merge): lambda1 = lambda2 >= 1/2;
+- Example 6.1 (parser): theta_et = theta_tn = 0, theta_ne = 1, and
+  alpha = beta = gamma >= 1/2;
+- Example A.1: unprovable as written, provable after the Appendix A
+  transformation sequence.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import analyze_program, verify_proof
+from repro.core.adornment import AdornedPredicate
+from repro.transform import normalize_program
+
+
+class TestExample31Perm:
+    def test_proved_with_half(self, perm_program):
+        result = analyze_program(perm_program, ("perm", 2), "bf")
+        assert result.proved
+        node = AdornedPredicate(("perm", 2), "bf")
+        weights = result.proof.proof_for(node).lambda_for(node)
+        assert weights[1] >= Fraction(1, 2)  # "2 lambda >= 1"
+
+    def test_certificate_verifies(self, perm_program):
+        result = analyze_program(perm_program, ("perm", 2), "bf")
+        assert verify_proof(result.proof)
+
+    def test_append_interarg_constraint_used(self, perm_program):
+        result = analyze_program(perm_program, ("perm", 2), "bf")
+        from repro.linalg.constraints import Constraint
+        from repro.linalg.linexpr import LinearExpr
+        from repro.sizes.size_equations import arg_dimension
+
+        poly = result.environment.get(("append", 3))
+        assert poly.entails_constraint(
+            Constraint.eq(
+                LinearExpr.of(arg_dimension(1))
+                + LinearExpr.of(arg_dimension(2)),
+                LinearExpr.of(arg_dimension(3)),
+            )
+        )
+
+    def test_subgoal_order_matters(self):
+        # With the recursive subgoal FIRST, the appends no longer
+        # precede it and contribute nothing: proof must fail —
+        # evidence we respect the left-to-right semantics.
+        from repro.lp import parse_program
+
+        reordered = parse_program(
+            """
+            perm([], []).
+            perm(P, [X|L]) :- perm(P1, L), append(E, [X|F], P),
+                              append(E, F, P1).
+            append([], Ys, Ys).
+            append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+            """
+        )
+        result = analyze_program(reordered, ("perm", 2), "bf")
+        assert not result.proved
+
+
+class TestExample51Merge:
+    def test_equal_half_weights(self, merge_program):
+        result = analyze_program(merge_program, ("merge", 3), "bbf")
+        assert result.proved
+        node = AdornedPredicate(("merge", 3), "bbf")
+        weights = result.proof.proof_for(node).lambda_for(node)
+        assert weights[1] == weights[2] >= Fraction(1, 2)
+
+    def test_paper_remark_no_single_argument(self, merge_program):
+        """'There is no explicit relationship between the size of a
+        bound argument in the head and the corresponding one in the
+        subgoal' — single-argument methods must fail."""
+        from repro.baselines import SingleArgumentMethod
+
+        assert not SingleArgumentMethod().analyze(
+            merge_program, ("merge", 3), "bbf"
+        ).proved
+
+
+class TestExample61Parser:
+    def test_thetas_match_paper(self, parser_program):
+        result = analyze_program(parser_program, ("e", 2), "bf")
+        assert result.proved
+        proof = [
+            p for p in result.proof.scc_proofs
+            if not p.trivially_nonrecursive
+        ][0]
+        e = AdornedPredicate(("e", 2), "bf")
+        t = AdornedPredicate(("t", 2), "bf")
+        n = AdornedPredicate(("n", 2), "bf")
+        assert proof.thetas[(e, t)] == 0
+        assert proof.thetas[(t, n)] == 0
+        assert proof.thetas[(n, e)] == 1
+        assert proof.thetas[(e, e)] == 1
+        assert proof.thetas[(t, t)] == 1
+
+    def test_lambdas_at_least_half(self, parser_program):
+        result = analyze_program(parser_program, ("e", 2), "bf")
+        proof = [
+            p for p in result.proof.scc_proofs
+            if not p.trivially_nonrecursive
+        ][0]
+        for name in ("e", "t", "n"):
+            node = AdornedPredicate((name, 2), "bf")
+            assert proof.lambda_for(node)[1] >= Fraction(1, 2)
+
+    def test_verifies(self, parser_program):
+        result = analyze_program(parser_program, ("e", 2), "bf")
+        assert verify_proof(result.proof)
+
+    def test_t_constraint_derived_not_supplied(self, parser_program):
+        """Section 6.2's t1 >= 2 + t2 'found by Van Gelder's methods' —
+        ours derives it automatically."""
+        from repro.linalg.constraints import Constraint
+        from repro.linalg.linexpr import LinearExpr
+        from repro.sizes.size_equations import arg_dimension
+
+        result = analyze_program(parser_program, ("e", 2), "bf")
+        poly = result.environment.get(("t", 2))
+        assert poly.entails_constraint(
+            Constraint.ge(
+                LinearExpr.of(arg_dimension(1)),
+                LinearExpr.of(arg_dimension(2)) + 2,
+            )
+        )
+
+
+class TestExampleA1:
+    def test_full_pipeline(self, a1_program):
+        before = analyze_program(a1_program, ("p", 1), "b")
+        assert before.status == "UNKNOWN"
+        transformed, log = normalize_program(a1_program, roots=[("p", 1)])
+        after = analyze_program(transformed, ("p", 1), "b")
+        assert after.status == "PROVED"
+        assert verify_proof(after.proof)
+
+    def test_final_measure_is_argument_size(self, a1_program):
+        transformed, _ = normalize_program(a1_program, roots=[("p", 1)])
+        result = analyze_program(transformed, ("p", 1), "b")
+        recursive = [
+            p for p in result.proof.scc_proofs
+            if not p.trivially_nonrecursive
+        ]
+        assert len(recursive) == 1
+        (node,) = recursive[0].members
+        assert recursive[0].lambda_for(node)[1] > 0
+
+
+class TestSufficiencyCaveat:
+    """Section 7: terminating programs the method cannot prove."""
+
+    @pytest.mark.parametrize(
+        "name", ["ackermann", "bounded_counter", "seesaw"]
+    )
+    def test_known_limitations(self, name):
+        from repro.corpus.registry import get_program, load
+
+        entry = get_program(name)
+        assert entry.terminating
+        result = analyze_program(load(entry), entry.root, entry.mode)
+        assert result.status == "UNKNOWN"

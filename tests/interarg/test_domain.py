@@ -1,0 +1,112 @@
+"""Unit tests for size environments and instantiation."""
+
+import pytest
+
+from repro.lp.parser import parse_term
+from repro.lp.terms import Var
+from repro.linalg.constraints import Constraint
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.polyhedron import Polyhedron
+from repro.sizes.norms import size_variable
+from repro.sizes.size_equations import arg_dimension
+from repro.interarg.domain import (
+    SizeEnvironment,
+    default_polyhedron,
+    instantiate_on_args,
+    variable_nonnegativity,
+)
+
+
+def append_polyhedron():
+    """The paper's append constraint: arg1 + arg2 = arg3 (plus >= 0)."""
+    dims = (arg_dimension(1), arg_dimension(2), arg_dimension(3))
+    poly = Polyhedron.nonnegative_orthant(dims)
+    poly.system.add(
+        Constraint.eq(
+            LinearExpr.of(dims[0]) + LinearExpr.of(dims[1]),
+            LinearExpr.of(dims[2]),
+        )
+    )
+    return poly
+
+
+class TestSizeEnvironment:
+    def test_default_is_orthant(self):
+        env = SizeEnvironment()
+        poly = env.get(("unknown", 2))
+        assert poly.contains_point(
+            {arg_dimension(1): 0, arg_dimension(2): 5}
+        )
+        assert not poly.contains_point(
+            {arg_dimension(1): -1, arg_dimension(2): 0}
+        )
+
+    def test_set_and_get(self):
+        env = SizeEnvironment()
+        env.set(("append", 3), append_polyhedron())
+        assert env.known(("append", 3))
+        assert not env.known(("other", 1))
+
+    def test_set_rejects_wrong_dimensions(self):
+        env = SizeEnvironment()
+        with pytest.raises(ValueError):
+            env.set(("p", 2), append_polyhedron())
+
+    def test_set_from_constraints(self):
+        env = SizeEnvironment()
+        env.set_from_constraints(
+            ("t", 2),
+            [
+                Constraint.ge(
+                    LinearExpr.of(arg_dimension(1)),
+                    LinearExpr.of(arg_dimension(2)) + 2,
+                )
+            ],
+        )
+        poly = env.get(("t", 2))
+        assert poly.contains_point({arg_dimension(1): 5, arg_dimension(2): 3})
+        assert not poly.contains_point(
+            {arg_dimension(1): 3, arg_dimension(2): 3}
+        )
+
+    def test_copy_independent(self):
+        env = SizeEnvironment()
+        env.set(("append", 3), append_polyhedron())
+        clone = env.copy()
+        clone.set(("p", 1), default_polyhedron(("p", 1)))
+        assert not env.known(("p", 1))
+
+
+class TestInstantiation:
+    def test_paper_example_3_1(self):
+        # append(E, [X|F], P) instantiates arg1+arg2=arg3 to
+        # E + (2 + X + F) = P.
+        atom = parse_term("append(E, [X|F], P)")
+        constraints = instantiate_on_args(append_polyhedron(), atom)
+        equality = [c for c in constraints if c.is_equality()]
+        assert len(equality) == 1
+        expr = equality[0].expr
+        names = {var: coeff for var, coeff in expr.items()}
+        assert abs(expr.const) == 2
+        assert size_variable(Var("P")) in names
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            instantiate_on_args(append_polyhedron(), parse_term("p(A)"))
+
+    def test_nonneg_orthant_instantiates_trivially(self):
+        # size exprs are nonnegative polynomials; instantiated rows are
+        # trivial and vanish in a ConstraintSystem, but must not error.
+        poly = default_polyhedron(("p", 2))
+        constraints = instantiate_on_args(poly, parse_term("p([a|T], X)"))
+        assert isinstance(constraints, list)
+
+
+class TestVariableNonnegativity:
+    def test_one_row_per_distinct_variable(self):
+        atoms = [parse_term("p(X, Y)"), parse_term("q(Y, Z)")]
+        rows = variable_nonnegativity(atoms)
+        assert len(rows) == 3
+
+    def test_ground_atoms_contribute_nothing(self):
+        assert variable_nonnegativity([parse_term("p(a, b)")]) == []

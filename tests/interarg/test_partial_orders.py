@@ -1,0 +1,101 @@
+"""Unit tests for Appendix B partial-order constraints."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.linalg.constraints import Constraint
+from repro.linalg.linexpr import LinearExpr
+from repro.sizes.size_equations import arg_dimension
+from repro.interarg import infer_interargument_constraints
+from repro.interarg.partial_orders import (
+    is_partial_order_shaped,
+    partial_order_constraint,
+    partial_order_environment,
+    restrict_to_partial_orders,
+)
+
+
+def dim(i):
+    return LinearExpr.of(arg_dimension(i))
+
+
+class TestPartialOrderConstraint:
+    def test_strict_less(self):
+        constraint = partial_order_constraint(2, 1, "<", 2)
+        assert constraint.satisfied_by(
+            {arg_dimension(1): 1, arg_dimension(2): 2}
+        )
+        assert not constraint.satisfied_by(
+            {arg_dimension(1): 2, arg_dimension(2): 2}
+        )
+
+    def test_equality(self):
+        constraint = partial_order_constraint(2, 1, "=", 2)
+        assert constraint.is_equality()
+
+    def test_greater(self):
+        constraint = partial_order_constraint(3, 1, ">", 3)
+        assert constraint.satisfied_by(
+            {arg_dimension(1): 5, arg_dimension(3): 4}
+        )
+
+    def test_bad_relation(self):
+        with pytest.raises(AnalysisError):
+            partial_order_constraint(2, 1, "!=", 2)
+
+    def test_bad_positions(self):
+        with pytest.raises(AnalysisError):
+            partial_order_constraint(2, 0, "<", 2)
+
+
+class TestEnvironment:
+    def test_paper_appendix_b_edb_example(self):
+        # e(Y, X, R) from Y = [X|R]: e1 > e2 and e1 > e3.
+        env = partial_order_environment(
+            {("e", 3): [(1, ">", 2), (1, ">", 3)]}
+        )
+        poly = env.get(("e", 3))
+        assert poly.entails_constraint(Constraint.ge(dim(1), dim(2) + 1))
+        assert poly.entails_constraint(Constraint.ge(dim(1), dim(3) + 1))
+        assert not poly.entails_constraint(
+            Constraint.eq(dim(1), dim(2) + dim(3))
+        )
+
+
+class TestShapeClassifier:
+    def test_difference_bounds_kept(self):
+        assert is_partial_order_shaped(Constraint.ge(dim(1), dim(2)))
+        assert is_partial_order_shaped(Constraint.ge(dim(1), dim(2) + 7))
+
+    def test_single_argument_bounds_kept(self):
+        assert is_partial_order_shaped(Constraint.ge(dim(2), 3))
+
+    def test_three_variable_rows_dropped(self):
+        assert not is_partial_order_shaped(
+            Constraint.eq(dim(1) + dim(2), dim(3))
+        )
+
+    def test_sums_dropped(self):
+        assert not is_partial_order_shaped(Constraint.ge(dim(1) + dim(2), 1))
+
+    def test_scaled_rows_dropped(self):
+        assert not is_partial_order_shaped(Constraint.ge(dim(1) * 2, dim(2)))
+
+
+class TestRestriction:
+    def test_append_loses_its_equality(self, append_program):
+        env = infer_interargument_constraints(append_program)
+        restricted = restrict_to_partial_orders(env, [("append", 3)])
+        poly = restricted.get(("append", 3))
+        assert not poly.entails_constraint(
+            Constraint.eq(dim(1) + dim(2), dim(3))
+        )
+        # But the order shadow arg3 >= arg1 survives.
+        assert poly.entails_constraint(Constraint.ge(dim(3), dim(1)))
+
+    def test_parser_keeps_its_difference(self, parser_program):
+        env = infer_interargument_constraints(parser_program)
+        restricted = restrict_to_partial_orders(env, [("t", 2)])
+        assert restricted.get(("t", 2)).entails_constraint(
+            Constraint.ge(dim(1), dim(2) + 2)
+        )

@@ -1,0 +1,227 @@
+"""Unit tests for the exact two-phase simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InfeasibleError, UnboundedError
+from repro.linalg.constraints import Constraint, ConstraintSystem
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.simplex import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    entails,
+    feasible_point,
+    is_feasible,
+    minimum,
+    solve_lp,
+)
+
+
+def x():
+    return LinearExpr.of("x")
+
+
+def y():
+    return LinearExpr.of("y")
+
+
+class TestBasicSolves:
+    def test_simple_minimum(self):
+        result = solve_lp(
+            x() + y(),
+            [Constraint.ge(x(), 1), Constraint.ge(y(), 2)],
+        )
+        assert result.status == OPTIMAL
+        assert result.value == 3
+        assert result.assignment == {"x": 1, "y": 2}
+
+    def test_maximization(self):
+        result = solve_lp(
+            x(),
+            [Constraint.le(x(), 7), Constraint.ge(x(), 0)],
+            sense="max",
+        )
+        assert result.status == OPTIMAL
+        assert result.value == 7
+
+    def test_objective_constant_shift(self):
+        result = solve_lp(x() + 10, [Constraint.ge(x(), 1)])
+        assert result.value == 11
+
+    def test_exact_fractions(self):
+        # min x subject to 3x >= 1.
+        result = solve_lp(x(), [Constraint.ge(x() * 3, 1)])
+        assert result.value == Fraction(1, 3)
+
+    def test_free_variables(self):
+        # x is free: min x subject to x >= -5 is -5.
+        result = solve_lp(x(), [Constraint.ge(x(), -5)])
+        assert result.value == -5
+
+    def test_equality_constraints(self):
+        result = solve_lp(
+            x() + y(),
+            [Constraint.eq(x() + y(), 4), Constraint.ge(x(), 0),
+             Constraint.ge(y(), 0)],
+        )
+        assert result.value == 4
+
+    def test_nonnegative_option(self):
+        result = solve_lp(x(), [], nonnegative=["x"])
+        assert result.value == 0
+
+    def test_nonnegative_all(self):
+        result = solve_lp(x() + y(), [], nonnegative="all")
+        assert result.value == 0
+
+    def test_degenerate_no_constraints(self):
+        result = solve_lp(LinearExpr.constant(5), [])
+        assert result.status == OPTIMAL
+        assert result.value == 5
+
+    def test_invalid_sense(self):
+        with pytest.raises(ValueError):
+            solve_lp(x(), [], sense="best")
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        result = solve_lp(
+            x(), [Constraint.ge(x(), 3), Constraint.le(x(), 2)]
+        )
+        assert result.status == INFEASIBLE
+
+    def test_unbounded(self):
+        result = solve_lp(-x(), [Constraint.ge(x(), 0)])
+        assert result.status == UNBOUNDED
+
+    def test_redundant_equalities_ok(self):
+        result = solve_lp(
+            x(),
+            [Constraint.eq(x(), 2), Constraint.eq(x() * 2, 4)],
+        )
+        assert result.status == OPTIMAL
+        assert result.value == 2
+
+
+class TestDuality:
+    def test_strong_duality_value(self):
+        # min x + 2y s.t. x + y >= 3, x >= 0, y >= 0.
+        constraints = ConstraintSystem(
+            [
+                Constraint.ge(x() + y(), 3),
+                Constraint.ge(x(), 0),
+                Constraint.ge(y(), 0),
+            ]
+        )
+        result = solve_lp(x() + y() * 2, constraints)
+        assert result.status == OPTIMAL
+        assert result.value == 3
+        # Dual: y.b where row i's "b" is -const of its expr.
+        dual_value = sum(
+            result.duals[i] * (-row.expr.const)
+            for i, row in enumerate(constraints)
+        )
+        assert dual_value == result.value
+
+    def test_dual_signs_for_min_ge(self):
+        # For min with >= rows, dual multipliers are nonnegative.
+        constraints = ConstraintSystem(
+            [Constraint.ge(x(), 1), Constraint.ge(y(), 2)]
+        )
+        result = solve_lp(x() + y(), constraints)
+        assert all(value >= 0 for value in result.duals.values())
+
+
+class TestHelpers:
+    def test_is_feasible(self):
+        assert is_feasible([Constraint.ge(x(), 0)])
+        assert not is_feasible(
+            [Constraint.ge(x(), 1), Constraint.le(x(), 0)]
+        )
+
+    def test_feasible_point_satisfies(self):
+        system = ConstraintSystem(
+            [Constraint.ge(x() + y(), 2), Constraint.le(x(), 1)]
+        )
+        point = feasible_point(system)
+        assert system.satisfied_by(point)
+
+    def test_feasible_point_none(self):
+        assert feasible_point(
+            [Constraint.ge(x(), 1), Constraint.le(x(), 0)]
+        ) is None
+
+    def test_minimum_raises_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            minimum(x(), [Constraint.ge(x(), 1), Constraint.le(x(), 0)])
+
+    def test_minimum_raises_unbounded(self):
+        with pytest.raises(UnboundedError):
+            minimum(x(), [])
+
+    def test_entails_true(self):
+        system = [Constraint.ge(x(), 2)]
+        assert entails(system, Constraint.ge(x(), 1))
+
+    def test_entails_false(self):
+        system = [Constraint.ge(x(), 1)]
+        assert not entails(system, Constraint.ge(x(), 2))
+
+    def test_entails_equality(self):
+        system = [Constraint.eq(x(), 2)]
+        assert entails(system, Constraint.eq(x() * 2, 4))
+        assert not entails(system, Constraint.eq(x(), 3))
+
+    def test_infeasible_entails_everything(self):
+        system = [Constraint.ge(x(), 1), Constraint.le(x(), 0)]
+        assert entails(system, Constraint.ge(x(), 100))
+
+
+class TestAgainstScipy:
+    """Cross-check random LPs against scipy.optimize.linprog."""
+
+    def test_random_instances(self):
+        import random
+
+        import numpy
+        from scipy.optimize import linprog
+
+        rng = random.Random(7)
+        for trial in range(25):
+            num_vars = rng.randint(1, 4)
+            num_rows = rng.randint(1, 5)
+            names = ["v%d" % i for i in range(num_vars)]
+            constraints = []
+            a_ub, b_ub = [], []
+            for _ in range(num_rows):
+                coeffs = [rng.randint(-3, 3) for _ in names]
+                const = rng.randint(-5, 5)
+                # expr >= 0 with expr = coeffs.v + const
+                constraints.append(
+                    Constraint.ge(
+                        LinearExpr(dict(zip(names, coeffs)), const)
+                    )
+                )
+                a_ub.append([-c for c in coeffs])  # -coeffs.v <= const
+                b_ub.append(const)
+            objective_coeffs = [rng.randint(-2, 2) for _ in names]
+            objective = LinearExpr(dict(zip(names, objective_coeffs)))
+
+            ours = solve_lp(objective, constraints, nonnegative="all")
+            theirs = linprog(
+                numpy.array(objective_coeffs, dtype=float),
+                A_ub=numpy.array(a_ub, dtype=float),
+                b_ub=numpy.array(b_ub, dtype=float),
+                bounds=[(0, None)] * num_vars,
+                method="highs",
+            )
+            if ours.status == OPTIMAL:
+                assert theirs.status == 0, "trial %d disagreement" % trial
+                assert abs(float(ours.value) - theirs.fun) < 1e-7
+            elif ours.status == INFEASIBLE:
+                assert theirs.status == 2
+            else:
+                assert theirs.status == 3

@@ -1,0 +1,125 @@
+"""Unit tests for the semi-naive bottom-up evaluator."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.lp import SLDEngine, parse_program
+from repro.lp.bottomup import BottomUpEngine
+from repro.lp.parser import parse_term
+
+TC_LEFT = """
+e(a, b).
+e(b, c).
+e(c, d).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+"""
+
+
+class TestTransitiveClosure:
+    def test_left_recursion_converges(self):
+        result = BottomUpEngine(parse_program(TC_LEFT)).evaluate()
+        assert result.converged
+        assert result.count("tc", 2) == 6
+        assert result.holds(parse_term("tc(a, d)"))
+        assert not result.holds(parse_term("tc(d, a)"))
+
+    def test_top_down_diverges_on_same_program(self):
+        """The paper's capture-rule motivation in one assertion."""
+        engine = SLDEngine(parse_program(TC_LEFT))
+        outcome = engine.solve("tc(a, X)", max_depth=100, max_steps=5000)
+        assert not outcome.completed
+
+    def test_cyclic_graph(self):
+        program = parse_program(
+            "e(a, b).\ne(b, a).\n"
+            "tc(X, Y) :- e(X, Y).\n"
+            "tc(X, Y) :- tc(X, Z), e(Z, Y).\n"
+        )
+        result = BottomUpEngine(program).evaluate()
+        assert result.converged
+        assert result.count("tc", 2) == 4  # a-a, a-b, b-a, b-b
+
+
+class TestSemantics:
+    def test_matches_top_down_on_terminating_program(self):
+        program = parse_program(
+            "p(a). p(b).\nq(c).\nr(X) :- p(X).\nr(X) :- q(X)."
+        )
+        bottom_up = BottomUpEngine(program).evaluate()
+        top_down = SLDEngine(program)
+        for constant in "abcd":
+            goal = "r(%s)" % constant
+            assert bottom_up.holds(parse_term(goal)) == top_down.solve(
+                goal
+            ).succeeded
+
+    def test_builtins_in_bodies(self):
+        program = parse_program(
+            "n(1). n(2). n(3).\nbig(X) :- n(X), X >= 2."
+        )
+        result = BottomUpEngine(program).evaluate()
+        assert result.count("big", 1) == 2
+
+    def test_stratified_negation(self):
+        program = parse_program(
+            "node(a). node(b). node(c).\n"
+            "e(a, b).\n"
+            "reached(b).\n"
+            "unreached(X) :- node(X), \\+ reached(X).\n"
+        )
+        result = BottomUpEngine(program).evaluate()
+        assert result.count("unreached", 1) == 2
+        assert not result.holds(parse_term("unreached(b)"))
+
+    def test_unstratified_rejected(self):
+        program = parse_program("p(X) :- n(X), \\+ q(X).\nq(X) :- n(X), \\+ p(X).\nn(a).")
+        with pytest.raises(AnalysisError):
+            BottomUpEngine(program)
+
+    def test_range_restriction_enforced(self):
+        program = parse_program("p(a).\nq(X, Y) :- p(X).")
+        with pytest.raises(AnalysisError):
+            BottomUpEngine(program).evaluate()
+
+
+class TestFunctionSymbols:
+    def test_term_size_budget(self):
+        # nat generates s(s(...)); without a budget it never converges.
+        program = parse_program("nat(0).\nnat(s(N)) :- nat(N).")
+        result = BottomUpEngine(program, max_term_size=10).evaluate()
+        assert result.converged
+        # The budget bounds the whole head atom: nat(s^k(0)) has
+        # structural size k + 1, so k ranges over 0..9.
+        assert result.count("nat", 1) == 10
+
+    def test_fact_budget_reports_nonconvergence(self):
+        program = parse_program("nat(0).\nnat(s(N)) :- nat(N).")
+        result = BottomUpEngine(program, max_facts=50).evaluate()
+        assert not result.converged
+
+    def test_list_programs(self):
+        program = parse_program(
+            "item(a). item(b).\n"
+            "lst([]).\n"
+            "lst([X|L]) :- item(X), lst(L).\n"
+        )
+        result = BottomUpEngine(program, max_term_size=6).evaluate()
+        assert result.converged
+        # [], [a], [b], [a,a], [a,b], [b,a], [b,b] at size <= 6.
+        assert result.count("lst", 1) == 7
+
+
+class TestSemiNaive:
+    def test_round_count_linear_in_path_length(self):
+        edges = "\n".join(
+            "e(n%d, n%d)." % (i, i + 1) for i in range(10)
+        )
+        program = parse_program(
+            edges + "\ntc(X, Y) :- e(X, Y).\n"
+            "tc(X, Y) :- tc(X, Z), e(Z, Y).\n"
+        )
+        result = BottomUpEngine(program).evaluate()
+        assert result.converged
+        assert result.count("tc", 2) == 55
+        assert result.rounds <= 13

@@ -1,0 +1,204 @@
+"""Unit tests for the SLD resolution engine."""
+
+import pytest
+
+from repro.errors import UnificationError
+from repro.lp.engine import SLDEngine
+from repro.lp.parser import parse_program, parse_term
+from repro.lp.terms import Atom, Var
+
+
+def engine(text):
+    return SLDEngine(parse_program(text))
+
+
+class TestBasicResolution:
+    def test_fact_query(self):
+        result = engine("p(a).").solve("p(a)")
+        assert result.succeeded
+        assert result.completed
+
+    def test_fact_query_failure(self):
+        result = engine("p(a).").solve("p(b)")
+        assert not result.succeeded
+        assert result.completed
+
+    def test_variable_answers(self):
+        result = engine("p(a). p(b).").solve("p(X)")
+        values = [s[Var("X")] for s in result.solutions]
+        assert values == [Atom("a"), Atom("b")]
+
+    def test_clause_order_respected(self):
+        result = engine("p(b). p(a).").solve("p(X)")
+        values = [s[Var("X")] for s in result.solutions]
+        assert values == [Atom("b"), Atom("a")]
+
+    def test_conjunction(self):
+        result = engine("p(a). q(a). q(b).").solve("p(X), q(X)")
+        assert len(result.solutions) == 1
+
+    def test_rule_chaining(self):
+        result = engine(
+            "gp(X, Z) :- par(X, Y), par(Y, Z). par(a, b). par(b, c)."
+        ).solve("gp(a, Z)")
+        assert result.solutions[0][Var("Z")] == Atom("c")
+
+    def test_max_solutions(self):
+        result = engine("p(a). p(b). p(c).").solve("p(X)", max_solutions=2)
+        assert len(result.solutions) == 2
+
+
+class TestListPrograms:
+    APPEND = """
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+    """
+
+    def test_append_forward(self):
+        result = engine(self.APPEND).solve("append([a, b], [c], Z)")
+        assert str(result.solutions[0][Var("Z")]) == "[a, b, c]"
+
+    def test_append_backward_enumerates_splits(self):
+        result = engine(self.APPEND).solve("append(X, Y, [a, b])")
+        assert len(result.solutions) == 3
+        assert result.completed
+
+    def test_perm_generates_all(self):
+        program = self.APPEND + """
+            perm([], []).
+            perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1),
+                              perm(P1, L).
+        """
+        result = engine(program).solve("perm([a, b, c], Q)")
+        assert len(result.solutions) == 6
+        assert result.completed
+
+
+class TestBudgets:
+    def test_infinite_loop_exhausts_depth(self):
+        result = engine("p(X) :- p(X).").solve("p(a)", max_depth=50)
+        assert not result.completed
+
+    def test_growing_loop_exhausts(self):
+        result = engine("q([X|L]) :- q([X, X|L]).").solve(
+            "q([a])", max_steps=1000
+        )
+        assert not result.completed
+
+    def test_terminates_helper(self):
+        assert engine("p(a).").terminates("p(a)")
+        assert not engine("p :- p.").terminates("p", max_steps=100)
+
+    def test_steps_counted(self):
+        result = engine("p(a).").solve("p(a)")
+        assert result.steps >= 1
+
+
+class TestBuiltins:
+    def test_comparison(self):
+        assert engine("ok :- 1 =< 2.").solve("ok").succeeded
+        assert not engine("ok :- 2 =< 1.").solve("ok").succeeded
+
+    def test_all_comparison_operators(self):
+        e = engine("dummy.")
+        assert e.solve("1 < 2").succeeded
+        assert e.solve("2 > 1").succeeded
+        assert e.solve("2 >= 2").succeeded
+        assert not e.solve("1 > 2").succeeded
+
+    def test_unify_builtin(self):
+        result = engine("dummy.").solve("X = f(a)")
+        assert result.solutions[0][Var("X")] == parse_term("f(a)")
+
+    def test_not_unify(self):
+        e = engine("dummy.")
+        assert e.solve("a \\= b").succeeded
+        assert not e.solve("a \\= a").succeeded
+
+    def test_structural_equality(self):
+        e = engine("dummy.")
+        assert e.solve("f(a) == f(a)").succeeded
+        assert not e.solve("X == Y").succeeded
+        assert e.solve("X \\== Y").succeeded
+
+    def test_is_evaluates(self):
+        result = engine("dummy.").solve("X is 2 + 3 * 4")
+        assert result.solutions[0][Var("X")] == Atom(14)
+
+    def test_is_with_unbound_raises(self):
+        with pytest.raises(UnificationError):
+            engine("dummy.").solve("X is Y + 1")
+
+    def test_true_fail(self):
+        e = engine("dummy.")
+        assert e.solve("true").succeeded
+        assert not e.solve("fail").succeeded
+
+    def test_merge_program_runs(self):
+        program = """
+            merge([], Ys, Ys).
+            merge(Xs, [], Xs).
+            merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+            merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+        """
+        result = engine(program).solve("merge([1, 3], [2, 4], Z)")
+        assert str(result.solutions[0][Var("Z")]) == "[1, 2, 3, 4]"
+
+
+class TestNegation:
+    def test_negation_as_failure(self):
+        program = "p(a). only(X) :- \\+ p(X)."
+        e = engine(program)
+        assert not e.solve("only(a)").succeeded
+        assert e.solve("only(b)").succeeded
+
+    def test_negation_binds_nothing(self):
+        program = "p(a). q(b). r(X) :- q(X), \\+ p(X)."
+        result = engine(program).solve("r(X)")
+        assert result.solutions[0][Var("X")] == Atom("b")
+
+
+class TestCut:
+    def test_cut_commits_to_first_clause(self):
+        program = "p(a) :- !. p(b)."
+        result = engine(program).solve("p(X)")
+        assert [s[Var("X")] for s in result.solutions] == [Atom("a")]
+
+    def test_cut_local_to_predicate(self):
+        program = """
+            p(X) :- q(X), !.
+            q(a). q(b).
+            r(X) :- p(X).
+            r(c).
+        """
+        result = engine(program).solve("r(X)")
+        values = [s[Var("X")] for s in result.solutions]
+        assert values == [Atom("a"), Atom("c")]
+
+    def test_cut_prunes_left_choicepoints(self):
+        program = """
+            p(X, Y) :- q(X), r(Y), !.
+            q(a). q(b).
+            r(c). r(d).
+        """
+        result = engine(program).solve("p(X, Y)")
+        assert len(result.solutions) == 1
+
+    def test_if_then_else_idiom(self):
+        program = """
+            max(X, Y, X) :- X >= Y, !.
+            max(_, Y, Y).
+        """
+        e = engine(program)
+        assert e.solve("max(3, 2, M)").solutions[0][Var("M")] == Atom(3)
+        assert e.solve("max(1, 2, M)").solutions[0][Var("M")] == Atom(2)
+
+
+class TestValidation:
+    def test_rejects_bad_program(self):
+        with pytest.raises(TypeError):
+            SLDEngine("p(a).")
+
+    def test_rejects_bad_query_element(self):
+        with pytest.raises(UnificationError):
+            engine("p(a).").solve([42])

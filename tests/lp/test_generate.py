@@ -1,0 +1,60 @@
+"""Unit tests for the term/query generators."""
+
+from repro.lp.generate import TermGenerator
+from repro.lp.terms import Atom, Struct, Var, list_elements
+
+
+class TestTermGenerator:
+    def test_deterministic_by_seed(self):
+        first = TermGenerator(seed=1)
+        second = TermGenerator(seed=1)
+        assert [first.constant() for _ in range(10)] == [
+            second.constant() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        lists_a = [str(TermGenerator(seed=1).ground_list()) for _ in range(3)]
+        lists_b = [str(TermGenerator(seed=2).ground_list()) for _ in range(3)]
+        assert lists_a != lists_b
+
+    def test_ground_list_is_ground(self):
+        generator = TermGenerator(seed=3)
+        for _ in range(20):
+            assert generator.ground_list().is_ground()
+
+    def test_sorted_integer_list_ascending(self):
+        generator = TermGenerator(seed=4)
+        for _ in range(20):
+            elements, tail = list_elements(generator.sorted_integer_list())
+            values = [e.name for e in elements]
+            assert values == sorted(values)
+            assert tail == Atom("[]")
+
+    def test_ground_tree_functor(self):
+        generator = TermGenerator(seed=5)
+        tree = generator.ground_tree(functor="node", max_depth=3)
+        assert tree.is_ground()
+        for name, arity in tree.functors():
+            assert arity in (0, 2)
+
+    def test_fresh_vars_distinct(self):
+        generator = TermGenerator()
+        assert generator.fresh_var() != generator.fresh_var()
+
+    def test_query_atom_modes(self):
+        generator = TermGenerator(seed=6)
+        atom = generator.query_atom("p", "bfb")
+        assert isinstance(atom, Struct)
+        assert atom.args[0].is_ground()
+        assert isinstance(atom.args[1], Var)
+        assert atom.args[2].is_ground()
+
+    def test_query_atom_zero_arity(self):
+        generator = TermGenerator()
+        assert generator.query_atom("go", "") == Atom("go")
+
+    def test_integer_bounds(self):
+        generator = TermGenerator(seed=7)
+        for _ in range(50):
+            value = generator.integer(low=2, high=5).name
+            assert 2 <= value <= 5

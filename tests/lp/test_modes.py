@@ -1,0 +1,113 @@
+"""Unit tests for mode declarations."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.lp import parse_program
+from repro.lp.modes import ModeDeclaration, parse_mode_directive
+from repro.lp.parser import parse_term
+
+
+class TestParseDirective:
+    def test_basic(self):
+        declaration = parse_mode_directive(parse_term("mode(append(b, b, f))"))
+        assert declaration == ModeDeclaration(("append", 3), "bbf")
+
+    def test_plus_minus_spelling(self):
+        declaration = parse_mode_directive(parse_term("mode(p(+, -))"))
+        assert declaration.mode == "bf"
+
+    def test_propositional(self):
+        declaration = parse_mode_directive(parse_term("mode(go)"))
+        assert declaration == ModeDeclaration(("go", 0), "")
+
+    def test_non_mode_directive_returns_none(self):
+        assert parse_mode_directive(parse_term("dynamic(foo/1)")) is None
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_mode_directive(parse_term("mode(p(x))"))
+
+    def test_str(self):
+        text = str(ModeDeclaration(("append", 3), "bbf"))
+        assert text == ":- mode(append(b, b, f))."
+
+
+class TestProgramIntegration:
+    def test_declarations_collected(self):
+        program = parse_program(
+            ":- mode(append(b, b, f)).\n"
+            ":- mode(append(f, f, b)).\n"
+            "append([], Ys, Ys).\n"
+            "append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n"
+        )
+        assert len(program.mode_declarations) == 2
+        assert program.mode_declarations[0].mode == "bbf"
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program(":- table(foo/1).\nfoo(a).")
+
+    def test_declared_modes_analyzable(self):
+        from repro.core import analyze_program
+
+        program = parse_program(
+            ":- mode(append(b, b, f)).\n"
+            "append([], Ys, Ys).\n"
+            "append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n"
+        )
+        (declaration,) = program.mode_declarations
+        result = analyze_program(
+            program, declaration.indicator, declaration.mode
+        )
+        assert result.proved
+
+
+class TestCLIAllModes:
+    def test_all_modes_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "lib.pl"
+        path.write_text(
+            ":- mode(append(b, b, f)).\n"
+            ":- mode(append(f, f, b)).\n"
+            "append([], Ys, Ys).\n"
+            "append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n"
+        )
+        code = main([str(path), "--all-modes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "append/3 mode bbf: PROVED" in out
+        assert "append/3 mode ffb: PROVED" in out
+
+    def test_all_modes_failure_exit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.pl"
+        path.write_text(":- mode(p(b)).\np(X) :- p(X).\n")
+        code = main([str(path), "--all-modes"])
+        assert code == 1
+        assert "UNKNOWN" in capsys.readouterr().out
+
+    def test_all_modes_requires_declarations(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "none.pl"
+        path.write_text("p(a).\n")
+        assert main([str(path), "--all-modes"]) == 2
+
+    def test_all_modes_excludes_root(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "lib.pl"
+        path.write_text(":- mode(p(b)).\np(a).\n")
+        with pytest.raises(SystemExit):
+            main([str(path), "--all-modes", "--root", "p/1"])
+
+    def test_root_and_mode_still_required_without_flag(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "lib.pl"
+        path.write_text("p(a).\n")
+        with pytest.raises(SystemExit):
+            main([str(path)])

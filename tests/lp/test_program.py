@@ -1,0 +1,126 @@
+"""Unit tests for the clause/program model."""
+
+import pytest
+
+from repro.errors import AnalysisError, PrologSyntaxError
+from repro.lp.parser import parse_program, parse_term
+from repro.lp.program import (
+    BUILTIN_PREDICATES,
+    Clause,
+    Literal,
+    Program,
+    clause_from_term,
+)
+from repro.lp.terms import Atom, Struct, Var
+
+
+class TestLiteral:
+    def test_indicator(self):
+        literal = Literal(parse_term("p(a, b)"))
+        assert literal.indicator == ("p", 2)
+
+    def test_propositional_indicator(self):
+        assert Literal(Atom("halt")).indicator == ("halt", 0)
+
+    def test_negation(self):
+        literal = Literal(parse_term("p(X)"), positive=False)
+        assert str(literal).startswith("\\+")
+        assert literal.negate().positive
+
+    def test_rejects_variable(self):
+        with pytest.raises(AnalysisError):
+            Literal(Var("X"))
+
+
+class TestClause:
+    def test_fact(self):
+        clause = Clause(head=parse_term("p(a)"))
+        assert clause.is_fact()
+        assert clause.indicator == ("p", 1)
+
+    def test_variables_in_order(self):
+        clause = clause_from_term(parse_term("p(X, Y) :- q(Y, Z)"))
+        assert [v.name for v in clause.variables()] == ["X", "Y", "Z"]
+
+    def test_str_roundtrips_through_parser(self):
+        program = parse_program("p(X) :- q(X), \\+ r(X).")
+        again = parse_program(str(program))
+        assert str(again) == str(program)
+
+
+class TestProgramConstruction:
+    def test_from_text(self):
+        program = Program.from_text("p(a). p(b). q(X) :- p(X).")
+        assert len(program) == 3
+        assert len(program.predicates) == 2
+
+    def test_clause_order_preserved(self):
+        program = Program.from_text("p(b). p(a).")
+        heads = [c.head.args[0].name for c in program.clauses_for(("p", 1))]
+        assert heads == ["b", "a"]
+
+    def test_body_conjunction_flattened(self):
+        program = Program.from_text("p :- q, r, s.")
+        (clause,) = program.clauses
+        assert len(clause.body) == 3
+
+    def test_negation_parsed(self):
+        program = Program.from_text("p(X) :- \\+ q(X).")
+        (clause,) = program.clauses
+        assert not clause.body[0].positive
+
+    def test_cannot_define_builtin(self):
+        with pytest.raises(AnalysisError):
+            Program.from_text("=(a, b).")
+
+    def test_negated_variable_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            Program.from_text("p(X) :- \\+ X.")
+
+    def test_variable_goal_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            Program.from_text("p(X) :- X.")
+
+
+class TestProgramQueries:
+    def test_edb_indicators(self, parser_program):
+        assert parser_program.edb_indicators() == {("z", 1)}
+
+    def test_defined_indicators(self, append_program):
+        assert append_program.defined_indicators() == {("append", 3)}
+
+    def test_builtins_not_edb(self):
+        program = Program.from_text("p(X, Y) :- X =< Y.")
+        assert program.edb_indicators() == set()
+
+
+class TestDependencyGraph:
+    def test_self_loop(self, append_program):
+        graph = append_program.dependency_graph()
+        assert graph.has_edge(("append", 3), ("append", 3))
+
+    def test_cross_edges(self, perm_program):
+        graph = perm_program.dependency_graph()
+        assert graph.has_edge(("perm", 2), ("append", 3))
+        assert not graph.has_edge(("append", 3), ("perm", 2))
+
+    def test_builtins_excluded(self, merge_program):
+        graph = merge_program.dependency_graph()
+        assert ("=<", 2) not in graph
+
+    def test_sccs_bottom_up(self, perm_program):
+        sccs = perm_program.sccs()
+        assert sccs.index((("append", 3),)) < sccs.index((("perm", 2),))
+
+    def test_parser_scc_mutual(self, parser_program):
+        sccs = parser_program.sccs()
+        big = [c for c in sccs if len(c) == 3]
+        assert len(big) == 1
+        assert {indicator[0] for indicator in big[0]} == {"e", "t", "n"}
+
+
+class TestBuiltins:
+    def test_expected_builtins_present(self):
+        for name in ("=<", "<", ">", ">=", "=", "\\=", "is"):
+            assert (name, 2) in BUILTIN_PREDICATES
+        assert ("true", 0) in BUILTIN_PREDICATES

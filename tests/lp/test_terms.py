@@ -1,0 +1,185 @@
+"""Unit tests for repro.lp.terms."""
+
+import pytest
+
+from repro.lp.terms import (
+    Atom,
+    NIL,
+    Struct,
+    Var,
+    cons,
+    integer,
+    is_integer_atom,
+    list_elements,
+    make_list,
+    term_variables,
+    terms_variables,
+    walk,
+)
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_hashable(self):
+        assert len({Var("X"), Var("X"), Var("Y")}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Var("X").name = "Y"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_variables_yields_self(self):
+        var = Var("X")
+        assert list(var.variables()) == [var]
+
+    def test_not_ground(self):
+        assert not Var("X").is_ground()
+
+    def test_structural_size_raises(self):
+        with pytest.raises(ValueError):
+            Var("X").structural_size()
+
+    def test_str(self):
+        assert str(Var("Xs")) == "Xs"
+
+
+class TestAtom:
+    def test_equality(self):
+        assert Atom("a") == Atom("a")
+        assert Atom("a") != Atom("b")
+
+    def test_integer_atoms_distinct_from_string(self):
+        assert Atom(1) != Atom("1")
+
+    def test_ground(self):
+        assert Atom("a").is_ground()
+
+    def test_size_zero(self):
+        assert Atom("a").structural_size() == 0
+
+    def test_functors(self):
+        assert list(Atom("a").functors()) == [("a", 0)]
+
+    def test_integer_helper(self):
+        assert integer(7) == Atom(7)
+        assert is_integer_atom(integer(7))
+        assert not is_integer_atom(Atom("x"))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Atom("a").name = "b"
+
+
+class TestStruct:
+    def test_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Struct("f", ("not a term",))
+
+    def test_equality(self):
+        assert Struct("f", (Atom("a"),)) == Struct("f", (Atom("a"),))
+        assert Struct("f", (Atom("a"),)) != Struct("g", (Atom("a"),))
+
+    def test_arity(self):
+        assert Struct("f", (Atom("a"), Var("X"))).arity == 2
+
+    def test_ground(self):
+        assert Struct("f", (Atom("a"),)).is_ground()
+        assert not Struct("f", (Var("X"),)).is_ground()
+
+    def test_variables_with_repetition(self):
+        term = Struct("f", (Var("X"), Struct("g", (Var("X"), Var("Y")))))
+        assert [v.name for v in term.variables()] == ["X", "X", "Y"]
+
+    def test_subterms_preorder(self):
+        term = Struct("f", (Atom("a"), Struct("g", (Atom("b"),))))
+        subterms = list(term.subterms())
+        assert subterms[0] == term
+        assert Atom("b") in subterms
+        assert len(subterms) == 4
+
+    def test_immutable(self):
+        term = Struct("f", (Atom("a"),))
+        with pytest.raises(AttributeError):
+            term.functor = "g"
+
+
+class TestStructuralSize:
+    def test_paper_example_list(self):
+        # a . b . c . [] has structural term size 6 (Section 2.2).
+        term = make_list([Atom("a"), Atom("b"), Atom("c")])
+        assert term.structural_size() == 6
+
+    def test_nested(self):
+        # f(a, g(b)) has arities 2 + 1 = 3.
+        term = Struct("f", (Atom("a"), Struct("g", (Atom("b"),))))
+        assert term.structural_size() == 3
+
+    def test_empty_list(self):
+        assert NIL.structural_size() == 0
+
+    def test_equals_sum_of_arities(self):
+        term = make_list([Struct("f", (Atom("a"), Atom("b")))])
+        total = sum(arity for _, arity in term.functors())
+        assert term.structural_size() == total
+
+
+class TestListHelpers:
+    def test_make_and_unmake(self):
+        elements = [Atom("a"), Atom("b")]
+        term = make_list(elements)
+        back, tail = list_elements(term)
+        assert back == elements
+        assert tail == NIL
+
+    def test_partial_list(self):
+        term = make_list([Atom("a")], tail=Var("T"))
+        elements, tail = list_elements(term)
+        assert elements == [Atom("a")]
+        assert tail == Var("T")
+
+    def test_non_list(self):
+        elements, tail = list_elements(Atom("x"))
+        assert elements == []
+        assert tail == Atom("x")
+
+    def test_cons_str_renders_prolog_list(self):
+        assert str(make_list([Atom("a"), Atom("b")])) == "[a, b]"
+        assert str(cons(Atom("a"), Var("T"))) == "[a|T]"
+
+
+class TestVariableCollection:
+    def test_term_variables_dedupes_in_order(self):
+        term = Struct("f", (Var("X"), Var("Y"), Var("X")))
+        assert [v.name for v in term_variables(term)] == ["X", "Y"]
+
+    def test_terms_variables_across_terms(self):
+        names = [
+            v.name
+            for v in terms_variables(
+                [Struct("f", (Var("B"),)), Struct("g", (Var("A"), Var("B")))]
+            )
+        ]
+        assert names == ["B", "A"]
+
+
+class TestWalk:
+    def test_identity(self):
+        term = Struct("f", (Atom("a"), Var("X")))
+        assert walk(term, lambda t: t) == term
+
+    def test_replace_atoms(self):
+        term = Struct("f", (Atom("a"),))
+        swapped = walk(
+            term, lambda t: Atom("b") if t == Atom("a") else t
+        )
+        assert swapped == Struct("f", (Atom("b"),))

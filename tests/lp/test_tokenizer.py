@@ -1,0 +1,129 @@
+"""Unit tests for the Prolog tokenizer."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.lp.tokenizer import (
+    ATOM,
+    END,
+    EOF,
+    INTEGER,
+    PUNCT,
+    VARIABLE,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        assert kinds("") == [EOF]
+
+    def test_atom(self):
+        tokens = tokenize("append")
+        assert tokens[0].kind == ATOM
+        assert tokens[0].text == "append"
+
+    def test_variable(self):
+        assert tokenize("Xs")[0].kind == VARIABLE
+        assert tokenize("_Tail")[0].kind == VARIABLE
+        assert tokenize("_")[0].kind == VARIABLE
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind == INTEGER
+        assert token.text == "42"
+
+    def test_punctuation(self):
+        assert texts("( ) [ ] , |") == ["(", ")", "[", "]", ",", "|"]
+
+    def test_clause_end(self):
+        tokens = tokenize("a.")
+        assert [t.kind for t in tokens] == [ATOM, END, EOF]
+
+
+class TestSymbolicAtoms:
+    def test_neck(self):
+        assert texts(":-") == [":-"]
+
+    def test_comparison_operators(self):
+        assert texts("=< >= == \\== \\= \\+") == [
+            "=<", ">=", "==", "\\==", "\\=", "\\+",
+        ]
+
+    def test_symbolic_run_stops_before_clause_period(self):
+        # "X=Y." must give '=', not '=.'.
+        assert texts("X=Y.") == ["X", "=", "Y", "."]
+
+    def test_period_inside_symbolic_not_end(self):
+        # '=..' is one symbolic atom (univ).
+        assert texts("X =.. L.") == ["X", "=..", "L", "."]
+
+
+class TestQuotedAtoms:
+    def test_simple(self):
+        token = tokenize("'+'")[0]
+        assert token.kind == ATOM
+        assert token.text == "+"
+
+    def test_spaces_inside(self):
+        assert tokenize("'hello world'")[0].text == "hello world"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_backslash_escape(self):
+        assert tokenize(r"'a\nb'")[0].text == "a\nb"
+
+    def test_unterminated(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("'oops")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("% a comment\nfoo") == [ATOM, EOF]
+
+    def test_block_comment(self):
+        assert kinds("/* skip */ foo") == [ATOM, EOF]
+
+    def test_block_comment_multiline(self):
+        assert kinds("/* a\nb\nc */ foo") == [ATOM, EOF]
+
+    def test_unterminated_block(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("/* forever")
+
+    def test_period_before_comment_is_end(self):
+        assert kinds("a.% trailing")[:2] == [ATOM, END]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("a\n  {")
+        except PrologSyntaxError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected PrologSyntaxError")
+
+
+class TestRealisticClause:
+    def test_merge_rule(self):
+        text = "merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs)."
+        token_kinds = kinds(text)
+        assert token_kinds[-1] == EOF
+        assert token_kinds[-2] == END
+        assert PUNCT in token_kinds

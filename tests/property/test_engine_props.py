@@ -1,0 +1,88 @@
+"""Property tests for the SLD engine against executable semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import SLDEngine, parse_program
+from repro.lp.terms import Atom, Var, list_elements, make_list
+
+from tests.property.strategies import atoms, ground_lists
+
+APPEND = parse_program(
+    """
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+    """
+)
+
+REVERSE = parse_program(
+    """
+    rev(L, R) :- rev_acc(L, [], R).
+    rev_acc([], A, A).
+    rev_acc([X|Xs], A, R) :- rev_acc(Xs, [X|A], R).
+    """
+)
+
+
+def to_python(term):
+    elements, tail = list_elements(term)
+    assert tail == Atom("[]")
+    return [element.name for element in elements]
+
+
+@given(ground_lists(), ground_lists())
+@settings(max_examples=60, deadline=None)
+def test_append_computes_concatenation(left, right):
+    engine = SLDEngine(APPEND)
+    result = engine.solve(
+        [parse_goal("append", left, right, Var("Z"))]
+    )
+    assert result.completed
+    (solution,) = result.solutions
+    assert to_python(solution[Var("Z")]) == to_python(left) + to_python(right)
+
+
+@given(ground_lists())
+@settings(max_examples=50, deadline=None)
+def test_append_backward_finds_all_splits(whole):
+    engine = SLDEngine(APPEND)
+    result = engine.solve(
+        [parse_goal("append", Var("A"), Var("B"), whole)]
+    )
+    assert result.completed
+    length = len(to_python(whole))
+    assert len(result.solutions) == length + 1
+    for solution in result.solutions:
+        assert (
+            to_python(solution[Var("A")]) + to_python(solution[Var("B")])
+            == to_python(whole)
+        )
+
+
+@given(ground_lists())
+@settings(max_examples=50, deadline=None)
+def test_reverse_matches_python(items):
+    engine = SLDEngine(REVERSE)
+    result = engine.solve([parse_goal("rev", items, Var("R"))])
+    assert result.completed
+    (solution,) = result.solutions
+    assert to_python(solution[Var("R")]) == list(reversed(to_python(items)))
+
+
+@given(ground_lists(max_length=5), ground_lists(max_length=5))
+@settings(max_examples=40, deadline=None)
+def test_double_reverse_is_identity(first, second):
+    engine = SLDEngine(REVERSE)
+    result = engine.solve([parse_goal("rev", first, Var("R"))])
+    (solution,) = result.solutions
+    back = engine.solve(
+        [parse_goal("rev", solution[Var("R")], Var("B"))]
+    )
+    assert back.solutions[0][Var("B")] == first
+
+
+def parse_goal(name, *args):
+    from repro.lp.program import Literal
+    from repro.lp.terms import Struct
+
+    return Literal(Struct(name, tuple(args)))

@@ -1,0 +1,132 @@
+"""Property tests for the graph substrate (DESIGN.md section 7)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import Digraph
+from repro.graph.minplus import (
+    find_nonpositive_cycle,
+    has_nonpositive_cycle,
+    min_plus_closure,
+)
+from repro.graph.scc import condensation, strongly_connected_components
+
+
+def small_graphs(max_nodes=5):
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ),
+                max_size=2 * n,
+            ),
+        )
+    )
+
+
+def weighted_graphs(max_nodes=4):
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.dictionaries(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                st.integers(min_value=-3, max_value=5),
+                max_size=n * n,
+            ),
+        )
+    )
+
+
+def brute_force_shortest(nodes, weights, source, target, max_hops):
+    """Shortest walk weight with at most *max_hops* edges."""
+    best = None
+    frontier = {source: 0}
+    for _ in range(max_hops):
+        next_frontier = {}
+        for node, cost in frontier.items():
+            for (u, v), w in weights.items():
+                if u != node:
+                    continue
+                candidate = cost + w
+                if v == target and (best is None or candidate < best):
+                    best = candidate
+                if (
+                    v not in next_frontier
+                    or candidate < next_frontier[v]
+                ):
+                    next_frontier[v] = candidate
+        frontier = next_frontier
+    return best
+
+
+@given(weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_minplus_matches_brute_force_without_negative_cycles(data):
+    n, weights = data
+    nodes = list(range(n))
+    if has_nonpositive_cycle(nodes, weights):
+        return  # Floyd-Warshall distances are not walks' infima then
+    dist = min_plus_closure(nodes, weights)
+    for source in nodes:
+        for target in nodes:
+            brute = brute_force_shortest(nodes, weights, source, target, n)
+            assert dist[(source, target)] == brute
+
+
+@given(weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_witness_cycle_is_genuine(data):
+    n, weights = data
+    nodes = list(range(n))
+    cycle = find_nonpositive_cycle(nodes, weights)
+    if cycle is None:
+        return
+    assert cycle[0] == cycle[-1]
+    total = sum(weights[(u, v)] for u, v in zip(cycle, cycle[1:]))
+    assert total <= 0
+
+
+@given(small_graphs())
+@settings(max_examples=80, deadline=None)
+def test_sccs_partition_nodes(data):
+    n, edges = data
+    graph = Digraph.from_edges(edges, nodes=range(n))
+    components = strongly_connected_components(graph)
+    seen = list(itertools.chain.from_iterable(components))
+    assert sorted(seen) == sorted(graph.nodes)
+    assert len(seen) == len(set(seen))
+
+
+@given(small_graphs())
+@settings(max_examples=80, deadline=None)
+def test_condensation_is_acyclic(data):
+    n, edges = data
+    graph = Digraph.from_edges(edges, nodes=range(n))
+    components, dag = condensation(graph)
+    # No self loops, and topological order exists.
+    from repro.graph.scc import topological_order
+
+    for node in dag.nodes:
+        assert not dag.has_edge(node, node)
+    order = topological_order(dag)
+    assert len(order) == len(components)
+
+
+@given(small_graphs())
+@settings(max_examples=80, deadline=None)
+def test_scc_order_is_bottom_up(data):
+    n, edges = data
+    graph = Digraph.from_edges(edges, nodes=range(n))
+    components = strongly_connected_components(graph)
+    index_of = {}
+    for i, component in enumerate(components):
+        for node in component:
+            index_of[node] = i
+    for source, target in graph.edges():
+        # A dependency (edge source -> target) means target's component
+        # must come first (lower SCCs first).
+        assert index_of[target] <= index_of[source]

@@ -1,0 +1,77 @@
+"""Property tests for terms and size norms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.terms import term_variables
+from repro.lp.unify import apply_subst
+from repro.sizes.norms import LIST_LENGTH, RIGHT_SPINE, STRUCTURAL, size_variable
+
+from tests.property.strategies import ground_terms, terms, variables
+
+
+@given(ground_terms())
+def test_structural_size_nonnegative(term):
+    assert term.structural_size() >= 0
+
+
+@given(ground_terms())
+def test_structural_size_is_sum_of_arities(term):
+    assert term.structural_size() == sum(a for _, a in term.functors())
+
+
+@given(ground_terms())
+def test_norms_agree_with_symbolic_on_ground(term):
+    for norm in (STRUCTURAL, LIST_LENGTH, RIGHT_SPINE):
+        expr = norm.size_expr(term)
+        assert expr.is_constant()
+        assert expr.const == norm.ground_size(term)
+
+
+@given(terms())
+def test_size_polynomial_nonnegative_coefficients(term):
+    # Eq. 1 requires nonnegative (a, A) for every atom.
+    for norm in (STRUCTURAL, LIST_LENGTH, RIGHT_SPINE):
+        expr = norm.size_expr(term)
+        assert expr.const >= 0
+        assert all(coeff >= 0 for _, coeff in expr.items())
+
+
+@given(terms(), ground_terms(max_leaves=6))
+@settings(max_examples=60)
+def test_size_compositional_under_substitution(template, replacement):
+    """size(t[x := g]) = size-polynomial evaluated at size(g)."""
+    variables_of = term_variables(template)
+    if not variables_of:
+        return
+    var = variables_of[0]
+    substituted = apply_subst(template, {var: replacement})
+
+    expr = STRUCTURAL.size_expr(template)
+    values = {
+        size_variable(v): (
+            STRUCTURAL.ground_size(replacement) if v == var else 0
+        )
+        for v in variables_of
+    }
+    # Remaining variables valued at 0 corresponds to substituting a
+    # size-0 constant; do that for the comparison term too.
+    from repro.lp.terms import Atom
+
+    fully_ground = substituted
+    for other in term_variables(substituted):
+        fully_ground = apply_subst(fully_ground, {other: Atom("a")})
+    assert STRUCTURAL.ground_size(fully_ground) == expr.evaluate(values)
+
+
+@given(ground_terms())
+def test_subterms_include_self_and_leaves(term):
+    subterms = list(term.subterms())
+    assert subterms[0] == term
+    assert all(not list(leaf.variables()) for leaf in subterms)
+
+
+@given(terms())
+def test_term_variables_deduplicated(term):
+    collected = term_variables(term)
+    assert len(collected) == len(set(collected))

@@ -1,0 +1,87 @@
+"""Property tests for the syntactic-transformation layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.program import Clause, Literal, Program
+from repro.lp.terms import Struct, Var
+from repro.lp.unify import apply_subst_clause
+from repro.transform.equality import eliminate_positive_equality
+from repro.transform.subsumption import eliminate_subsumed, subsumes
+
+from tests.property.strategies import ground_terms, terms
+
+
+def clauses(max_body=3):
+    """Random clauses p(t) :- q_i(t_i) over a tiny signature."""
+
+    def build(head_arg, body_args):
+        return Clause(
+            head=Struct("p", (head_arg,)),
+            body=tuple(
+                Literal(Struct("q", (arg,))) for arg in body_args
+            ),
+        )
+
+    return st.builds(
+        build,
+        terms(max_leaves=6),
+        st.lists(terms(max_leaves=4), max_size=max_body),
+    )
+
+
+@given(clauses())
+def test_subsumption_reflexive(clause):
+    assert subsumes(clause, clause)
+
+
+@given(clauses(), ground_terms(max_leaves=4))
+@settings(max_examples=80)
+def test_clause_subsumes_its_instances(clause, replacement):
+    variables = clause.variables()
+    if not variables:
+        return
+    instance = apply_subst_clause(clause, {variables[0]: replacement})
+    assert subsumes(clause, instance)
+
+
+@given(st.lists(clauses(), min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_eliminate_subsumed_keeps_a_generalization(clause_list):
+    program = Program()
+    for clause in clause_list:
+        program.add_clause(clause)
+    simplified = eliminate_subsumed(program)
+    # Every removed clause is subsumed by some survivor.
+    survivors = list(simplified.clauses)
+    for clause in program.clauses:
+        assert any(subsumes(keeper, clause) for keeper in survivors)
+
+
+@given(st.lists(clauses(), min_size=1, max_size=4))
+@settings(max_examples=40)
+def test_eliminate_subsumed_idempotent(clause_list):
+    program = Program()
+    for clause in clause_list:
+        program.add_clause(clause)
+    once = eliminate_subsumed(program)
+    twice = eliminate_subsumed(once)
+    assert str(once) == str(twice)
+
+
+@given(terms(max_leaves=5), terms(max_leaves=5))
+@settings(max_examples=60)
+def test_equality_elimination_removes_all_equalities(left, right):
+    clause = Clause(
+        head=Struct("p", (Var("Z"),)),
+        body=(
+            Literal(Struct("=", (left, right))),
+            Literal(Struct("q", (Var("Z"),))),
+        ),
+    )
+    program = Program()
+    program.add_clause(clause)
+    result = eliminate_positive_equality(program)
+    for out in result.clauses:
+        assert all(lit.indicator != ("=", 2) or not lit.positive
+                   for lit in out.body)

@@ -1,0 +1,54 @@
+"""Property tests for unification."""
+
+from hypothesis import given, settings
+
+from repro.lp.unify import apply_subst, unify
+
+from tests.property.strategies import ground_terms, terms
+
+
+@given(terms())
+def test_unify_with_self_succeeds(term):
+    subst = unify(term, term, occurs_check=True)
+    assert subst == {}
+
+
+@given(terms(), terms())
+@settings(max_examples=120)
+def test_mgu_is_a_unifier(left, right):
+    subst = unify(left, right, occurs_check=True)
+    if subst is not None:
+        assert apply_subst(left, subst) == apply_subst(right, subst)
+
+
+@given(terms(), terms())
+@settings(max_examples=120)
+def test_mgu_idempotent(left, right):
+    subst = unify(left, right, occurs_check=True)
+    if subst is not None:
+        for value in subst.values():
+            assert apply_subst(value, subst) == value
+
+
+@given(terms(), terms())
+def test_unify_symmetric_in_success(left, right):
+    forward = unify(left, right, occurs_check=True)
+    backward = unify(right, left, occurs_check=True)
+    assert (forward is None) == (backward is None)
+
+
+@given(ground_terms(), ground_terms())
+def test_ground_unification_is_equality(left, right):
+    subst = unify(left, right, occurs_check=True)
+    if left == right:
+        assert subst == {}
+    else:
+        assert subst is None
+
+
+@given(terms(), ground_terms())
+@settings(max_examples=80)
+def test_unify_against_ground_grounds_term(template, ground):
+    subst = unify(template, ground, occurs_check=True)
+    if subst is not None:
+        assert apply_subst(template, subst) == ground

@@ -1,0 +1,104 @@
+"""Property tests for the certificate verifier.
+
+The verifier must accept exactly the valid certificates: random
+weakenings of a genuine certificate (raising theta, shrinking or
+zeroing lambda) that break the decrease condition must be rejected,
+while harmless transformations (scaling lambda and theta together)
+must stay accepted.
+"""
+
+import copy
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze_program, verify_proof
+from repro.core.adornment import AdornedPredicate
+from repro.core.verifier import VerificationError
+from repro.lp import parse_program
+
+MERGE = parse_program(
+    """
+    merge([], Ys, Ys).
+    merge(Xs, [], Xs).
+    merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+    merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+    """
+)
+
+NODE = AdornedPredicate(("merge", 3), "bbf")
+
+
+@pytest.fixture(scope="module")
+def merge_proof():
+    result = analyze_program(MERGE, ("merge", 3), "bbf")
+    assert result.proved
+    (scc,) = [
+        r for r in result.scc_results
+        if not r.proof.trivially_nonrecursive
+    ]
+    return scc.proof
+
+
+def clone(proof):
+    twin = copy.copy(proof)
+    twin.lambdas = {k: dict(v) for k, v in proof.lambdas.items()}
+    twin.thetas = dict(proof.thetas)
+    return twin
+
+
+@given(st.fractions(min_value=1, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_joint_scaling_preserved(merge_proof, factor):
+    """lambda' = c*lambda with theta' = c*theta stays a certificate."""
+    scaled = clone(merge_proof)
+    scaled.lambdas[NODE] = {
+        k: v * factor for k, v in scaled.lambdas[NODE].items()
+    }
+    scaled.thetas[(NODE, NODE)] = scaled.thetas[(NODE, NODE)] * factor
+    assert verify_proof(scaled)
+
+
+@given(st.fractions(min_value=0, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_inflated_theta_rejected(merge_proof, extra):
+    """Any theta above the certified decrease must be rejected."""
+    tampered = clone(merge_proof)
+    weights = tampered.lambdas[NODE]
+    # The genuine decrease for merge is exactly 2 * weight (the two
+    # bound sizes shed one cons cell each per call).
+    genuine = 2 * weights[1]
+    tampered.thetas[(NODE, NODE)] = genuine + extra + 1
+    with pytest.raises(VerificationError):
+        verify_proof(tampered)
+
+
+@given(
+    st.fractions(min_value=0, max_value=2),
+    st.fractions(min_value=0, max_value=2),
+)
+@settings(max_examples=50, deadline=None)
+def test_lambda_balance_is_exactly_what_verifies(merge_proof, w1, w2):
+    """Example 5.1's essence, sharpened: the recursive calls SWAP the
+    arguments, so any imbalance makes the decrease unbounded below
+    (the surplus side can grow without bound).  A weight pair verifies
+    iff w1 == w2 >= theta/2."""
+    tampered = clone(merge_proof)
+    tampered.lambdas[NODE] = {1: Fraction(w1), 2: Fraction(w2)}
+    tampered.thetas[(NODE, NODE)] = Fraction(1)
+    if w1 == w2 and w1 >= Fraction(1, 2):
+        assert verify_proof(tampered)
+    else:
+        with pytest.raises(VerificationError):
+            verify_proof(tampered)
+
+
+@given(st.integers(min_value=0, max_value=1))
+@settings(max_examples=10, deadline=None)
+def test_zero_lambda_always_rejected(merge_proof, position_bit):
+    tampered = clone(merge_proof)
+    tampered.lambdas[NODE] = {1: Fraction(0), 2: Fraction(0)}
+    with pytest.raises(VerificationError):
+        verify_proof(tampered)

@@ -1,0 +1,104 @@
+"""Unit tests for term norms."""
+
+import pytest
+
+from repro.lp.parser import parse_term
+from repro.sizes.norms import (
+    LIST_LENGTH,
+    RIGHT_SPINE,
+    STRUCTURAL,
+    get_norm,
+    size_variable,
+)
+
+
+class TestStructural:
+    def test_paper_list_example(self):
+        # a . b . c . [] has structural term size 6 (Section 2.2).
+        assert STRUCTURAL.ground_size(parse_term("[a, b, c]")) == 6
+
+    def test_paper_polynomial_example(self):
+        # size(f(u, v, a)) = 3 + u + v (Section 2.2).
+        expr = STRUCTURAL.size_expr(parse_term("f(U, V, a)"))
+        assert expr.const == 3
+        assert expr.coefficient(size_variable_for("U")) == 1
+        assert expr.coefficient(size_variable_for("V")) == 1
+
+    def test_paper_repeated_variable(self):
+        # p(f(V1, g(V2), V2), V1): x1 = 4 + v1 + 2*v2 (Section 2.2).
+        expr = STRUCTURAL.size_expr(parse_term("f(V1, g(V2), V2)"))
+        assert expr.const == 4
+        assert expr.coefficient(size_variable_for("V1")) == 1
+        assert expr.coefficient(size_variable_for("V2")) == 2
+
+    def test_constant_size_zero(self):
+        assert STRUCTURAL.ground_size(parse_term("a")) == 0
+
+    def test_variable_is_its_own_size(self):
+        expr = STRUCTURAL.size_expr(parse_term("X"))
+        assert expr.coefficient(size_variable_for("X")) == 1
+        assert expr.const == 0
+
+    def test_nonnegative_coefficients(self):
+        # Eq. 1 requires a, A >= 0 for any term.
+        expr = STRUCTURAL.size_expr(
+            parse_term("f(g(X, X, h(Y)), [a, Z|T])")
+        )
+        assert expr.const >= 0
+        assert all(coeff >= 0 for _, coeff in expr.items())
+
+    def test_ground_size_requires_ground(self):
+        with pytest.raises(ValueError):
+            STRUCTURAL.ground_size(parse_term("f(X)"))
+
+
+class TestListLength:
+    def test_list(self):
+        assert LIST_LENGTH.ground_size(parse_term("[a, b, c]")) == 3
+
+    def test_nested_elements_ignored(self):
+        assert LIST_LENGTH.ground_size(parse_term("[[a, b], [c]]")) == 2
+
+    def test_non_list_is_zero(self):
+        assert LIST_LENGTH.ground_size(parse_term("f(a, b)")) == 0
+
+    def test_partial_list(self):
+        expr = LIST_LENGTH.size_expr(parse_term("[a, b|T]"))
+        assert expr.const == 2
+        assert expr.coefficient(size_variable_for("T")) == 1
+
+
+class TestRightSpine:
+    def test_list_equals_length(self):
+        assert RIGHT_SPINE.ground_size(parse_term("[a, b, c]")) == 3
+
+    def test_left_subtree_ignored(self):
+        # Spine follows only rightmost children — the "less natural
+        # for binary trees" property.
+        assert RIGHT_SPINE.ground_size(parse_term("node(node(a, b), c)")) == 1
+
+    def test_variable_tail(self):
+        expr = RIGHT_SPINE.size_expr(parse_term("f(X, Y)"))
+        assert expr.const == 1
+        assert expr.coefficient(size_variable_for("Y")) == 1
+        assert expr.coefficient(size_variable_for("X")) == 0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_norm("structural") is STRUCTURAL
+        assert get_norm("list_length") is LIST_LENGTH
+        assert get_norm("right_spine") is RIGHT_SPINE
+
+    def test_norm_instance_passthrough(self):
+        assert get_norm(STRUCTURAL) is STRUCTURAL
+
+    def test_unknown_norm(self):
+        with pytest.raises(ValueError):
+            get_norm("levenshtein")
+
+
+def size_variable_for(name):
+    from repro.lp.terms import Var
+
+    return size_variable(Var(name))

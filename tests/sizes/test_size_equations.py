@@ -1,0 +1,59 @@
+"""Unit tests for argument size equations."""
+
+import pytest
+
+from repro.lp.parser import parse_term
+from repro.lp.terms import Var
+from repro.sizes.norms import size_variable
+from repro.sizes.size_equations import (
+    arg_dimension,
+    argument_size_exprs,
+    atom_size_equations,
+)
+
+
+class TestArgumentSizeExprs:
+    def test_paper_section_2_2(self):
+        # p(f(V1, g(V2), V2), V1): x(1) = 4 + v1 + 2 v2, x(2) = v1.
+        atom = parse_term("p(f(V1, g(V2), V2), V1)")
+        first, second = argument_size_exprs(atom)
+        assert first.const == 4
+        assert first.coefficient(size_variable(Var("V1"))) == 1
+        assert first.coefficient(size_variable(Var("V2"))) == 2
+        assert second.const == 0
+        assert second.coefficient(size_variable(Var("V1"))) == 1
+
+    def test_atom_without_args(self):
+        assert argument_size_exprs(parse_term("true")) == []
+
+    def test_list_argument(self):
+        # perm(P, [X|L]): sizes P and 2 + X + L (Example 3.1).
+        atom = parse_term("perm(P, [X|L])")
+        first, second = argument_size_exprs(atom)
+        assert first.coefficient(size_variable(Var("P"))) == 1
+        assert second.const == 2
+
+    def test_norm_selection(self):
+        atom = parse_term("p([a, b, c])")
+        (structural,) = argument_size_exprs(atom, "structural")
+        (length,) = argument_size_exprs(atom, "list_length")
+        assert structural.const == 6
+        assert length.const == 3
+
+    def test_rejects_variables(self):
+        with pytest.raises(TypeError):
+            argument_size_exprs(Var("X"))
+
+
+class TestAtomSizeEquations:
+    def test_links_dimensions(self):
+        atom = parse_term("append(Xs, Ys, Zs)")
+        equations = atom_size_equations(atom)
+        assert len(equations) == 3
+        for position, equation in enumerate(equations, start=1):
+            assert equation.is_equality()
+            assert arg_dimension(position) in equation.variables()
+
+    def test_dimension_names(self):
+        assert arg_dimension(1) == ("arg", 1)
+        assert arg_dimension(3) == ("arg", 3)

@@ -1,0 +1,77 @@
+"""Tests for the exception hierarchy and top-level API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    EngineLimitError,
+    InfeasibleError,
+    LinAlgError,
+    ModeError,
+    PrologSyntaxError,
+    ReproError,
+    TransformError,
+    UnboundedError,
+    UnificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            PrologSyntaxError,
+            UnificationError,
+            EngineLimitError,
+            LinAlgError,
+            InfeasibleError,
+            UnboundedError,
+            AnalysisError,
+            ModeError,
+            TransformError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_lp_errors_under_linalg(self):
+        assert issubclass(InfeasibleError, LinAlgError)
+        assert issubclass(UnboundedError, LinAlgError)
+
+    def test_mode_error_is_analysis_error(self):
+        assert issubclass(ModeError, AnalysisError)
+
+    def test_syntax_error_position_formatting(self):
+        error = PrologSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_engine_limit_carries_budget_info(self):
+        error = EngineLimitError("too deep", depth=12, steps=345)
+        assert error.depth == 12
+        assert error.steps == 345
+
+    def test_fm_blowup_is_linalg_error(self):
+        from repro.linalg.fourier_motzkin import FMBlowupError
+
+        assert issubclass(FMBlowupError, LinAlgError)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_analyze_alias(self):
+        result = repro.analyze(
+            "p(s(N)) :- p(N).\np(0).", ("p", 1), "b"
+        )
+        assert result.proved
+
+    def test_one_reproerror_catches_everything(self):
+        with pytest.raises(ReproError):
+            repro.parse_program("p(a")

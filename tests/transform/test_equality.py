@@ -1,0 +1,56 @@
+"""Unit tests for positive-equality elimination."""
+
+from repro.lp import parse_program
+from repro.transform.equality import eliminate_positive_equality
+
+
+def normalize(text):
+    return str(eliminate_positive_equality(parse_program(text)))
+
+
+class TestEliminatePositiveEquality:
+    def test_paper_example(self):
+        # r(Z) :- U = f(Z), p(U)  ==>  r(Z) :- p(f(Z)).
+        result = normalize("r(Z) :- U = f(Z), p(U).")
+        assert result == "r(Z) :- p(f(Z))."
+
+    def test_reversed_sides(self):
+        result = normalize("r(Z) :- f(Z) = U, p(U).")
+        assert result == "r(Z) :- p(f(Z))."
+
+    def test_equality_after_use(self):
+        result = normalize("r(Z) :- p(U), U = f(Z).")
+        assert result == "r(Z) :- p(f(Z))."
+
+    def test_multiple_equalities(self):
+        result = normalize("r(X) :- U = a, V = b, p(U, V).")
+        assert result == "r(X) :- p(a, b)."
+
+    def test_chained_equalities(self):
+        result = normalize("r(X) :- U = V, V = a, p(U).")
+        assert result == "r(X) :- p(a)."
+
+    def test_unsatisfiable_equality_drops_clause(self):
+        program = eliminate_positive_equality(
+            parse_program("p(a).\nq(X) :- a = b, p(X).")
+        )
+        assert len(program) == 1
+
+    def test_occurs_check_drops_clause(self):
+        program = eliminate_positive_equality(
+            parse_program("q(X) :- X = f(X), p(X).")
+        )
+        assert len(program) == 0
+
+    def test_negative_equality_untouched(self):
+        result = normalize("r(X) :- \\+ X = a, p(X).")
+        assert "\\+" in result
+        assert "=" in result
+
+    def test_head_variables_substituted(self):
+        result = normalize("r(U) :- U = f(Z).")
+        assert result == "r(f(Z))."
+
+    def test_clauses_without_equality_unchanged(self):
+        text = "p(a).\nq(X) :- p(X)."
+        assert normalize(text) == str(parse_program(text))

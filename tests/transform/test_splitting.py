@@ -1,0 +1,98 @@
+"""Unit tests for predicate splitting."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.lp import parse_program
+from repro.transform.splitting import find_split_trigger, split_predicate
+from repro.transform.unfolding import safe_unfold
+
+#: The paper's Appendix A splitting example.
+SIMPLE = """
+p(a).
+p(X) :- q(X, Y), p(Y).
+r(Z) :- p(f(Z)), r(Z).
+"""
+
+
+class TestFindTrigger:
+    def test_paper_example_triggers(self):
+        program = parse_program(SIMPLE)
+        trigger = find_split_trigger(program)
+        assert trigger is not None
+        clause = program.clauses[trigger[0]]
+        literal = clause.body[trigger[1]]
+        assert str(literal.atom) == "p(f(Z))"
+
+    def test_no_trigger_when_all_unify(self, append_program):
+        assert find_split_trigger(append_program) is None
+
+    def test_single_rule_predicates_skipped(self):
+        program = parse_program("p(a).\nq(X) :- p(b), q(X).")
+        assert find_split_trigger(program) is None
+
+    def test_negative_literals_ignored(self):
+        program = parse_program(
+            "p(a).\np(f(X)) :- p(X).\nq(X) :- \\+ p(g(X))."
+        )
+        # The only partitioning occurrence is under negation.
+        assert find_split_trigger(program) is None
+
+
+class TestSplitPredicate:
+    def test_paper_example_structure(self):
+        program = parse_program(SIMPLE)
+        result = split_predicate(program, find_split_trigger(program))
+        text = str(result)
+        # Two bridge rules for p.
+        bridges = [
+            c for c in result.clauses_for(("p", 1))
+            if not c.is_fact() and len(c.body) == 1
+        ]
+        assert len(bridges) == 2
+        # The trigger subgoal is specialized to the unifying group.
+        assert "p(f(Z))" not in text
+
+    def test_rule_partition(self):
+        program = parse_program(SIMPLE)
+        result = split_predicate(program, find_split_trigger(program))
+        group_names = {
+            predicate.name
+            for predicate in result.predicates
+            if predicate.name.startswith("p__")
+        }
+        assert len(group_names) == 2
+        # p(a) went to the non-unifying group, the recursive rule to
+        # the unifying one.
+        for name in group_names:
+            clauses = result.clauses_for((name, 1))
+            assert len(clauses) == 1
+
+    def test_semantics_preserved(self):
+        from repro.lp import SLDEngine
+
+        source = parse_program(SIMPLE + "q(f(a), a).")
+        split = split_predicate(source, find_split_trigger(source))
+        for query in ("p(a)", "p(f(a))", "p(b)"):
+            assert (
+                SLDEngine(source).solve(query).succeeded
+                == SLDEngine(split).solve(query).succeeded
+            )
+
+    def test_invalid_trigger_rejected(self, append_program):
+        with pytest.raises(TransformError):
+            split_predicate(append_program, (1, 0))
+
+
+class TestA1Pipeline:
+    def test_split_after_unfold(self, a1_program):
+        unfolded = safe_unfold(a1_program, ("p", 1))
+        trigger = find_split_trigger(unfolded)
+        assert trigger is not None
+        result = split_predicate(unfolded, trigger)
+        # The paper's intermediate form: q split into two groups with
+        # bridge rules, p's recursive rule redirected.
+        q_groups = {
+            p.name for p in result.predicates if p.name.startswith("q__")
+        }
+        assert len(q_groups) == 2

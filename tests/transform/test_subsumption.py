@@ -1,0 +1,103 @@
+"""Unit tests for clause subsumption elimination."""
+
+from repro.lp import SLDEngine, parse_program
+from repro.transform.subsumption import eliminate_subsumed, subsumes
+
+
+def clause(text):
+    return parse_program(text).clauses[0]
+
+
+class TestSubsumes:
+    def test_more_general_fact(self):
+        assert subsumes(clause("p(X)."), clause("p(a)."))
+        assert not subsumes(clause("p(a)."), clause("p(X)."))
+
+    def test_variants_subsume_each_other(self):
+        assert subsumes(clause("p(X, Y)."), clause("p(A, B)."))
+        assert subsumes(clause("p(A, B)."), clause("p(X, Y)."))
+
+    def test_repeated_variable_more_specific(self):
+        assert subsumes(clause("p(X, Y)."), clause("p(Z, Z)."))
+        assert not subsumes(clause("p(Z, Z)."), clause("p(X, Y)."))
+
+    def test_body_subset(self):
+        general = clause("p(X) :- q(X).")
+        specific = clause("p(X) :- q(X), r(X).")
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_body_instantiation(self):
+        general = clause("p(X) :- q(X, Y).")
+        specific = clause("p(a) :- q(a, b).")
+        assert subsumes(general, specific)
+
+    def test_duplicate_literals(self):
+        general = clause("p(X) :- q(X).")
+        specific = clause("p(X) :- q(X), q(X).")
+        assert subsumes(general, specific)
+
+    def test_polarity_respected(self):
+        general = clause("p(X) :- q(X).")
+        specific = clause("p(X) :- \\+ q(X), r(X).")
+        assert not subsumes(general, specific)
+
+    def test_different_predicates(self):
+        assert not subsumes(clause("p(X)."), clause("q(X)."))
+
+    def test_shared_variable_consistency(self):
+        general = clause("p(X) :- q(X, X).")
+        specific = clause("p(a) :- q(a, b).")
+        assert not subsumes(general, specific)
+
+
+class TestEliminateSubsumed:
+    def test_paper_a1_simplification(self):
+        # The final A.1 program: q2 :- e, e collapses to q2 :- e and
+        # q2 :- q2(f(X)), q2(f(X)) to a single recursive call; the
+        # mixed rules are subsumed by the simpler ones.
+        program = parse_program(
+            """
+            p(g(X)) :- e(X).
+            p(g(X)) :- q2(f(X)).
+            q2(f(g(X))) :- e(X), e(X).
+            q2(f(g(X))) :- e(X), q2(f(X)).
+            q2(f(g(X))) :- q2(f(X)), e(X).
+            q2(f(g(X))) :- q2(f(X)), q2(f(X)).
+            """
+        )
+        simplified = eliminate_subsumed(program)
+        texts = [str(c) for c in simplified.clauses]
+        assert "q2(f(g(X))) :- e(X)." in texts
+        assert "q2(f(g(X))) :- q2(f(X))." in texts
+        # The two mixed rules are subsumed away.
+        assert len(simplified.clauses_for(("q2", 1))) == 2
+
+    def test_generalization_wins(self):
+        program = parse_program("p(a).\np(X).\np(b).")
+        simplified = eliminate_subsumed(program)
+        assert [str(c) for c in simplified.clauses] == ["p(X)."]
+
+    def test_variants_keep_first(self):
+        program = parse_program("p(X, Y).\np(A, B).")
+        simplified = eliminate_subsumed(program)
+        assert len(simplified) == 1
+
+    def test_no_false_positives(self):
+        program = parse_program("p(a).\np(b).\nq(X) :- p(X).")
+        assert len(eliminate_subsumed(program)) == 3
+
+    def test_semantics_preserved(self):
+        source = parse_program(
+            "e(a).\n"
+            "q(f(X)) :- e(X), e(X).\n"
+            "q(f(X)) :- e(X), q(X).\n"
+            "q(X) :- e(X).\n"
+        )
+        simplified = eliminate_subsumed(source)
+        assert len(simplified) < len(source)
+        for query in ("q(a)", "q(f(a))", "q(b)"):
+            assert (
+                SLDEngine(source).solve(query, max_depth=40).succeeded
+                == SLDEngine(simplified).solve(query, max_depth=40).succeeded
+            ), query

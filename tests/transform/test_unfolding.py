@@ -1,0 +1,88 @@
+"""Unit tests for safe unfolding."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.lp import parse_program
+from repro.transform.unfolding import (
+    remove_unreachable,
+    safe_unfold,
+    safe_unfold_candidates,
+)
+
+
+class TestCandidates:
+    def test_a1_candidate_is_p(self, a1_program):
+        assert safe_unfold_candidates(a1_program) == [("p", 1)]
+
+    def test_self_recursive_not_candidate(self, append_program):
+        assert safe_unfold_candidates(append_program) == []
+
+    def test_singleton_scc_not_candidate(self):
+        # q calls p, p nonrecursive: no *mutual* recursion to break.
+        program = parse_program("p(a).\nq(X) :- p(X), q(X).")
+        assert safe_unfold_candidates(program) == []
+
+    def test_negated_occurrence_blocks(self):
+        program = parse_program(
+            "p(X) :- q(X).\nq(X) :- \\+ p(X), q(X)."
+        )
+        assert ("p", 1) not in safe_unfold_candidates(program)
+
+
+class TestSafeUnfold:
+    def test_paper_a1_first_phase(self, a1_program):
+        result = safe_unfold(a1_program, ("p", 1))
+        text = str(result)
+        # q(Y) :- p(Y) unfolds into the two p-rule bodies.
+        assert "q(g(" in text
+        # The SCC now contains only q.
+        sccs = result.sccs()
+        recursive = [c for c in sccs if len(c) > 1]
+        assert recursive == []
+
+    def test_own_rules_kept(self, a1_program):
+        result = safe_unfold(a1_program, ("p", 1))
+        assert len(result.clauses_for(("p", 1))) == 2
+
+    def test_multiple_occurrences_product(self):
+        program = parse_program(
+            "p(a). p(b).\nq(X, Y) :- p(X), p(Y), q(X, Y)."
+        )
+        result = safe_unfold(program, ("p", 1))
+        # 2 p-rules x 2 occurrences = 4 unfolded q rules.
+        assert len(result.clauses_for(("q", 2))) == 4
+
+    def test_non_unifiable_combination_dropped(self):
+        program = parse_program(
+            "p(a).\np(b).\nq(X) :- p(a), q(X)."
+        )
+        result = safe_unfold(program, ("p", 1))
+        # Only the p(a) rule unifies with the p(a) subgoal.
+        assert len(result.clauses_for(("q", 1))) == 1
+
+    def test_substitution_applied_to_head(self):
+        program = parse_program("p(g(X)) :- e(X).\nq(Y) :- p(Y), q(Y).")
+        result = safe_unfold(program, ("p", 1))
+        (clause,) = result.clauses_for(("q", 1))
+        assert str(clause.head).startswith("q(g(")
+
+    def test_self_recursive_rejected(self, append_program):
+        with pytest.raises(TransformError):
+            safe_unfold(append_program, ("append", 3))
+
+    def test_undefined_rejected(self, append_program):
+        with pytest.raises(TransformError):
+            safe_unfold(append_program, ("nothing", 1))
+
+
+class TestRemoveUnreachable:
+    def test_prunes_dead_predicates(self):
+        program = parse_program("p(X) :- q(X).\nq(a).\ndead(b).")
+        result = remove_unreachable(program, [("p", 1)])
+        assert result.predicate("dead", 1) is None
+        assert result.predicate("q", 1) is not None
+
+    def test_keeps_everything_reachable(self, perm_program):
+        result = remove_unreachable(perm_program, [("perm", 2)])
+        assert len(result) == len(perm_program)
