@@ -26,15 +26,16 @@ def emit(experiment, text):
 def corpus_verdicts():
     """Verdict matrix for the whole corpus, computed once per session."""
     from repro.baselines import ALL_BASELINES
-    from repro.core import analyze_program
+    from repro.core import TerminationAnalyzer
     from repro.corpus import all_programs
     from repro.corpus.registry import load
 
     matrix = {}
     for entry in all_programs():
         program = load(entry)
+        analyzer = TerminationAnalyzer(program)
         row = {
-            "paper": analyze_program(program, entry.root, entry.mode).status
+            "paper": analyzer.analyze(entry.root, entry.mode).status
         }
         for method in ALL_BASELINES:
             row[method.name] = method.analyze(

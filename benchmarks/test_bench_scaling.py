@@ -61,14 +61,19 @@ def measure(program, root, mode):
     result = analyze_program(program, root, mode)
     elapsed = time.perf_counter() - started
     rows = sum(r.constraint_rows for r in result.scc_results)
-    return result, elapsed, rows
+    pivots = result.trace.stage("solve").pivots
+    return result, elapsed, rows, pivots
 
 
 def series_table(title, rows):
-    lines = ["%-8s %10s %8s %8s" % ("size", "verdict", "sec", "rows")]
-    for size, verdict, seconds, count in rows:
+    lines = [
+        "%-8s %10s %8s %8s %8s"
+        % ("size", "verdict", "sec", "rows", "pivots")
+    ]
+    for size, verdict, seconds, count, pivots in rows:
         lines.append(
-            "%-8s %10s %8.3f %8d" % (size, verdict, seconds, count)
+            "%-8s %10s %8.3f %8d %8d"
+            % (size, verdict, seconds, count, pivots)
         )
     return title + "\n" + "\n".join(lines)
 
@@ -76,9 +81,11 @@ def series_table(title, rows):
 def test_ring_scaling(benchmark):
     rows = []
     for k in (2, 4, 8, 12):
-        result, elapsed, count = measure(ring_program(k), ("p1", 1), "b")
+        result, elapsed, count, pivots = measure(
+            ring_program(k), ("p1", 1), "b"
+        )
         assert result.proved, "ring(%d)" % k
-        rows.append((k, result.status, elapsed, count))
+        rows.append((k, result.status, elapsed, count, pivots))
     benchmark.pedantic(
         lambda: analyze_program(ring_program(8), ("p1", 1), "b"),
         rounds=3, iterations=1,
@@ -89,9 +96,11 @@ def test_ring_scaling(benchmark):
 def test_chain_scaling(benchmark):
     rows = []
     for k in (2, 4, 8, 12):
-        result, elapsed, count = measure(chain_program(k), ("q1", 2), "bf")
+        result, elapsed, count, pivots = measure(
+            chain_program(k), ("q1", 2), "bf"
+        )
         assert result.proved, "chain(%d)" % k
-        rows.append((k, result.status, elapsed, count))
+        rows.append((k, result.status, elapsed, count, pivots))
     benchmark.pedantic(
         lambda: analyze_program(chain_program(8), ("q1", 2), "bf"),
         rounds=3, iterations=1,
@@ -103,11 +112,11 @@ def test_arity_scaling(benchmark):
     rows = []
     for arity in (1, 2, 4, 6, 8):
         mode = "b" * arity
-        result, elapsed, count = measure(
+        result, elapsed, count, pivots = measure(
             wide_program(arity), ("r", arity), mode
         )
         assert result.proved, "wide(%d)" % arity
-        rows.append((arity, result.status, elapsed, count))
+        rows.append((arity, result.status, elapsed, count, pivots))
     benchmark.pedantic(
         lambda: analyze_program(wide_program(6), ("r", 6), "b" * 6),
         rounds=3, iterations=1,

@@ -12,8 +12,8 @@ Run:  python examples/corpus_sweep.py
 import time
 
 from repro.baselines import ALL_BASELINES
-from repro.core import analyze_program
-from repro.core.report import render_verdict_table
+from repro.core import AnalysisTrace, TerminationAnalyzer
+from repro.core.report import render_stage_table, render_verdict_table
 from repro.corpus import all_programs
 from repro.corpus.registry import load
 
@@ -23,12 +23,13 @@ def main():
         m.name for m in ALL_BASELINES
     ]
     rows = []
+    merged = AnalysisTrace()
     started = time.time()
     for entry in all_programs():
         program = load(entry)
-        verdicts = [
-            analyze_program(program, entry.root, entry.mode).status
-        ]
+        result = TerminationAnalyzer(program).analyze(entry.root, entry.mode)
+        merged.merge(result.trace)
+        verdicts = [result.status]
         for method in ALL_BASELINES:
             verdicts.append(
                 method.analyze(program, entry.root, entry.mode).status
@@ -39,6 +40,10 @@ def main():
     print(render_verdict_table(rows, headers=tuple(headers)))
     print("\n%d programs analyzed by 4 methods in %.1fs"
           % (len(rows), time.time() - started))
+
+    # Where the paper's method spent its time, aggregated over the
+    # whole corpus (the baseline columns are not instrumented).
+    print("\n" + render_stage_table(merged))
 
     only_paper = [
         row[0]

@@ -4,7 +4,8 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import SLDEngine, analyze, parse_program, render_report, verify_proof
+from repro import SLDEngine, parse_program, render_report, verify_proof
+from repro.core import TerminationAnalyzer
 
 PROGRAM = """
 append([], Ys, Ys).
@@ -14,10 +15,11 @@ append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
 
 def main():
     program = parse_program(PROGRAM)
+    analyzer = TerminationAnalyzer(program)
 
     # 1. Ask the analyzer: does append(bound, bound, free) terminate
     #    under Prolog's top-down, left-to-right strategy?
-    result = analyze(program, root=("append", 3), mode="bbf")
+    result = analyzer.analyze(("append", 3), "bbf")
     print(render_report(result))
 
     # 2. The certificate is machine-checkable: an independent verifier
@@ -27,9 +29,11 @@ def main():
 
     # 3. The same question for the reversed mode — enumerate splits of
     #    a bound third argument.  A different argument carries the
-    #    termination proof.
-    backward = analyze(program, root=("append", 3), mode="ffb")
-    print(render_report(backward))
+    #    termination proof.  Reusing the analyzer reuses the already
+    #    inferred inter-argument environment; pass show_stats=True to
+    #    see the per-stage trace (note the interarg cache hit).
+    backward = analyzer.analyze(("append", 3), "ffb")
+    print(render_report(backward, show_stats=True))
 
     # 4. And the library can simply *run* the program too.
     engine = SLDEngine(program)

@@ -14,8 +14,8 @@ import os
 import sys
 import tempfile
 
-from repro import analyze, parse_program
-from repro.core import check_well_moded
+from repro import parse_program
+from repro.core import TerminationAnalyzer, check_well_moded
 
 LIBRARY = {
     "lists.pl": """
@@ -58,12 +58,15 @@ LIBRARY = {
 def lint_file(path):
     with open(path) as handle:
         program = parse_program(handle.read())
+    # One analyzer per file: the inter-argument environment is inferred
+    # once and shared by every declared mode.
+    analyzer = TerminationAnalyzer(program)
     failures = 0
     for declaration in program.mode_declarations:
         name, arity = declaration.indicator
         modes = check_well_moded(program, declaration.indicator,
                                  declaration.mode)
-        result = analyze(program, declaration.indicator, declaration.mode)
+        result = analyzer.analyze(declaration.indicator, declaration.mode)
         status = result.status
         notes = []
         if not modes.well_moded:
@@ -100,10 +103,9 @@ def main():
     sorting = parse_program(LIBRARY["sorting.pl"])
     from repro.core import AnalyzerSettings
 
-    rescued = analyze(
-        sorting, ("msort", 2), "bf",
-        settings=AnalyzerSettings(norm="list_length"),
-    )
+    rescued = TerminationAnalyzer(
+        sorting, settings=AnalyzerSettings(norm="list_length")
+    ).analyze(("msort", 2), "bf")
     print("msort under the list-length norm:", rescued.status)
     return 1 if total_failures else 0
 

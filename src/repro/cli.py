@@ -17,8 +17,14 @@ import sys
 
 from repro.errors import ReproError
 from repro.lp import parse_program
-from repro.core import AnalyzerSettings, analyze_program, verify_proof
-from repro.core.report import render_report
+from repro.core import (
+    AnalysisTrace,
+    AnalyzerSettings,
+    TerminationAnalyzer,
+    analyze_program,
+    verify_proof,
+)
+from repro.core.report import render_report, render_stage_table
 from repro.transform import normalize_program
 
 
@@ -68,6 +74,11 @@ def build_parser():
     parser.add_argument(
         "--verbose", action="store_true",
         help="show rule systems and inter-argument constraints",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="show the pipeline stage trace (per-stage wall time, "
+        "constraint rows, cache hits, solver work)",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -148,6 +159,7 @@ def main(argv=None):
                 result,
                 show_rule_systems=args.verbose,
                 show_environment=args.verbose,
+                show_stats=args.stats,
             )
         )
 
@@ -160,17 +172,22 @@ def main(argv=None):
 
 
 def _run_all_modes(program, settings, args):
-    """Analyze every declared mode; exit 0 only if all are PROVED."""
+    """Analyze every declared mode; exit 0 only if all are PROVED.
+
+    One :class:`TerminationAnalyzer` serves every mode, so the
+    inter-argument environment is inferred once and dualizations are
+    shared across modes; ``--stats`` prints the merged stage trace.
+    """
     declarations = program.mode_declarations
     if not declarations:
         print("no ':- mode(...)' declarations found", file=sys.stderr)
         return 2
+    analyzer = TerminationAnalyzer(program, settings=settings)
+    merged = AnalysisTrace()
     worst = 0
     for declaration in declarations:
-        result = analyze_program(
-            program, declaration.indicator, declaration.mode,
-            settings=settings,
-        )
+        result = analyzer.analyze(declaration.indicator, declaration.mode)
+        merged.merge(result.trace)
         name, arity = declaration.indicator
         print("%s/%d mode %s: %s" % (name, arity, declaration.mode,
                                      result.status))
@@ -181,6 +198,9 @@ def _run_all_modes(program, settings, args):
             if args.verbose:
                 for failing in result.failing_sccs():
                     print("  reason: %s" % failing.reason)
+    if args.stats:
+        print()
+        print(render_stage_table(merged))
     return worst
 
 

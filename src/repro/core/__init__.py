@@ -14,10 +14,14 @@ Pipeline (Sections 3–6 of the paper):
 4. :mod:`repro.core.theta` — choose the theta offsets for mutual
    recursion and reject zero-weight cycles via min-plus closure
    (Section 6.1); Appendix C negative-weight search as an option.
-5. :mod:`repro.core.analyzer` — orchestrate per-SCC and whole-program
-   analysis, returning :class:`~repro.core.certificate.TerminationProof`
+5. :mod:`repro.core.pipeline` — the staged execution engine: named
+   stages (adorn, interarg, rule_systems, dualize, theta, solve,
+   certify) with per-stage traces and memoization; final feasibility
+   goes through a pluggable :mod:`repro.solve` backend.
+6. :mod:`repro.core.analyzer` — settings + façade composing the
+   pipeline, returning :class:`~repro.core.certificate.TerminationProof`
    certificates.
-6. :mod:`repro.core.verifier` — independently re-check certificates by
+7. :mod:`repro.core.verifier` — independently re-check certificates by
    solving the *primal* LP Eq. 4 with the exact simplex.
 """
 
@@ -34,6 +38,13 @@ from repro.core.analyzer import (
     TerminationAnalyzer,
     analyze_program,
 )
+from repro.core.pipeline import (
+    STAGES,
+    AnalysisPipeline,
+    AnalysisTrace,
+    StageTrace,
+    clear_caches,
+)
 from repro.core.capture import CapturePlan, plan_capture_rules
 from repro.core.certificate import SCCProof, TerminationProof
 from repro.core.verifier import VerificationError, verify_proof
@@ -49,6 +60,11 @@ __all__ = [
     "SCCResult",
     "TerminationAnalyzer",
     "analyze_program",
+    "STAGES",
+    "AnalysisPipeline",
+    "AnalysisTrace",
+    "StageTrace",
+    "clear_caches",
     "SCCProof",
     "TerminationProof",
     "VerificationError",

@@ -1,4 +1,4 @@
-"""The termination analyzer: SCC-at-a-time orchestration.
+"""The termination analyzer: settings + orchestration façade.
 
 :func:`analyze_program` (or :class:`TerminationAnalyzer` for more
 control) runs the full pipeline of the paper:
@@ -18,6 +18,12 @@ control) runs the full pipeline of the paper:
 4. aggregate: the program terminates on the queried mode if every
    reachable recursive SCC has a certificate.
 
+The staged execution itself lives in :mod:`repro.core.pipeline`
+(named stages, per-stage traces, memoization); the final feasibility
+test goes through a pluggable backend from :mod:`repro.solve`.
+:class:`TerminationAnalyzer` composes the two and validates settings
+eagerly, so misconfiguration fails at construction, not mid-SCC.
+
 The verdict is ``PROVED`` or ``UNKNOWN`` — the method is a sufficient
 condition (Section 7); ``UNKNOWN`` never means "diverges".
 """
@@ -25,38 +31,31 @@ condition (Section 7); ``UNKNOWN`` never means "diverges".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 
-from repro.errors import AnalysisError
 from repro.lp.program import Program
-from repro.linalg.constraints import ConstraintSystem
-from repro.linalg.linexpr import LinearExpr
-from repro.linalg.simplex import feasible_point
-from repro.graph.scc import is_recursive_component, strongly_connected_components
-from repro.sizes.norms import get_norm
-from repro.interarg import (
-    InferenceSettings,
-    SizeEnvironment,
-    infer_interargument_constraints,
-)
-from repro.core.adornment import AdornedPredicate, adorned_call_graph
-from repro.core.certificate import SCCProof, TerminationProof
-from repro.core.dual import (
-    lam_var,
-    lambda_nonnegativity,
-    pair_constraints,
-    theta_var,
-)
-from repro.core.rule_system import build_rule_systems
-from repro.core.theta import (
-    choose_thetas,
-    path_constraints,
-    substitute_thetas,
-    zero_weight_cycle,
+from repro.interarg import InferenceSettings
+from repro.core.pipeline import (
+    PROVED,
+    UNKNOWN,
+    AnalysisPipeline,
+    AnalysisResult,
+    AnalysisTrace,
+    SCCResult,
+    StageTrace,
+    resolve_settings,
 )
 
-PROVED = "PROVED"
-UNKNOWN = "UNKNOWN"
+__all__ = [
+    "PROVED",
+    "UNKNOWN",
+    "AnalyzerSettings",
+    "AnalysisResult",
+    "AnalysisTrace",
+    "SCCResult",
+    "StageTrace",
+    "TerminationAnalyzer",
+    "analyze_program",
+]
 
 
 @dataclass
@@ -68,8 +67,10 @@ class AnalyzerSettings:
     reproduces the pre-[VG90] behaviour on Example 3.1.
     ``allow_negative_theta`` — Appendix C search instead of the 0/1
     assignment.
-    ``feasibility`` — final lambda feasibility decided by ``simplex``
-    or pure ``fm`` elimination.
+    ``feasibility`` — name of the :mod:`repro.solve` backend deciding
+    final lambda feasibility (``simplex`` or ``fm``), or an
+    :class:`~repro.solve.LPBackend` instance.  Resolved — and
+    validated — when the analyzer is constructed.
     ``prune_fm`` — redundancy pruning inside Fourier–Motzkin.
     ``eliminate_w`` — True (default) runs the paper's practical route:
     Fourier–Motzkin eliminates the undistinguished dual multipliers per
@@ -89,354 +90,48 @@ class AnalyzerSettings:
     eliminate_w: bool = True
     inference: InferenceSettings = field(default_factory=InferenceSettings)
 
-
-@dataclass
-class SCCResult:
-    """Outcome for one SCC: a proof, or a reason it was not found."""
-
-    members: tuple            # AdornedPredicate nodes
-    status: str
-    proof: object = None
-    reason: str = ""
-    constraint_rows: int = 0
-
-    @property
-    def proved(self):
-        """True when the verdict is PROVED."""
-        return self.status == PROVED
-
-
-@dataclass
-class AnalysisResult:
-    """Whole-program outcome."""
-
-    program: Program
-    root: tuple
-    root_mode: str
-    status: str
-    scc_results: list = field(default_factory=list)
-    nodes: tuple = ()
-    environment: SizeEnvironment = None
-
-    @property
-    def proved(self):
-        """True when the verdict is PROVED."""
-        return self.status == PROVED
-
-    @property
-    def proof(self):
-        """A :class:`TerminationProof` when the status is PROVED."""
-        if not self.proved:
-            return None
-        norm = "structural"
-        for result in self.scc_results:
-            if result.proof is not None:
-                norm = result.proof.norm
-        certificate = TerminationProof(
-            root=self.root, root_mode=self.root_mode, norm=norm
-        )
-        certificate.scc_proofs = [r.proof for r in self.scc_results]
-        return certificate
-
-    def failing_sccs(self):
-        """The SCC results that were not proved."""
-        return [r for r in self.scc_results if not r.proved]
-
-    def describe(self):
-        """Human-readable rendering."""
-        lines = [
-            "%s: %s/%d with mode %s"
-            % (self.status, self.root[0], self.root[1], self.root_mode)
-        ]
-        for result in self.scc_results:
-            if result.proved:
-                lines.append(result.proof.describe())
-            else:
-                lines.append(
-                    "SCC {%s}: %s — %s"
-                    % (
-                        ", ".join(str(m) for m in result.members),
-                        result.status,
-                        result.reason,
-                    )
-                )
-        return "\n".join(lines)
+    def validate(self):
+        """Raise :class:`~repro.errors.AnalysisError` on unknown norm
+        or feasibility backend; return ``(norm, backend)`` resolved."""
+        return resolve_settings(self)
 
 
 class TerminationAnalyzer:
-    """Reusable analyzer bound to one program and settings."""
+    """Reusable analyzer bound to one program and settings.
+
+    Thin façade over :class:`~repro.core.pipeline.AnalysisPipeline`:
+    settings are validated (norm + backend resolved) here, analyses
+    are delegated there.  Reusing one analyzer across modes reuses the
+    inferred inter-argument environment and the dualization cache.
+    """
 
     def __init__(self, program, settings=None):
-        if not isinstance(program, Program):
-            raise AnalysisError("expected a Program")
-        self.program = program
         self.settings = settings or AnalyzerSettings()
-        self._norm = get_norm(self.settings.norm)
-        self._environment = None
+        self.pipeline = AnalysisPipeline(program, self.settings)
+        self.program = self.pipeline.program
+        self._norm = self.pipeline.norm
 
     # -- inter-argument constraints -------------------------------------------
 
     @property
     def environment(self):
         """Inter-argument constraints, inferred on first use."""
-        if self._environment is None:
-            if self.settings.use_interarg:
-                self._environment = infer_interargument_constraints(
-                    self.program,
-                    norm=self._norm,
-                    settings=self.settings.inference,
-                )
-            else:
-                self._environment = SizeEnvironment()
-        return self._environment
+        return self.pipeline.environment
 
     def use_external_constraints(self, environment):
         """Install externally supplied inter-argument constraints
         (the paper's "supplied by other external means")."""
-        self._environment = environment
+        self.pipeline.use_external_constraints(environment)
 
     # -- analysis -----------------------------------------------------------------
 
     def analyze(self, root_indicator, root_mode):
         """Analyze termination of the *root_mode* query on the root."""
-        root_indicator = tuple(root_indicator)
-        graph, nodes = adorned_call_graph(
-            self.program, root_indicator, root_mode
-        )
+        return self.pipeline.run(root_indicator, root_mode)
 
-        defined = self.program.defined_indicators()
-        scc_results = []
-        overall = PROVED
-        for component in strongly_connected_components(graph):
-            members = tuple(
-                node for node in component if node.indicator in defined
-            )
-            if not members:
-                continue  # EDB leaves: finite relations, nothing to prove
-            if not is_recursive_component(graph, component):
-                scc_results.append(
-                    SCCResult(
-                        members=members,
-                        status=PROVED,
-                        proof=SCCProof(
-                            members=members,
-                            norm=self._norm.name,
-                            lambdas={},
-                            thetas={},
-                            trivially_nonrecursive=True,
-                        ),
-                    )
-                )
-                continue
-            result = self.analyze_scc(members)
-            scc_results.append(result)
-            if not result.proved:
-                overall = UNKNOWN
-        return AnalysisResult(
-            program=self.program,
-            root=root_indicator,
-            root_mode=str(root_mode),
-            status=overall,
-            scc_results=scc_results,
-            nodes=tuple(nodes),
-            environment=self.environment,
-        )
-
-    def analyze_scc(self, members):
+    def analyze_scc(self, members, trace=None):
         """Run Sections 3–6 for one recursive SCC of adorned nodes."""
-        members = tuple(members)
-        bound_positions = {node: node.bound_positions() for node in members}
-        if any(not positions for positions in bound_positions.values()):
-            free_nodes = [
-                str(node) for node in members if not bound_positions[node]
-            ]
-            return SCCResult(
-                members=members,
-                status=UNKNOWN,
-                reason="no bound arguments on %s; no measure can decrease"
-                % ", ".join(free_nodes),
-            )
-
-        systems = []
-        for node in members:
-            for clause in self.program.clauses_for(node.indicator):
-                systems.extend(
-                    build_rule_systems(
-                        clause, node, members, self.environment, self._norm
-                    )
-                )
-        if not systems:
-            return SCCResult(
-                members=members,
-                status=UNKNOWN,
-                reason="no rule/recursive-subgoal combinations found",
-            )
-
-        combined = ConstraintSystem()
-        for system in systems:
-            combined.extend(
-                pair_constraints(
-                    system,
-                    eliminate_w=self.settings.eliminate_w,
-                    prune=self.settings.prune_fm,
-                )
-            )
-        lambda_system = lambda_nonnegativity(
-            (node, bound_positions[node]) for node in members
-        )
-
-        edges = [system.edge for system in systems]
-        if self.settings.allow_negative_theta:
-            return self._solve_negative_theta(
-                members, systems, combined, lambda_system, edges,
-                bound_positions,
-            )
-
-        thetas = choose_thetas(edges, combined, lambda_system)
-        cycle = zero_weight_cycle(members, thetas)
-        if cycle is not None:
-            return SCCResult(
-                members=members,
-                status=UNKNOWN,
-                reason="zero-weight cycle %s — strong evidence of "
-                "nontermination (Section 6.1)"
-                % " -> ".join(str(node) for node in cycle),
-                constraint_rows=len(combined),
-            )
-
-        final = substitute_thetas(combined, thetas)
-        final.extend(lambda_system)
-        point = self._solve_feasibility(final)
-        if point is None:
-            return SCCResult(
-                members=members,
-                status=UNKNOWN,
-                reason="lambda constraint system infeasible",
-                constraint_rows=len(final),
-            )
-
-        lambdas = _extract_lambdas(point, members, bound_positions)
-        proof = SCCProof(
-            members=members,
-            norm=self._norm.name,
-            lambdas=lambdas,
-            thetas=thetas,
-            rule_systems=systems,
-        )
-        return SCCResult(
-            members=members,
-            status=PROVED,
-            proof=proof,
-            constraint_rows=len(final),
-        )
-
-    def _solve_negative_theta(
-        self, members, systems, combined, lambda_system, edges,
-        bound_positions,
-    ):
-        """Appendix C: thetas as rational unknowns + path constraints."""
-        final = ConstraintSystem(combined)
-        final.extend(lambda_system)
-        final.extend(
-            path_constraints(members, edges)
-        )
-        point = feasible_point(final)
-        if point is None:
-            return SCCResult(
-                members=members,
-                status=UNKNOWN,
-                reason="infeasible even with negative theta weights "
-                "(Appendix C)",
-                constraint_rows=len(final),
-            )
-        thetas = {
-            edge: point.get(theta_var(*edge), Fraction(0))
-            for edge in set(edges)
-        }
-        lambdas = _extract_lambdas(point, members, bound_positions)
-        proof = SCCProof(
-            members=members,
-            norm=self._norm.name,
-            lambdas=lambdas,
-            thetas=thetas,
-            rule_systems=systems,
-        )
-        return SCCResult(
-            members=members,
-            status=PROVED,
-            proof=proof,
-            constraint_rows=len(final),
-        )
-
-    def _solve_feasibility(self, system):
-        """A feasible lambda point, via simplex or pure FM (ablation)."""
-        if self.settings.feasibility == "simplex":
-            return feasible_point(system)
-        if self.settings.feasibility != "fm":
-            raise AnalysisError(
-                "feasibility must be 'simplex' or 'fm', got %r"
-                % self.settings.feasibility
-            )
-        return _fm_feasible_point(system, prune=self.settings.prune_fm)
-
-
-def _fm_feasible_point(system, prune=True):
-    """Feasibility + witness via Fourier–Motzkin back-substitution.
-
-    FM preserves satisfiability at every step, so the system is
-    feasible iff the fully eliminated system has no contradiction row;
-    a witness is recovered by assigning the variables in reverse
-    elimination order, each within the interval its stage allows.
-    """
-    from repro.linalg.fourier_motzkin import eliminate
-
-    order = sorted(system.variables(), key=repr)
-    stages = [system]
-    for var in order:
-        stages.append(eliminate(stages[-1], var, prune=prune))
-    if stages[-1].has_contradiction_row():
-        return None
-    point = {}
-    for var, stage in zip(reversed(order), reversed(stages[:-1])):
-        point[var] = _pick_value(stage, var, point)
-    return point
-
-
-def _pick_value(system, var, partial):
-    """Choose a value for *var* consistent with *system*, where
-    *partial* already fixes every other variable of *system*."""
-    lower = None
-    upper = None
-    for constraint in system:
-        coeff = constraint.expr.coefficient(var)
-        if coeff == 0:
-            continue
-        rest = constraint.expr - LinearExpr.of(var, coeff)
-        rest_value = rest.evaluate(partial)
-        bound = -rest_value / coeff
-        if constraint.is_equality():
-            return bound
-        if coeff > 0:
-            lower = bound if lower is None else max(lower, bound)
-        else:
-            upper = bound if upper is None else min(upper, bound)
-    if lower is not None and upper is not None:
-        return (lower + upper) / 2
-    if lower is not None:
-        return lower
-    if upper is not None:
-        return upper
-    return Fraction(0)
-
-
-def _extract_lambdas(point, members, bound_positions):
-    lambdas = {}
-    for node in members:
-        weights = {}
-        for position in bound_positions[node]:
-            weights[position] = point.get(lam_var(node, position), Fraction(0))
-        lambdas[node] = weights
-    return lambdas
+        return self.pipeline.analyze_scc(members, trace=trace)
 
 
 def analyze_program(program, root, mode, settings=None):

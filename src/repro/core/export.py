@@ -62,14 +62,36 @@ def scc_proof_to_dict(proof):
     return data
 
 
+def trace_to_dict(trace):
+    """Serialize an :class:`~repro.core.pipeline.AnalysisTrace` as a
+    list of per-stage counter dicts (stages that ran, pipeline order)."""
+    return [
+        {
+            "stage": s.stage,
+            "calls": s.calls,
+            "wall_time_ms": round(s.wall_time * 1000, 3),
+            "rows_in": s.rows_in,
+            "rows_out": s.rows_out,
+            "cache_hits": s.cache_hits,
+            "cache_misses": s.cache_misses,
+            "pivots": s.pivots,
+            "eliminations": s.eliminations,
+        }
+        for s in trace.stages()
+    ]
+
+
 def result_to_dict(result):
     """Serialize an :class:`~repro.core.analyzer.AnalysisResult`."""
     data = {
         "root": {"predicate": result.root[0], "arity": result.root[1]},
         "mode": result.root_mode,
         "status": result.status,
+        "norm": result.norm,
         "sccs": [],
     }
+    if result.trace is not None:
+        data["trace"] = trace_to_dict(result.trace)
     for scc in result.scc_results:
         if scc.proved:
             entry = {"status": scc.status, "proof": scc_proof_to_dict(scc.proof)}

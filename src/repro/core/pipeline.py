@@ -1,0 +1,733 @@
+"""The staged analysis pipeline with per-stage instrumentation.
+
+The Sohn & Van Gelder analysis decomposes into named stages:
+
+========================  ====================================================
+``adorn``                 build the adorned dependency graph + its SCC DAG
+``interarg``              infer (or recall) inter-argument constraints [VG90]
+``rule_systems``          assemble Eq. 1 per rule × recursive subgoal
+``dualize``               LP-dualize each pair to lambda/theta constraints
+``theta``                 choose theta offsets / build Appendix C paths
+``solve``                 final lambda feasibility via a pluggable backend
+``certify``               extract the lambda certificate per SCC
+========================  ====================================================
+
+:class:`AnalysisPipeline` composes them (program-level stages once per
+run, SCC-level stages per recursive SCC), timing each into a
+:class:`StageTrace` that :class:`AnalysisResult` carries as ``.trace``
+— surfaced by ``render_report(..., show_stats=True)`` and
+``repro-analyze --stats``.
+
+Two memoization layers make repeated analyses (``--all-modes`` sweeps,
+the corpus drivers) cheap:
+
+- **dualization cache** — ``pair_constraints`` output keyed by the
+  structural fingerprint of the rule system (adorned head/subgoal,
+  bound positions, size polynomials, imported constraints).  The same
+  Eq. 1 system reached through different query modes or re-parsed
+  program text dualizes once.
+- **environment cache** — inferred :class:`SizeEnvironment` objects
+  keyed by (alpha-invariant program fingerprint, norm, inference
+  settings), so analyzing a second mode of the same program skips the
+  polyhedral fixpoint entirely.
+
+Both caches are process-wide, bounded, and sound: the cached value is
+a pure function of the key.  :func:`clear_caches` resets them (used by
+benchmarks measuring cold/warm deltas).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fractions import Fraction
+from time import perf_counter
+
+from repro.errors import AnalysisError
+from repro.lp.program import Program
+from repro.lp.terms import Struct, Var
+from repro.linalg.constraints import ConstraintSystem
+from repro.graph.scc import is_recursive_component, strongly_connected_components
+from repro.sizes.norms import get_norm
+from repro.solve import get_backend
+from repro.interarg import (
+    SizeEnvironment,
+    infer_interargument_constraints,
+)
+from repro.core.adornment import adorned_call_graph
+from repro.core.certificate import SCCProof, TerminationProof
+from repro.core.dual import (
+    lam_var,
+    lambda_nonnegativity,
+    pair_constraints,
+    theta_var,
+)
+from repro.core.rule_system import build_rule_systems
+from repro.core.theta import (
+    choose_thetas,
+    path_constraints,
+    substitute_thetas,
+    zero_weight_cycle,
+)
+
+PROVED = "PROVED"
+UNKNOWN = "UNKNOWN"
+
+#: Stage names in execution order; ``adorn``/``interarg`` run once per
+#: analysis, the rest once per recursive SCC.
+STAGES = (
+    "adorn",
+    "interarg",
+    "rule_systems",
+    "dualize",
+    "theta",
+    "solve",
+    "certify",
+)
+
+
+# -- instrumentation ----------------------------------------------------------
+
+
+@dataclass
+class StageTrace:
+    """Accumulated cost counters for one named stage.
+
+    ``rows_in``/``rows_out`` are constraint-row counts entering and
+    leaving the stage; ``cache_hits``/``cache_misses`` count memoized
+    sub-results (dualizations, environments); ``pivots`` and
+    ``eliminations`` aggregate backend solver work.
+    """
+
+    stage: str
+    calls: int = 0
+    wall_time: float = 0.0
+    rows_in: int = 0
+    rows_out: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pivots: int = 0
+    eliminations: int = 0
+
+    def merge(self, other):
+        """Fold another record for the same stage into this one."""
+        self.calls += other.calls
+        self.wall_time += other.wall_time
+        self.rows_in += other.rows_in
+        self.rows_out += other.rows_out
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.pivots += other.pivots
+        self.eliminations += other.eliminations
+
+
+class AnalysisTrace:
+    """Per-stage instrumentation for one (or several merged) analyses."""
+
+    def __init__(self):
+        self._stages = {name: StageTrace(stage=name) for name in STAGES}
+
+    @contextmanager
+    def timed(self, stage):
+        """Context manager timing one execution of *stage*; the yielded
+        :class:`StageTrace` collects the stage's counters."""
+        event = StageTrace(stage=stage, calls=1)
+        started = perf_counter()
+        try:
+            yield event
+        finally:
+            event.wall_time += perf_counter() - started
+            self.add(event)
+
+    def add(self, event):
+        """Merge one :class:`StageTrace` event into the totals."""
+        self._stages[event.stage].merge(event)
+
+    def stage(self, name):
+        """The accumulated :class:`StageTrace` for *name*."""
+        return self._stages[name]
+
+    def stages(self):
+        """Stages that actually ran, in pipeline order."""
+        return tuple(
+            self._stages[name] for name in STAGES
+            if self._stages[name].calls
+        )
+
+    def merge(self, other):
+        """Fold another trace into this one (e.g. across modes)."""
+        for name in STAGES:
+            self._stages[name].merge(other._stages[name])
+        return self
+
+    @property
+    def total_time(self):
+        """Wall time summed over every stage, in seconds."""
+        return sum(s.wall_time for s in self._stages.values())
+
+    @property
+    def cache_hits(self):
+        """Cache hits summed over every stage."""
+        return sum(s.cache_hits for s in self._stages.values())
+
+    def describe(self):
+        """Aligned per-stage table (the ``--stats`` rendering)."""
+        headers = (
+            "stage", "calls", "ms", "rows-in", "rows-out",
+            "cache h/m", "pivots", "elims",
+        )
+        rows = []
+        for s in self.stages():
+            rows.append((
+                s.stage,
+                str(s.calls),
+                "%.2f" % (s.wall_time * 1000),
+                str(s.rows_in),
+                str(s.rows_out),
+                "%d/%d" % (s.cache_hits, s.cache_misses),
+                str(s.pivots),
+                str(s.eliminations),
+            ))
+        rows.append((
+            "total",
+            str(sum(s.calls for s in self.stages())),
+            "%.2f" % (self.total_time * 1000),
+            str(sum(s.rows_in for s in self.stages())),
+            str(sum(s.rows_out for s in self.stages())),
+            "%d/%d" % (
+                sum(s.cache_hits for s in self.stages()),
+                sum(s.cache_misses for s in self.stages()),
+            ),
+            str(sum(s.pivots for s in self.stages())),
+            str(sum(s.eliminations for s in self.stages())),
+        ))
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row):
+            return "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+
+        lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+        lines.extend(fmt(row) for row in rows)
+        return "\n".join(lines)
+
+
+# -- results ------------------------------------------------------------------
+
+
+@dataclass
+class SCCResult:
+    """Outcome for one SCC: a proof, or a reason it was not found."""
+
+    members: tuple            # AdornedPredicate nodes
+    status: str
+    proof: object = None
+    reason: str = ""
+    constraint_rows: int = 0
+
+    @property
+    def proved(self):
+        """True when the verdict is PROVED."""
+        return self.status == PROVED
+
+
+@dataclass
+class AnalysisResult:
+    """Whole-program outcome, plus the stage trace that produced it."""
+
+    program: Program
+    root: tuple
+    root_mode: str
+    status: str
+    scc_results: list = field(default_factory=list)
+    nodes: tuple = ()
+    environment: SizeEnvironment = None
+    norm: str = "structural"
+    trace: AnalysisTrace = None
+
+    @property
+    def proved(self):
+        """True when the verdict is PROVED."""
+        return self.status == PROVED
+
+    @property
+    def proof(self):
+        """A :class:`TerminationProof` when the status is PROVED."""
+        if not self.proved:
+            return None
+        certificate = TerminationProof(
+            root=self.root, root_mode=self.root_mode, norm=self.norm
+        )
+        certificate.scc_proofs = [r.proof for r in self.scc_results]
+        return certificate
+
+    def failing_sccs(self):
+        """The SCC results that were not proved."""
+        return [r for r in self.scc_results if not r.proved]
+
+    def describe(self):
+        """Human-readable rendering."""
+        lines = [
+            "%s: %s/%d with mode %s"
+            % (self.status, self.root[0], self.root[1], self.root_mode)
+        ]
+        for result in self.scc_results:
+            if result.proved:
+                lines.append(result.proof.describe())
+            else:
+                lines.append(
+                    "SCC {%s}: %s — %s"
+                    % (
+                        ", ".join(str(m) for m in result.members),
+                        result.status,
+                        result.reason,
+                    )
+                )
+        return "\n".join(lines)
+
+
+# -- memoization --------------------------------------------------------------
+
+_DUAL_CACHE = {}
+_DUAL_CACHE_LIMIT = 4096
+
+_ENV_CACHE = {}
+_ENV_CACHE_LIMIT = 128
+
+
+def clear_caches():
+    """Drop the process-wide dualization and environment caches."""
+    _DUAL_CACHE.clear()
+    _ENV_CACHE.clear()
+
+
+def _canonical_term(term, names):
+    if isinstance(term, Var):
+        index = names.get(term.name)
+        if index is None:
+            index = names[term.name] = len(names)
+        return "_%d" % index
+    if isinstance(term, Struct):
+        return "%s(%s)" % (
+            term.functor,
+            ",".join(_canonical_term(arg, names) for arg in term.args),
+        )
+    return str(term)
+
+
+def program_fingerprint(program):
+    """Alpha-invariant identity of a program's clauses.
+
+    Variables are numbered per clause in first-occurrence order, so two
+    parses of the same source — whose anonymous ``_`` variables get
+    distinct gensym names — fingerprint identically.  Mode declarations
+    do not participate: they steer drivers, not the analysis itself.
+    """
+    lines = []
+    for clause in program.clauses:
+        names = {}
+        head = _canonical_term(clause.head, names)
+        body = ",".join(
+            ("" if literal.positive else "\\+") +
+            _canonical_term(literal.atom, names)
+            for literal in clause.body
+        )
+        lines.append(head + ":-" + body)
+    return "\n".join(lines)
+
+
+def _canonical_expr(expr, names):
+    """Hashable form of a size polynomial with ``("sz", name)``
+    variables replaced by first-occurrence indices."""
+    terms = []
+    for var, coeff in expr.items():
+        if isinstance(var, tuple) and len(var) == 2 and var[0] == "sz":
+            index = names.get(var[1])
+            if index is None:
+                index = names[var[1]] = len(names)
+            var = ("sz", index)
+        terms.append((var, coeff))
+    return (tuple(terms), expr.const)
+
+
+def rule_system_fingerprint(system):
+    """Alpha-invariant identity of an Eq. 1 system.
+
+    Two rule systems with equal fingerprints produce identical
+    ``pair_constraints`` output (under the same elimination settings):
+    the dualization reads only the adorned endpoints, the bound
+    positions, the size polynomials, and the imported constraints —
+    all captured here.  Clause variable names are canonicalized away
+    (the dual output mentions only ``lam``/``theta`` variables keyed by
+    adorned predicates, never clause variables), so re-parsed program
+    text — whose anonymous ``_`` variables gensym differently — still
+    hits.
+    """
+    names = {}
+    return (
+        system.head_node,
+        system.subgoal_node,
+        system.x_positions,
+        system.y_positions,
+        tuple(_canonical_expr(e, names) for e in system.x_exprs),
+        tuple(_canonical_expr(e, names) for e in system.y_exprs),
+        tuple(
+            (c.relation, _canonical_expr(c.expr, names))
+            for c in system.imported
+        ),
+    )
+
+
+def cached_pair_constraints(system, eliminate_w=True, prune=True):
+    """Memoized :func:`~repro.core.dual.pair_constraints`.
+
+    Returns ``(constraint_system, cache_hit)``.  Only the
+    ``eliminate_w=True`` route is cached: it is the expensive one (a
+    Fourier–Motzkin projection per pair) and its output contains no
+    pair-local ``w`` variables, so sharing across pairs is sound.
+    """
+    if not eliminate_w:
+        return pair_constraints(system, eliminate_w=False, prune=prune), False
+    key = (rule_system_fingerprint(system), bool(prune))
+    cached = _DUAL_CACHE.get(key)
+    if cached is not None:
+        return cached, True
+    result = pair_constraints(system, eliminate_w=True, prune=prune)
+    if len(_DUAL_CACHE) >= _DUAL_CACHE_LIMIT:
+        _DUAL_CACHE.pop(next(iter(_DUAL_CACHE)))
+    _DUAL_CACHE[key] = result
+    return result, False
+
+
+def _inference_key(settings):
+    return (
+        settings.widen_after,
+        settings.max_iterations,
+        settings.narrowing_passes,
+        settings.max_rows,
+        settings.join_strategy,
+    )
+
+
+def resolve_settings(settings):
+    """Validate analyzer settings eagerly; return ``(norm, backend)``.
+
+    Unknown ``norm`` or ``feasibility`` values raise one clear
+    :class:`AnalysisError` at construction time instead of failing
+    mid-SCC with subsystem-specific error shapes.
+    """
+    try:
+        norm = get_norm(settings.norm)
+    except ValueError as error:
+        raise AnalysisError("invalid analyzer settings: %s" % error) from None
+    backend = get_backend(settings.feasibility, prune=settings.prune_fm)
+    return norm, backend
+
+
+# -- the pipeline -------------------------------------------------------------
+
+
+@dataclass
+class _SCCState:
+    """Mutable scratch the SCC stages hand to one another."""
+
+    members: tuple
+    bound_positions: dict = None
+    systems: list = None
+    combined: ConstraintSystem = None
+    lambda_system: ConstraintSystem = None
+    edges: list = None
+    thetas: dict = None
+    paths: ConstraintSystem = None
+    final: ConstraintSystem = None
+    outcome: object = None
+
+
+class AnalysisPipeline:
+    """Staged execution engine bound to one program + settings.
+
+    :class:`~repro.core.analyzer.TerminationAnalyzer` composes this;
+    callers wanting per-stage control or traces can drive it directly.
+    """
+
+    PROGRAM_STAGES = ("adorn", "interarg")
+    SCC_STAGES = ("rule_systems", "dualize", "theta", "solve", "certify")
+
+    def __init__(self, program, settings):
+        if not isinstance(program, Program):
+            raise AnalysisError("expected a Program")
+        self.program = program
+        self.settings = settings
+        self.norm, self.backend = resolve_settings(settings)
+        self._environment = None
+        self._environment_key = None
+
+    # -- inter-argument constraints ------------------------------------------
+
+    @property
+    def environment(self):
+        """Inter-argument constraints, inferred (or recalled) on first use."""
+        env, _ = self._obtain_environment()
+        return env
+
+    def use_external_constraints(self, environment):
+        """Install externally supplied inter-argument constraints
+        (the paper's "supplied by other external means")."""
+        self._environment = environment
+
+    def _obtain_environment(self):
+        """Return ``(environment, cache_hit)``, consulting the
+        analyzer-local slot first and the process-wide cache second."""
+        if self._environment is not None:
+            return self._environment, True
+        if not self.settings.use_interarg:
+            self._environment = SizeEnvironment()
+            return self._environment, False
+        if self._environment_key is None:
+            self._environment_key = (
+                program_fingerprint(self.program),
+                self.norm.name,
+                _inference_key(self.settings.inference),
+            )
+        cached = _ENV_CACHE.get(self._environment_key)
+        if cached is not None:
+            self._environment = cached
+            return cached, True
+        environment = infer_interargument_constraints(
+            self.program,
+            norm=self.norm,
+            settings=self.settings.inference,
+        )
+        if len(_ENV_CACHE) >= _ENV_CACHE_LIMIT:
+            _ENV_CACHE.pop(next(iter(_ENV_CACHE)))
+        _ENV_CACHE[self._environment_key] = environment
+        self._environment = environment
+        return environment, False
+
+    # -- program-level stages -------------------------------------------------
+
+    def run(self, root_indicator, root_mode):
+        """Full analysis of the *root_mode* query on the root."""
+        root_indicator = tuple(root_indicator)
+        trace = AnalysisTrace()
+
+        with trace.timed("adorn") as event:
+            graph, nodes = adorned_call_graph(
+                self.program, root_indicator, root_mode
+            )
+            components = list(strongly_connected_components(graph))
+            event.rows_out = len(nodes)
+
+        with trace.timed("interarg") as event:
+            environment, hit = self._obtain_environment()
+            if hit:
+                event.cache_hits = 1
+            else:
+                event.cache_misses = 1
+            event.rows_out = sum(
+                len(poly.system) for _, poly in environment.items()
+            )
+
+        defined = self.program.defined_indicators()
+        scc_results = []
+        overall = PROVED
+        for component in components:
+            members = tuple(
+                node for node in component if node.indicator in defined
+            )
+            if not members:
+                continue  # EDB leaves: finite relations, nothing to prove
+            if not is_recursive_component(graph, component):
+                with trace.timed("certify"):
+                    scc_results.append(
+                        SCCResult(
+                            members=members,
+                            status=PROVED,
+                            proof=SCCProof(
+                                members=members,
+                                norm=self.norm.name,
+                                lambdas={},
+                                thetas={},
+                                trivially_nonrecursive=True,
+                            ),
+                        )
+                    )
+                continue
+            result = self.analyze_scc(members, trace=trace)
+            scc_results.append(result)
+            if not result.proved:
+                overall = UNKNOWN
+        return AnalysisResult(
+            program=self.program,
+            root=root_indicator,
+            root_mode=str(root_mode),
+            status=overall,
+            scc_results=scc_results,
+            nodes=tuple(nodes),
+            environment=environment,
+            norm=self.norm.name,
+            trace=trace,
+        )
+
+    # -- SCC-level stages -----------------------------------------------------
+
+    def analyze_scc(self, members, trace=None):
+        """Run the SCC stages (Sections 3–6) for one recursive SCC."""
+        if trace is None:
+            trace = AnalysisTrace()
+        state = _SCCState(members=tuple(members))
+        for name in self.SCC_STAGES:
+            stage = getattr(self, "_stage_%s" % name)
+            with trace.timed(name) as event:
+                result = stage(state, event)
+            if result is not None:
+                return result
+        raise AnalysisError("certify stage returned no result")  # unreachable
+
+    def _stage_rule_systems(self, state, event):
+        """Assemble the Eq. 1 systems for every rule × recursive subgoal."""
+        members = state.members
+        state.bound_positions = {
+            node: node.bound_positions() for node in members
+        }
+        if any(not positions for positions in state.bound_positions.values()):
+            free_nodes = [
+                str(node) for node in members
+                if not state.bound_positions[node]
+            ]
+            return SCCResult(
+                members=members,
+                status=UNKNOWN,
+                reason="no bound arguments on %s; no measure can decrease"
+                % ", ".join(free_nodes),
+            )
+        environment, _ = self._obtain_environment()
+        state.systems = []
+        for node in members:
+            for clause in self.program.clauses_for(node.indicator):
+                state.systems.extend(
+                    build_rule_systems(
+                        clause, node, members, environment, self.norm
+                    )
+                )
+        if not state.systems:
+            return SCCResult(
+                members=members,
+                status=UNKNOWN,
+                reason="no rule/recursive-subgoal combinations found",
+            )
+        event.rows_out = sum(len(s.imported) for s in state.systems)
+        return None
+
+    def _stage_dualize(self, state, event):
+        """LP-dualize each pair into lambda/theta constraints (memoized)."""
+        state.combined = ConstraintSystem()
+        for system in state.systems:
+            rows, hit = cached_pair_constraints(
+                system,
+                eliminate_w=self.settings.eliminate_w,
+                prune=self.settings.prune_fm,
+            )
+            state.combined.extend(rows)
+            if hit:
+                event.cache_hits += 1
+            else:
+                event.cache_misses += 1
+        state.lambda_system = lambda_nonnegativity(
+            (node, state.bound_positions[node]) for node in state.members
+        )
+        state.edges = [system.edge for system in state.systems]
+        event.rows_out = len(state.combined) + len(state.lambda_system)
+        return None
+
+    def _stage_theta(self, state, event):
+        """Choose theta offsets (Section 6.1) or, in Appendix C mode,
+        build the positive-cycle path constraints."""
+        event.rows_in = len(state.combined)
+        if self.settings.allow_negative_theta:
+            state.paths = path_constraints(state.members, state.edges)
+            event.rows_out = len(state.paths)
+            return None
+        state.thetas = choose_thetas(
+            state.edges, state.combined, state.lambda_system
+        )
+        cycle = zero_weight_cycle(state.members, state.thetas)
+        if cycle is not None:
+            return SCCResult(
+                members=state.members,
+                status=UNKNOWN,
+                reason="zero-weight cycle %s — strong evidence of "
+                "nontermination (Section 6.1)"
+                % " -> ".join(str(node) for node in cycle),
+                constraint_rows=len(state.combined),
+            )
+        return None
+
+    def _stage_solve(self, state, event):
+        """Final lambda feasibility through the configured backend."""
+        if self.settings.allow_negative_theta:
+            final = ConstraintSystem(state.combined)
+            final.extend(state.lambda_system)
+            final.extend(state.paths)
+        else:
+            final = substitute_thetas(state.combined, state.thetas)
+            final.extend(state.lambda_system)
+        state.final = final
+        state.outcome = self.backend.feasible_point(final)
+        stats = state.outcome.stats
+        event.rows_in = len(final)
+        event.rows_out = stats.rows_out
+        event.pivots = stats.pivots
+        event.eliminations = stats.eliminations
+        if not state.outcome.feasible:
+            if self.settings.allow_negative_theta:
+                reason = ("infeasible even with negative theta weights "
+                          "(Appendix C)")
+            else:
+                reason = "lambda constraint system infeasible"
+            return SCCResult(
+                members=state.members,
+                status=UNKNOWN,
+                reason=reason,
+                constraint_rows=len(final),
+            )
+        return None
+
+    def _stage_certify(self, state, event):
+        """Extract the lambda (and, in Appendix C mode, theta) witness."""
+        point = state.outcome.witness
+        thetas = state.thetas
+        if thetas is None:  # Appendix C: thetas come from the LP point
+            thetas = {
+                edge: point.get(theta_var(*edge), Fraction(0))
+                for edge in set(state.edges)
+            }
+        lambdas = _extract_lambdas(point, state.members, state.bound_positions)
+        proof = SCCProof(
+            members=state.members,
+            norm=self.norm.name,
+            lambdas=lambdas,
+            thetas=thetas,
+            rule_systems=state.systems,
+        )
+        return SCCResult(
+            members=state.members,
+            status=PROVED,
+            proof=proof,
+            constraint_rows=len(state.final),
+        )
+
+
+def _extract_lambdas(point, members, bound_positions):
+    lambdas = {}
+    for node in members:
+        weights = {}
+        for position in bound_positions[node]:
+            weights[position] = point.get(lam_var(node, position), Fraction(0))
+        lambdas[node] = weights
+    return lambdas

@@ -1,15 +1,27 @@
 """Human-readable analysis reports.
 
 Renders an :class:`~repro.core.analyzer.AnalysisResult` — verdict,
-per-SCC measures and thetas, the inter-argument constraints used, and
-the Eq. 1 systems — in a format suitable for terminal output or
-inclusion in EXPERIMENTS.md.
+per-SCC measures and thetas, the inter-argument constraints used, the
+Eq. 1 systems, and (with ``show_stats``) the pipeline stage trace —
+in a format suitable for terminal output or inclusion in
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 
-def render_report(result, show_rule_systems=False, show_environment=False):
+def render_stage_table(trace):
+    """The per-stage instrumentation table for one or more analyses.
+
+    *trace* is an :class:`~repro.core.pipeline.AnalysisTrace`; columns
+    are wall time, constraint rows in/out, memoization hits/misses,
+    and backend solver work (simplex pivots / FM eliminations).
+    """
+    return "Pipeline stage trace:\n" + trace.describe()
+
+
+def render_report(result, show_rule_systems=False, show_environment=False,
+                  show_stats=False):
     """Full textual report for an analysis result."""
     lines = []
     lines.append("=" * 64)
@@ -47,6 +59,10 @@ def render_report(result, show_rule_systems=False, show_environment=False):
         lines.append("Inter-argument constraints used:")
         text = str(result.environment)
         lines.extend("  " + line for line in text.splitlines())
+
+    if show_stats and result.trace is not None:
+        lines.append("-" * 64)
+        lines.extend(render_stage_table(result.trace).splitlines())
 
     lines.append("=" * 64)
     return "\n".join(lines)

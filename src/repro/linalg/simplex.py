@@ -41,13 +41,16 @@ class LPResult:
     ``assignment`` maps every original variable to its optimal value;
     ``duals`` maps constraint index (position in the input system) to
     the dual multiplier of that row, in the convention of the row as
-    written (``expr >= 0`` / ``expr = 0``).
+    written (``expr >= 0`` / ``expr = 0``).  ``pivots`` counts the
+    tableau pivots performed across both phases (solver-cost telemetry
+    for the backend layer).
     """
 
     status: str
     value: Fraction = None
     assignment: dict = None
     duals: dict = None
+    pivots: int = 0
 
     @property
     def is_optimal(self):
@@ -216,6 +219,7 @@ class _StandardForm:
         self._matrix = matrix
         self._rhs = rhs
         self._basis = basis
+        self._pivots = 0
 
     # -- cost vectors -------------------------------------------------------------
 
@@ -278,6 +282,7 @@ class _StandardForm:
                 row[j] -= factor * pivot_row_values[j]
             rhs[r] -= factor * rhs[pivot_row]
         self._basis[pivot_row] = pivot_column
+        self._pivots += 1
 
     def _run_simplex(self, costs, allow_artificial):
         """Bland's rule loop; returns 'optimal' or 'unbounded'."""
@@ -337,19 +342,20 @@ class _StandardForm:
         phase1_costs = self._phase1_costs()
         status = self._run_simplex(phase1_costs, allow_artificial=True)
         if status != OPTIMAL or self._objective_value(phase1_costs) > 0:
-            return LPResult(status=INFEASIBLE)
+            return LPResult(status=INFEASIBLE, pivots=self._pivots)
         self._drive_out_artificials()
 
         phase2_costs = self._phase2_costs()
         status = self._run_simplex(phase2_costs, allow_artificial=False)
         if status == UNBOUNDED:
-            return LPResult(status=UNBOUNDED)
+            return LPResult(status=UNBOUNDED, pivots=self._pivots)
 
         assignment = self._extract_assignment()
         value = self._objective.evaluate(assignment)
         duals = self._extract_duals(phase2_costs)
         return LPResult(
-            status=OPTIMAL, value=value, assignment=assignment, duals=duals
+            status=OPTIMAL, value=value, assignment=assignment, duals=duals,
+            pivots=self._pivots,
         )
 
     def _extract_assignment(self):

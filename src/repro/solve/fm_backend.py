@@ -1,0 +1,88 @@
+"""Feasibility + witness via pure Fourier–Motzkin elimination.
+
+The paper's "in practice, Fourier-Motzkin elimination is simple and
+adequate" route, previously inlined in the analyzer: FM preserves
+satisfiability at every step, so the system is feasible iff the fully
+eliminated system has no contradiction row; a witness is recovered by
+assigning the variables in reverse elimination order, each within the
+interval its stage allows.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from time import perf_counter
+
+from repro.linalg.constraints import ConstraintSystem
+from repro.linalg.fourier_motzkin import eliminate
+from repro.linalg.linexpr import LinearExpr
+from repro.solve.backend import (
+    LPBackend,
+    SolveOutcome,
+    SolveStats,
+    register_backend,
+)
+
+
+@register_backend
+class FourierMotzkinBackend(LPBackend):
+    """Option ``prune`` (default True) runs redundancy pruning at every
+    elimination step — the analyzer wires ``AnalyzerSettings.prune_fm``
+    through here.  ``stats.eliminations`` counts eliminated variables,
+    ``stats.rows_out`` the rows surviving full elimination."""
+
+    name = "fm"
+
+    def feasible_point(self, system):
+        """Decide feasibility of *system*; return a :class:`SolveOutcome`."""
+        if not isinstance(system, ConstraintSystem):
+            system = ConstraintSystem(system)
+        prune = self.options.get("prune", True)
+        started = perf_counter()
+
+        order = sorted(system.variables(), key=repr)
+        stages = [system]
+        for var in order:
+            stages.append(eliminate(stages[-1], var, prune=prune))
+        stats = SolveStats(
+            backend=self.name,
+            rows_in=len(system),
+            rows_out=len(stages[-1]),
+            variables=len(order),
+            eliminations=len(order),
+        )
+        if stages[-1].has_contradiction_row():
+            stats.wall_time = perf_counter() - started
+            return SolveOutcome(feasible=False, stats=stats)
+        point = {}
+        for var, stage in zip(reversed(order), reversed(stages[:-1])):
+            point[var] = _pick_value(stage, var, point)
+        stats.wall_time = perf_counter() - started
+        return SolveOutcome(feasible=True, witness=point, stats=stats)
+
+
+def _pick_value(system, var, partial):
+    """Choose a value for *var* consistent with *system*, where
+    *partial* already fixes every other variable of *system*."""
+    lower = None
+    upper = None
+    for constraint in system:
+        coeff = constraint.expr.coefficient(var)
+        if coeff == 0:
+            continue
+        rest = constraint.expr - LinearExpr.of(var, coeff)
+        rest_value = rest.evaluate(partial)
+        bound = -rest_value / coeff
+        if constraint.is_equality():
+            return bound
+        if coeff > 0:
+            lower = bound if lower is None else max(lower, bound)
+        else:
+            upper = bound if upper is None else min(upper, bound)
+    if lower is not None and upper is not None:
+        return (lower + upper) / 2
+    if lower is not None:
+        return lower
+    if upper is not None:
+        return upper
+    return Fraction(0)

@@ -90,6 +90,49 @@ class TestMain:
         )
         assert code == 1
 
+    def test_stats_flag_prints_stage_table(self, perm_file, capsys):
+        code = main(
+            [perm_file, "--root", "perm/2", "--mode", "bf", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pipeline stage trace" in out
+        for stage in ("adorn", "interarg", "dualize", "solve", "certify"):
+            assert stage in out
+
+    def test_stats_off_by_default(self, perm_file, capsys):
+        main([perm_file, "--root", "perm/2", "--mode", "bf"])
+        assert "Pipeline stage trace" not in capsys.readouterr().out
+
+    def test_all_modes_stats_merges_traces(self, tmp_path, capsys):
+        path = tmp_path / "modes.pl"
+        path.write_text(
+            ":- mode(append(b, b, f)).\n"
+            ":- mode(append(f, f, b)).\n"
+            "append([], Ys, Ys).\n"
+            "append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n"
+        )
+        code = main([str(path), "--all-modes", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "append/3 mode bbf: PROVED" in out
+        assert "append/3 mode ffb: PROVED" in out
+        assert "Pipeline stage trace" in out
+        # One analyzer serves both modes: the second mode reuses the
+        # inter-argument environment, so the merged trace shows a hit.
+        adorn_row = [l for l in out.splitlines() if l.strip().startswith("interarg")][0]
+        assert "1/1" in adorn_row  # cache h/m across the two modes
+
+    def test_json_includes_trace(self, perm_file, capsys):
+        import json
+
+        code = main([perm_file, "--root", "perm/2", "--mode", "bf", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["norm"] == "structural"
+        stages = [entry["stage"] for entry in data["trace"]]
+        assert "solve" in stages
+
     def test_norm_flag(self, tmp_path):
         path = tmp_path / "msort.pl"
         from repro.corpus.registry import get_program
