@@ -3,8 +3,11 @@
 Every benchmark regenerates part of the paper's evaluation and writes
 its reproduction table to ``benchmarks/out/<experiment>.txt`` (as well
 as printing it), so EXPERIMENTS.md can quote the measured artifacts.
+Each emit also writes ``benchmarks/out/<experiment>.json`` — the same
+result as structured data, for dashboards and regression diffing.
 """
 
+import json
 import os
 
 import pytest
@@ -12,14 +15,23 @@ import pytest
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
-def emit(experiment, text):
-    """Print a reproduction table and persist it for EXPERIMENTS.md."""
+def emit(experiment, text, data=None):
+    """Print a reproduction table and persist it for EXPERIMENTS.md.
+
+    *data* (any JSON-serializable structure; non-serializable leaves
+    fall back to ``str``) rides along in the ``.json`` artifact so the
+    experiment is machine-readable, not just quotable.
+    """
     os.makedirs(OUT_DIR, exist_ok=True)
     banner = "\n===== %s =====\n" % experiment
     print(banner + text)
     path = os.path.join(OUT_DIR, "%s.txt" % experiment)
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    payload = {"experiment": experiment, "data": data}
+    with open(os.path.join(OUT_DIR, "%s.json" % experiment), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

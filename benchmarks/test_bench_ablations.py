@@ -49,7 +49,19 @@ def test_norm_ablation(benchmark):
         % tuple(row)
         for row in rows
     )
-    emit("F3_norms", "Norm ablation\n" + table + "\n")
+    emit(
+        "F3_norms",
+        "Norm ablation\n" + table + "\n",
+        data=[
+            {
+                "program": name,
+                "structural": structural,
+                "list_length": list_length,
+                "right_spine": right_spine,
+            }
+            for name, structural, list_length, right_spine in rows
+        ],
+    )
 
     by_name = {row[0]: row[1:] for row in rows}
     # Mergesort: the crossover the corpus documents.
@@ -78,6 +90,10 @@ def test_interarg_ablation(benchmark):
             "%-14s with=%-8s without=%-8s" % row for row in rows
         )
         + "\n",
+        data=[
+            {"program": name, "with_interarg": with_ia, "without": without}
+            for name, with_ia, without in rows
+        ],
     )
 
 
@@ -103,6 +119,13 @@ def test_feasibility_backend_ablation(benchmark):
             "%-14s %-8s %-8s %.3fs" % row for row in timings
         )
         + "\n",
+        data=[
+            {
+                "program": name, "backend": backend,
+                "verdict": status, "seconds": elapsed,
+            }
+            for name, backend, status, elapsed in timings
+        ],
     )
 
 
@@ -128,6 +151,13 @@ def test_fm_prune_ablation(benchmark):
             "%-14s prune=%-5s %-8s %.3fs" % row for row in timings
         )
         + "\n",
+        data=[
+            {
+                "program": name, "prune": prune,
+                "verdict": status, "seconds": elapsed,
+            }
+            for name, prune, status, elapsed in timings
+        ],
     )
 
 
@@ -157,6 +187,13 @@ def test_eq8_vs_eq9_ablation(benchmark):
         "Dual-variable elimination route (identical verdicts)\n"
         + "\n".join("%-14s %-8s %-8s %.3fs" % row for row in timings)
         + "\n",
+        data=[
+            {
+                "program": name, "route": route,
+                "verdict": status, "seconds": elapsed,
+            }
+            for name, route, status, elapsed in timings
+        ],
     )
 
 
@@ -183,6 +220,7 @@ def test_join_strategy_ablation(benchmark):
         "F3_join",
         "Polyhedron join strategy on gcd_euclid\n"
         "exact hull: %s\nweak join:  %s\n" % (exact, weak),
+        data={"program": "gcd_euclid", "exact": exact, "weak": weak},
     )
     assert exact == "PROVED"
     assert weak == "UNKNOWN"

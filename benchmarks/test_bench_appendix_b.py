@@ -51,6 +51,7 @@ def test_appendix_b_translation(benchmark):
             verdicts["expr_parser"],
             verdicts["perm"],
         ),
+        data=verdicts,
     )
     assert verdicts["merge_variant"] == "PROVED"   # Ex. 5.1
     assert verdicts["expr_parser"] == "PROVED"     # Ex. 6.1

@@ -75,6 +75,11 @@ def test_empirical_validation(benchmark):
         "Empirical validation (%d queries per program)\n" % QUERIES_PER_PROGRAM
         + "\n".join(rows)
         + "\nsoundness violations: %d\n" % len(violations),
+        data={
+            "queries_per_program": QUERIES_PER_PROGRAM,
+            "completed": completed_counts,
+            "violations": violations,
+        },
     )
     assert violations == [], violations
 

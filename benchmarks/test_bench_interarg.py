@@ -36,6 +36,7 @@ def test_append_constraint(benchmark):
         "append/3 inter-argument inference\n"
         "paper:    imported constraint append1 + append2 = append3\n"
         "measured:\n%s\n" % poly,
+        data={"append/3": str(poly).splitlines()},
     )
 
 
@@ -43,15 +44,18 @@ def test_parser_constraint(benchmark):
     program = load(get_program("expr_parser"))
     env = benchmark(infer_interargument_constraints, program)
     rows = []
+    data = {}
     for name in ("e", "t", "n"):
         poly = env.get((name, 2))
         assert poly.entails_constraint(Constraint.ge(dim(1), dim(2) + 2))
         rows.append("%s/2:\n%s" % (name, poly))
+        data["%s/2" % name] = str(poly).splitlines()
     emit(
         "E4_parser",
         "parser SCC inter-argument inference\n"
         "paper:    t1 >= 2 + t2 'found by Van Gelder's methods'\n"
         "measured:\n" + "\n".join(rows) + "\n",
+        data=data,
     )
 
 
@@ -70,6 +74,11 @@ def test_gcd_pipeline_constraints(benchmark):
         "E4_gcd",
         "gcd pipeline inference (less -> sub -> mod)\n"
         "less/2:\n%s\nsub/3:\n%s\nmod/3:\n%s\n" % (less, sub, mod),
+        data={
+            "less/2": str(less).splitlines(),
+            "sub/3": str(sub).splitlines(),
+            "mod/3": str(mod).splitlines(),
+        },
     )
 
 
@@ -94,4 +103,5 @@ def test_perm_depends_on_interarg(benchmark):
         "perm/2^bf with vs without inter-argument constraints\n"
         "with [VG90] import: %s\nwithout:            %s\n"
         % (with_status, without_status),
+        data={"with_interarg": with_status, "without": without_status},
     )

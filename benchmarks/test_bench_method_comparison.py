@@ -67,6 +67,11 @@ def test_verdict_matrix(corpus_verdicts, benchmark):
         + "\n\n" + summary
         + "\nproved ONLY by the paper's method: " + ", ".join(only_paper)
         + "\n",
+        data={
+            "verdicts": corpus_verdicts,
+            "proved_counts": proved,
+            "only_paper": only_paper,
+        },
     )
 
     # Shape assertions: strict superset, and the paper's own examples

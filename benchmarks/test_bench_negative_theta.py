@@ -64,6 +64,14 @@ def test_seesaw_needs_negative_theta(benchmark):
                 for (i, j), v in sorted(proof.thetas.items(), key=repr)
             ),
         ),
+        data={
+            "standard": standard.status,
+            "appendix_c": negative.status,
+            "thetas": {
+                "%s->%s" % (i.name, j.name): str(v)
+                for (i, j), v in sorted(proof.thetas.items(), key=repr)
+            },
+        },
     )
 
 
@@ -92,6 +100,7 @@ def test_negative_mode_conservative(benchmark):
         "Appendix C mode on standard-provable programs\n"
         + "\n".join("%-14s %s" % kv for kv in sorted(verdicts.items()))
         + "\n",
+        data=verdicts,
     )
 
 

@@ -83,7 +83,15 @@ def test_corpus_cold_vs_warm(benchmark):
         "speedup: %.1fx" % (cold_time / warm_time if warm_time else 0.0),
     ]
     emit("F7_pipeline_cache", "corpus sweep, cold vs warm caches\n"
-         + "\n".join(lines))
+         + "\n".join(lines),
+         data={
+             "cold_seconds": cold_time,
+             "warm_seconds": warm_time,
+             "cold_interarg_misses": cold_trace.stage(
+                 "interarg").cache_misses,
+             "warm_interarg_hits": warm_trace.stage("interarg").cache_hits,
+             "warm_dualize_hits": warm_trace.stage("dualize").cache_hits,
+         })
 
 
 def run_modes(analyzer):
@@ -147,4 +155,10 @@ def test_shared_analyzer_across_modes(benchmark):
         ),
     ]
     emit("F7_shared_analyzer", "4 modes of a 3-predicate library\n"
-         + "\n".join(lines))
+         + "\n".join(lines),
+         data={
+             "fresh_seconds": fresh_time,
+             "shared_seconds": shared_time,
+             "shared_interarg_hits": shared.stage("interarg").cache_hits,
+             "shared_dualize_hits": shared.stage("dualize").cache_hits,
+         })

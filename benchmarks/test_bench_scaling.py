@@ -9,15 +9,16 @@ adequate".  We regenerate that as three generated program families:
 - ``wide(a)``   — one predicate of arity a, every argument decreasing.
 
 All instances must be PROVED, and the series (analysis time, final
-constraint rows) should grow smoothly — no exponential cliff.
+constraint rows) should grow smoothly — no exponential cliff.  Each
+series runs through :func:`repro.batch.analyze_many` (the batch layer
+the corpus drivers share), which reports per-item wall time and the
+structural work counters the tables plot.
 """
-
-import time
 
 import pytest
 
+from repro.batch import BatchItem, analyze_many
 from repro.core import analyze_program
-from repro.lp import parse_program
 
 from benchmarks.conftest import emit
 
@@ -28,7 +29,7 @@ def ring_program(k):
     for i in range(1, k + 1):
         succ = (i % k) + 1
         lines.append("p%d(s(X)) :- p%d(X)." % (i, succ))
-    return parse_program("\n".join(lines))
+    return "\n".join(lines)
 
 
 def chain_program(k):
@@ -43,7 +44,7 @@ def chain_program(k):
             )
         else:
             lines.append("q%d([X|Xs], [X|Ys]) :- q%d(Xs, Ys)." % (i, i))
-    return parse_program("\n".join(lines))
+    return "\n".join(lines)
 
 
 def wide_program(arity):
@@ -51,18 +52,25 @@ def wide_program(arity):
     args_head = ", ".join("s(X%d)" % i for i in range(arity))
     args_body = ", ".join("X%d" % i for i in range(arity))
     zeros = ", ".join("0" for _ in range(arity))
-    return parse_program(
-        "r(%s).\nr(%s) :- r(%s)." % (zeros, args_head, args_body)
-    )
+    return "r(%s).\nr(%s) :- r(%s)." % (zeros, args_head, args_body)
 
 
-def measure(program, root, mode):
-    started = time.perf_counter()
-    result = analyze_program(program, root, mode)
-    elapsed = time.perf_counter() - started
-    rows = sum(r.constraint_rows for r in result.scc_results)
-    pivots = result.trace.stage("solve").pivots
-    return result, elapsed, rows, pivots
+def measure_series(sized_sources, root_of, mode_of):
+    """Run one generated family through the batch layer; returns the
+    (size, verdict, seconds, rows, pivots) table rows."""
+    items = [
+        BatchItem(
+            name=str(size), source=source,
+            root=root_of(size), mode=mode_of(size),
+        )
+        for size, source in sized_sources
+    ]
+    report = analyze_many(items)
+    return [
+        (int(result.name), result.status, result.wall_time,
+         result.constraint_rows, result.pivots)
+        for result in report.results
+    ]
 
 
 def series_table(title, rows):
@@ -78,47 +86,61 @@ def series_table(title, rows):
     return title + "\n" + "\n".join(lines)
 
 
+def series_data(rows):
+    """The measured series as JSON-ready records."""
+    return [
+        {
+            "size": size,
+            "verdict": verdict,
+            "seconds": seconds,
+            "rows": count,
+            "pivots": pivots,
+        }
+        for size, verdict, seconds, count, pivots in rows
+    ]
+
+
 def test_ring_scaling(benchmark):
-    rows = []
-    for k in (2, 4, 8, 12):
-        result, elapsed, count, pivots = measure(
-            ring_program(k), ("p1", 1), "b"
-        )
-        assert result.proved, "ring(%d)" % k
-        rows.append((k, result.status, elapsed, count, pivots))
+    rows = measure_series(
+        [(k, ring_program(k)) for k in (2, 4, 8, 12)],
+        root_of=lambda k: ("p1", 1), mode_of=lambda k: "b",
+    )
+    for k, status, _, _, _ in rows:
+        assert status == "PROVED", "ring(%d)" % k
     benchmark.pedantic(
         lambda: analyze_program(ring_program(8), ("p1", 1), "b"),
         rounds=3, iterations=1,
     )
-    emit("F1_ring", series_table("mutual-recursion ring(k)", rows))
+    emit("F1_ring", series_table("mutual-recursion ring(k)", rows),
+         data=series_data(rows))
 
 
 def test_chain_scaling(benchmark):
-    rows = []
-    for k in (2, 4, 8, 12):
-        result, elapsed, count, pivots = measure(
-            chain_program(k), ("q1", 2), "bf"
-        )
-        assert result.proved, "chain(%d)" % k
-        rows.append((k, result.status, elapsed, count, pivots))
+    rows = measure_series(
+        [(k, chain_program(k)) for k in (2, 4, 8, 12)],
+        root_of=lambda k: ("q1", 2), mode_of=lambda k: "bf",
+    )
+    for k, status, _, _, _ in rows:
+        assert status == "PROVED", "chain(%d)" % k
     benchmark.pedantic(
         lambda: analyze_program(chain_program(8), ("q1", 2), "bf"),
         rounds=3, iterations=1,
     )
-    emit("F1_chain", series_table("SCC chain(k)", rows))
+    emit("F1_chain", series_table("SCC chain(k)", rows),
+         data=series_data(rows))
 
 
 def test_arity_scaling(benchmark):
-    rows = []
-    for arity in (1, 2, 4, 6, 8):
-        mode = "b" * arity
-        result, elapsed, count, pivots = measure(
-            wide_program(arity), ("r", arity), mode
-        )
-        assert result.proved, "wide(%d)" % arity
-        rows.append((arity, result.status, elapsed, count, pivots))
+    rows = measure_series(
+        [(arity, wide_program(arity)) for arity in (1, 2, 4, 6, 8)],
+        root_of=lambda arity: ("r", arity),
+        mode_of=lambda arity: "b" * arity,
+    )
+    for arity, status, _, _, _ in rows:
+        assert status == "PROVED", "wide(%d)" % arity
     benchmark.pedantic(
         lambda: analyze_program(wide_program(6), ("r", 6), "b" * 6),
         rounds=3, iterations=1,
     )
-    emit("F1_wide", series_table("arity sweep wide(a)", rows))
+    emit("F1_wide", series_table("arity sweep wide(a)", rows),
+         data=series_data(rows))

@@ -48,6 +48,13 @@ def test_a1_pipeline(benchmark):
         "measured: before=%s after=%s steps=%s\n"
         "clauses:  %d -> %d\n"
         % (before, after, kinds, len(program), len(transformed)),
+        data={
+            "before": before,
+            "after": after,
+            "steps": kinds,
+            "clauses_before": len(program),
+            "clauses_after": len(transformed),
+        },
     )
 
 

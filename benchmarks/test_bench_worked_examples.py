@@ -40,6 +40,7 @@ def test_perm_example_3_1(benchmark):
         "paper:    single constraint 2*lambda >= 1; lambda = 1/2 proves\n"
         "measured: verdict=%s lambda[arg1]=%s theta=1\n"
         % (result.status, weights[1]),
+        data={"verdict": result.status, "lambda_arg1": str(weights[1])},
     )
 
 
@@ -57,6 +58,10 @@ def test_merge_example_5_1(benchmark):
         "decreases)\n"
         "measured: verdict=%s lambda=(%s, %s)\n"
         % (result.status, weights[1], weights[2]),
+        data={
+            "verdict": result.status,
+            "lambda": [str(weights[1]), str(weights[2])],
+        },
     )
 
 
@@ -92,6 +97,13 @@ def test_parser_example_6_1(benchmark):
             proof.thetas[(n, e)],
             lambdas["e"], lambdas["t"], lambdas["n"],
         ),
+        data={
+            "verdict": result.status,
+            "theta_et": str(proof.thetas[(e, t)]),
+            "theta_tn": str(proof.thetas[(t, n)]),
+            "theta_ne": str(proof.thetas[(n, e)]),
+            "lambda": {k: str(v) for k, v in lambdas.items()},
+        },
     )
 
 
@@ -115,4 +127,5 @@ def test_example_a1_with_transformation(benchmark):
         "paper:    undetectable as written; provable after safe\n"
         "          unfolding + predicate splitting + safe unfolding\n"
         "measured: before=%s after=%s\n" % (before.status, after.status),
+        data={"before": before.status, "after": after.status},
     )

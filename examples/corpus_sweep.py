@@ -6,44 +6,50 @@ programs each method proves terminating.  "Several programs that could
 not be shown to terminate by earlier published methods are handled
 successfully" — the rows where only the `paper` column reads PROVED.
 
-Run:  python examples/corpus_sweep.py
+The sweep runs through :func:`repro.batch.analyze_many`, so it can fan
+out over worker processes; the verdicts are identical at any job count.
+
+Run:  python examples/corpus_sweep.py [--jobs N]
 """
 
-import time
+import argparse
 
 from repro.baselines import ALL_BASELINES
-from repro.core import AnalysisTrace, TerminationAnalyzer
+from repro.batch import analyze_many
 from repro.core.report import render_stage_table, render_verdict_table
 from repro.corpus import all_programs
-from repro.corpus.registry import load
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: in-process)",
+    )
+    args = parser.parse_args()
+
+    entries = all_programs()
+    report = analyze_many(entries, jobs=args.jobs, baselines=ALL_BASELINES)
+
     headers = ["program", "truth", "paper"] + [
-        m.name for m in ALL_BASELINES
+        method.name for method in ALL_BASELINES
     ]
     rows = []
-    merged = AnalysisTrace()
-    started = time.time()
-    for entry in all_programs():
-        program = load(entry)
-        result = TerminationAnalyzer(program).analyze(entry.root, entry.mode)
-        merged.merge(result.trace)
-        verdicts = [result.status]
-        for method in ALL_BASELINES:
-            verdicts.append(
-                method.analyze(program, entry.root, entry.mode).status
-            )
+    for entry, result in zip(entries, report.results):
         truth = {True: "halts", False: "loops", None: "?"}[entry.terminating]
-        rows.append([entry.name, truth] + verdicts)
+        rows.append(
+            [entry.name, truth, result.status]
+            + [result.baselines[m.name] for m in ALL_BASELINES]
+        )
 
     print(render_verdict_table(rows, headers=tuple(headers)))
-    print("\n%d programs analyzed by 4 methods in %.1fs"
-          % (len(rows), time.time() - started))
+    print("\n%d programs analyzed by %d methods in %.1fs (%d jobs)"
+          % (len(rows), 1 + len(ALL_BASELINES), report.wall_time,
+             report.jobs))
 
     # Where the paper's method spent its time, aggregated over the
     # whole corpus (the baseline columns are not instrumented).
-    print("\n" + render_stage_table(merged))
+    print("\n" + render_stage_table(report.trace))
 
     only_paper = [
         row[0]

@@ -1,0 +1,268 @@
+"""Batch and parallel analysis: many program×mode pairs at once.
+
+The corpus drivers, the ``--all-modes`` CLI sweep, and the scaling
+benchmarks all share the same shape of work: a list of independent
+(program, root, mode) analyses whose results are folded into one
+verdict table and one merged :class:`~repro.core.AnalysisTrace`.
+:func:`analyze_many` is that loop, with an optional process pool:
+
+- **items** carry program *source text*, not parsed objects —
+  :class:`~repro.linalg.linexpr.LinearExpr` (and everything built from
+  it) is immutable via a raising ``__setattr__`` and does not pickle,
+  so workers parse their own copy and ship back only slim, picklable
+  :class:`BatchResult` records plus their stage traces;
+- **chunking** groups items by source text, so one worker analyzes
+  every mode of a program with a single
+  :class:`~repro.core.TerminationAnalyzer` — reusing the inferred
+  inter-argument environment and the dualization cache exactly like
+  the serial sweep does (large groups are split when there are fewer
+  programs than workers);
+- ``jobs=1`` runs in-process with no executor and no pickling — the
+  reference path the parallel results are tested against.
+
+Worker processes have their *own* memoization caches, so merged
+``cache_hits``/``cache_misses`` differ from a serial run; the
+structural counters (calls, rows, pivots, eliminations) and the
+verdicts are identical, which ``tests/core/test_batch.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.errors import AnalysisError, ReproError
+from repro.lp import parse_program
+from repro.core import AnalysisTrace, AnalyzerSettings, TerminationAnalyzer
+
+__all__ = ["BatchItem", "BatchResult", "BatchReport", "analyze_many"]
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One unit of work: analyze *root* in *mode* over *source*."""
+
+    name: str
+    source: str
+    root: tuple
+    mode: str
+
+
+@dataclass
+class BatchResult:
+    """Slim, picklable outcome of one :class:`BatchItem`.
+
+    ``status`` is ``PROVED``/``UNKNOWN``, or ``ERROR`` with the message
+    in ``error``; ``reasons`` lists the failing SCCs' explanations;
+    ``constraint_rows``/``pivots`` summarize the analysis work (the
+    scaling benchmarks plot them); ``baselines`` maps baseline method
+    names to their statuses when the batch requested them.
+    """
+
+    name: str
+    root: tuple
+    mode: str
+    status: str
+    wall_time: float = 0.0
+    constraint_rows: int = 0
+    pivots: int = 0
+    reasons: tuple = ()
+    baselines: dict = field(default_factory=dict)
+    error: str = ""
+
+    @property
+    def proved(self):
+        """True when the verdict is PROVED."""
+        return self.status == "PROVED"
+
+
+@dataclass
+class BatchReport:
+    """Everything :func:`analyze_many` produced.
+
+    ``results`` preserves input order; ``trace`` is the stage traces of
+    every analysis merged (the same fold the serial sweeps print).
+    """
+
+    results: list
+    trace: AnalysisTrace
+    jobs: int
+    wall_time: float = 0.0
+
+    @property
+    def all_proved(self):
+        """True when every item's verdict is PROVED."""
+        return all(r.proved for r in self.results)
+
+
+def as_batch_item(entry, index=0):
+    """Coerce corpus entries / tuples / dicts into a :class:`BatchItem`."""
+    if isinstance(entry, BatchItem):
+        return entry
+    if hasattr(entry, "source") and hasattr(entry, "root"):
+        return BatchItem(
+            name=getattr(entry, "name", "item%d" % index),
+            source=entry.source,
+            root=tuple(entry.root),
+            mode=entry.mode,
+        )
+    if isinstance(entry, dict):
+        return BatchItem(
+            name=entry.get("name", "item%d" % index),
+            source=entry["source"],
+            root=tuple(entry["root"]),
+            mode=entry["mode"],
+        )
+    if isinstance(entry, tuple) and len(entry) == 3:
+        source, root, mode = entry
+        return BatchItem(
+            name="item%d" % index, source=source,
+            root=tuple(root), mode=mode,
+        )
+    raise TypeError(
+        "cannot interpret %r as a batch item; pass a BatchItem, a "
+        "corpus entry, a (source, root, mode) tuple, or a dict" % (entry,)
+    )
+
+
+def analyze_many(entries, jobs=1, settings=None, baselines=()):
+    """Analyze every entry; return a :class:`BatchReport`.
+
+    *entries* — any mix of :class:`BatchItem`, corpus entries, or
+    ``(source, root, mode)`` tuples.  *jobs* — worker processes
+    (``1`` = in-process, the reference path).  *baselines* — optional
+    :class:`~repro.baselines.BaselineMethod` objects to run alongside
+    the paper's analyzer (their statuses land in
+    :attr:`BatchResult.baselines`).
+    """
+    items = [as_batch_item(entry, i) for i, entry in enumerate(entries)]
+    settings = settings or AnalyzerSettings()
+    if jobs < 1:
+        raise AnalysisError("jobs must be >= 1, got %d" % jobs)
+    if jobs > 1 and not isinstance(settings.feasibility, str):
+        raise AnalysisError(
+            "parallel analysis needs a named feasibility backend "
+            "(backend instances do not cross process boundaries)"
+        )
+    baseline_names = tuple(method.name for method in baselines)
+
+    started = perf_counter()
+    merged = AnalysisTrace()
+    results = [None] * len(items)
+
+    indexed = list(enumerate(items))
+    if jobs == 1 or len(items) <= 1:
+        chunk_results, trace = _run_chunk(indexed, settings, baseline_names)
+        for index, result in chunk_results:
+            results[index] = result
+        merged.merge(trace)
+    else:
+        chunks = _make_chunks(indexed, jobs)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_run_chunk, chunk, settings, baseline_names)
+                for chunk in chunks
+            ]
+            for future in futures:
+                chunk_results, trace = future.result()
+                for index, result in chunk_results:
+                    results[index] = result
+                merged.merge(trace)
+
+    return BatchReport(
+        results=results,
+        trace=merged,
+        jobs=jobs,
+        wall_time=perf_counter() - started,
+    )
+
+
+def _make_chunks(indexed, jobs):
+    """Group (index, item) pairs by source text, splitting any group
+    further when there are fewer programs than workers.
+
+    Grouping preserves the worker-local analyzer reuse of the serial
+    sweep; splitting keeps all workers busy on the ``--all-modes``
+    shape (one program, many modes)."""
+    groups = {}
+    for index, item in indexed:
+        groups.setdefault(item.source, []).append((index, item))
+    ordered = list(groups.values())
+    if len(ordered) >= jobs:
+        return ordered
+    pieces_per_group = -(-jobs // len(ordered))  # ceil
+    chunks = []
+    for group in ordered:
+        pieces = min(len(group), pieces_per_group)
+        size = -(-len(group) // pieces)
+        chunks.extend(
+            group[start:start + size]
+            for start in range(0, len(group), size)
+        )
+    return chunks
+
+
+def _run_chunk(indexed, settings, baseline_names):
+    """Worker body: analyze one chunk, reusing the analyzer across
+    consecutive items with identical source."""
+    methods = _resolve_baselines(baseline_names)
+    trace = AnalysisTrace()
+    out = []
+    analyzer = None
+    program = None
+    current_source = None
+    for index, item in indexed:
+        item_started = perf_counter()
+        try:
+            if item.source != current_source:
+                program = parse_program(item.source)
+                analyzer = TerminationAnalyzer(program, settings=settings)
+                current_source = item.source
+            result = analyzer.analyze(tuple(item.root), item.mode)
+        except ReproError as error:
+            out.append((index, BatchResult(
+                name=item.name, root=tuple(item.root), mode=item.mode,
+                status="ERROR", error=str(error),
+                wall_time=perf_counter() - item_started,
+            )))
+            continue
+        trace.merge(result.trace)
+        verdicts = {}
+        for method in methods:
+            verdicts[method.name] = method.analyze(
+                program, tuple(item.root), item.mode
+            ).status
+        out.append((index, BatchResult(
+            name=item.name,
+            root=tuple(item.root),
+            mode=item.mode,
+            status=result.status,
+            wall_time=perf_counter() - item_started,
+            constraint_rows=sum(
+                scc.constraint_rows for scc in result.scc_results
+            ),
+            pivots=result.trace.stage("solve").pivots,
+            reasons=tuple(
+                scc.reason for scc in result.failing_sccs()
+            ),
+            baselines=verdicts,
+        )))
+    return out, trace
+
+
+def _resolve_baselines(names):
+    """Baseline methods by name (resolved worker-side: the method
+    objects themselves need not be picklable)."""
+    if not names:
+        return ()
+    from repro.baselines import ALL_BASELINES
+
+    by_name = {method.name: method for method in ALL_BASELINES}
+    try:
+        return tuple(by_name[name] for name in names)
+    except KeyError as error:
+        raise AnalysisError(
+            "unknown baseline method %s; available: %s"
+            % (error, ", ".join(sorted(by_name)))
+        ) from None

@@ -84,6 +84,10 @@ def build_parser():
         "--json", action="store_true",
         help="emit the verdict and certificate as JSON instead of text",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for --all-modes (default 1: in-process)",
+    )
     return parser
 
 
@@ -182,6 +186,8 @@ def _run_all_modes(program, settings, args):
     if not declarations:
         print("no ':- mode(...)' declarations found", file=sys.stderr)
         return 2
+    if args.jobs > 1:
+        return _run_all_modes_parallel(program, declarations, settings, args)
     analyzer = TerminationAnalyzer(program, settings=settings)
     merged = AnalysisTrace()
     worst = 0
@@ -201,6 +207,49 @@ def _run_all_modes(program, settings, args):
     if args.stats:
         print()
         print(render_stage_table(merged))
+    return worst
+
+
+def _run_all_modes_parallel(program, declarations, settings, args):
+    """Fan the declared modes over ``--jobs`` worker processes.
+
+    Items carry the program's clause text (workers re-parse their own
+    copy — analysis objects do not cross process boundaries), and each
+    worker's stage trace is merged for ``--stats``.
+    """
+    from repro.batch import BatchItem, analyze_many
+
+    if args.verify:
+        raise SystemExit(
+            "--verify needs --jobs 1 (certificates stay in the workers)"
+        )
+    source = str(program)
+    items = [
+        BatchItem(
+            name="%s/%d" % declaration.indicator,
+            source=source,
+            root=declaration.indicator,
+            mode=declaration.mode,
+        )
+        for declaration in declarations
+    ]
+    report = analyze_many(items, jobs=args.jobs, settings=settings)
+    worst = 0
+    for declaration, result in zip(declarations, report.results):
+        name, arity = declaration.indicator
+        print("%s/%d mode %s: %s" % (name, arity, declaration.mode,
+                                     result.status))
+        if result.status == "ERROR":
+            print("  error: %s" % result.error, file=sys.stderr)
+            worst = 2
+        elif not result.proved:
+            worst = max(worst, 1)
+            if args.verbose:
+                for reason in result.reasons:
+                    print("  reason: %s" % reason)
+    if args.stats:
+        print()
+        print(render_stage_table(report.trace))
     return worst
 
 

@@ -72,6 +72,9 @@ class AnalyzerSettings:
     :class:`~repro.solve.LPBackend` instance.  Resolved — and
     validated — when the analyzer is constructed.
     ``prune_fm`` — redundancy pruning inside Fourier–Motzkin.
+    ``fm_kernel`` — ``"int"`` (default) runs Fourier–Motzkin solves on
+    the dense integer row kernel; ``"reference"`` keeps the original
+    object pipeline (differential testing / ablation).
     ``eliminate_w`` — True (default) runs the paper's practical route:
     Fourier–Motzkin eliminates the undistinguished dual multipliers per
     rule-subgoal pair ("in practice, Fourier-Motzkin elimination is
@@ -87,6 +90,7 @@ class AnalyzerSettings:
     allow_negative_theta: bool = False
     feasibility: str = "simplex"
     prune_fm: bool = True
+    fm_kernel: str = "int"
     eliminate_w: bool = True
     inference: InferenceSettings = field(default_factory=InferenceSettings)
 

@@ -425,7 +425,15 @@ def resolve_settings(settings):
         norm = get_norm(settings.norm)
     except ValueError as error:
         raise AnalysisError("invalid analyzer settings: %s" % error) from None
-    backend = get_backend(settings.feasibility, prune=settings.prune_fm)
+    fm_kernel = getattr(settings, "fm_kernel", "int")
+    if fm_kernel not in ("int", "reference"):
+        raise AnalysisError(
+            "invalid analyzer settings: unknown fm_kernel %r "
+            "(choose 'int' or 'reference')" % (fm_kernel,)
+        )
+    backend = get_backend(
+        settings.feasibility, prune=settings.prune_fm, kernel=fm_kernel
+    )
     return norm, backend
 
 

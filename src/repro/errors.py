@@ -42,6 +42,14 @@ class LinAlgError(ReproError):
     """Base class for linear-algebra subsystem errors."""
 
 
+class FMBlowupError(LinAlgError):
+    """Raised when a tracked elimination exceeds its row budget.
+
+    Callers fall back to a sound over-approximation (weak join /
+    forget) instead of paying worst-case exponential FM cost.
+    """
+
+
 class InfeasibleError(LinAlgError):
     """Raised when an LP is infeasible but a solution was required."""
 

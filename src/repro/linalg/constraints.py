@@ -43,6 +43,16 @@ class Constraint:
     # -- constructors ----------------------------------------------------------
 
     @classmethod
+    def _from_canonical(cls, expr, relation=GE):
+        """Internal: wrap an expression already in canonical form (the
+        integer row kernel's materialization boundary) without
+        re-running ``_canonical_scale``."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "relation", relation)
+        return self
+
+    @classmethod
     def ge(cls, left, right=0):
         """left >= right"""
         return cls(_as_expr(left) - _as_expr(right), GE)
@@ -151,6 +161,7 @@ class ConstraintSystem:
     def __init__(self, constraints=()):
         self._constraints = []
         self._seen = set()
+        self._variables = set()
         for constraint in constraints:
             self.add(constraint)
 
@@ -163,6 +174,7 @@ class ConstraintSystem:
         if constraint not in self._seen:
             self._seen.add(constraint)
             self._constraints.append(constraint)
+            self._variables |= constraint.variables()
 
     def extend(self, constraints):
         """Add every constraint from the iterable."""
@@ -183,11 +195,13 @@ class ConstraintSystem:
         return constraint in self._seen
 
     def variables(self):
-        """The variables occurring in this object."""
-        names = set()
-        for constraint in self._constraints:
-            names |= constraint.variables()
-        return names
+        """The variables occurring in this object.
+
+        Maintained incrementally as constraints are added (rows are
+        never removed); a fresh set is returned so callers can mutate
+        the result freely.
+        """
+        return set(self._variables)
 
     def inequalities(self):
         """All constraints as pure ``>= 0`` inequalities."""

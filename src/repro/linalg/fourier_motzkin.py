@@ -10,6 +10,16 @@ of the solution set onto the remaining variables.  Equalities containing
 the eliminated variable are used for Gaussian substitution first — it is
 both cheaper and produces no spurious rows.
 
+Two interchangeable execution paths compute every projection:
+
+- ``kernel="int"`` (default) — the dense integer row kernel of
+  :mod:`repro.linalg.rows`: variables interned to dense indices,
+  rows as gcd-normalized integer tuples, Chernikov ancestor sets as
+  bitmasks, pos/neg occurrence counters maintained incrementally.
+  Constraint objects are materialized only at the projection boundary.
+- ``kernel="reference"`` — the original object pipeline, kept for
+  differential testing; both paths produce byte-identical projections.
+
 Redundancy control: syntactic normalization + de-duplication happens in
 :class:`~repro.linalg.constraints.Constraint`, and
 :func:`prune_redundant` offers quick pairwise-dominance pruning plus an
@@ -20,25 +30,43 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.errors import LinAlgError
+from repro.errors import FMBlowupError, LinAlgError
 from repro.linalg.constraints import Constraint, ConstraintSystem, GE
 from repro.linalg.linexpr import LinearExpr
+from repro.linalg.rows import RowKernel, tracked_project
+
+__all__ = [
+    "FMBlowupError",
+    "KERNEL_INT",
+    "KERNEL_REFERENCE",
+    "eliminate",
+    "eliminate_all",
+    "eliminate_all_tracked",
+    "project_onto",
+    "prune_redundant",
+]
+
+#: The integer row kernel (default) and the original object path.
+KERNEL_INT = "int"
+KERNEL_REFERENCE = "reference"
 
 
-class FMBlowupError(LinAlgError):
-    """Raised when a tracked elimination exceeds its row budget.
+def _validate_kernel(kernel):
+    if kernel not in (KERNEL_INT, KERNEL_REFERENCE):
+        raise LinAlgError(
+            "unknown FM kernel %r; choose %r or %r"
+            % (kernel, KERNEL_INT, KERNEL_REFERENCE)
+        )
+    return kernel
 
-    Callers fall back to a sound over-approximation (weak join /
-    forget) instead of paying worst-case exponential FM cost.
-    """
 
-
-def eliminate(system, var, prune=True):
+def eliminate(system, var, prune=True, kernel=KERNEL_INT):
     """Eliminate *var* from *system*; the result has no occurrence of it.
 
     Returns a new :class:`ConstraintSystem` over the remaining
     variables whose solution set is exactly the projection.
     """
+    _validate_kernel(kernel)
     relevant_eq = None
     for constraint in system:
         if constraint.is_equality() and var in constraint.variables():
@@ -47,7 +75,20 @@ def eliminate(system, var, prune=True):
 
     if relevant_eq is not None:
         return _eliminate_by_substitution(system, var, relevant_eq)
-    return _eliminate_by_combination(system, var, prune=prune)
+    if kernel == KERNEL_REFERENCE:
+        return _eliminate_by_combination(system, var, prune=prune)
+    return _kernel_combination(system, var, prune=prune)
+
+
+def _kernel_combination(system, var, prune=True):
+    """Row-kernel version of :func:`_eliminate_by_combination`."""
+    workspace = RowKernel.from_system(system)
+    j = workspace.index.get(var)
+    if j is None:
+        result = workspace.to_system()
+        return prune_redundant(result) if prune else result
+    workspace.eliminate(j, prune=prune)
+    return workspace.to_system()
 
 
 def _eliminate_by_substitution(system, var, equality):
@@ -93,12 +134,16 @@ def _eliminate_by_combination(system, var, prune=True):
     return result
 
 
-def eliminate_all(system, variables, prune=True, lp_prune_threshold=None):
+def eliminate_all(system, variables, prune=True, lp_prune_threshold=None,
+                  kernel=KERNEL_INT):
     """Eliminate every variable in *variables*, cheapest-first.
 
     The next variable to eliminate is chosen greedily to minimize the
     number of new rows (|positives| * |negatives|), the standard FM
-    heuristic.
+    heuristic.  Variables reachable through an equality are substituted
+    away first (cost "-1"); once the first pairwise combination happens
+    no equality survives, and the remaining eliminations run entirely
+    inside the integer row kernel (under ``kernel="int"``).
 
     FM can square the row count at every step; *lp_prune_threshold*
     (when set) bounds the blow-up by running the exact LP-based
@@ -106,14 +151,22 @@ def eliminate_all(system, variables, prune=True, lp_prune_threshold=None):
     many rows.  This is the practical move that keeps repeated convex
     hulls (inter-argument inference) tractable.
     """
+    _validate_kernel(kernel)
     remaining = set(variables)
     current = system
     while remaining:
-        present = remaining & current.variables()
-        if not present:
+        costs = _elimination_costs(current, remaining)
+        if not costs:
             break
-        var = min(present, key=lambda v: _elimination_cost(current, v))
-        current = eliminate(current, var, prune=prune)
+        var = min(costs, key=lambda v: costs[v])
+        if costs[var][0] >= 0 and kernel == KERNEL_INT:
+            # No equality mentions any remaining variable: every step
+            # from here on is pure combination — run them all in the
+            # row kernel and materialize once.
+            return _kernel_eliminate_all(
+                current, remaining, prune, lp_prune_threshold
+            )
+        current = eliminate(current, var, prune=prune, kernel=kernel)
         if (
             lp_prune_threshold is not None
             and len(current) > lp_prune_threshold
@@ -123,36 +176,80 @@ def eliminate_all(system, variables, prune=True, lp_prune_threshold=None):
     return current
 
 
-def _elimination_cost(system, var):
-    positives = negatives = 0
-    has_equality = False
+def _kernel_eliminate_all(system, remaining, prune, lp_prune_threshold):
+    """Finish an all-combination elimination inside the row kernel."""
+    workspace = RowKernel.from_system(system)
+    indices = {
+        workspace.index[var] for var in remaining
+        if var in workspace.index
+    }
+    while indices:
+        j = workspace.choose(indices)
+        if j is None:
+            break
+        workspace.eliminate(j, prune=prune)
+        indices.discard(j)
+        if (
+            lp_prune_threshold is not None
+            and len(workspace) > lp_prune_threshold
+        ):
+            pruned = prune_redundant(workspace.to_system(), use_lp=True)
+            workspace = RowKernel.from_system(pruned)
+            # Re-intern: already-eliminated variables occur in no row,
+            # so they simply drop out of the new index.
+            indices = {
+                workspace.index[var] for var in remaining
+                if var in workspace.index
+            }
+    return workspace.to_system()
+
+
+def _elimination_costs(system, remaining):
+    """Greedy cost of every *remaining* variable present in *system*,
+    computed in one pass over the rows (the per-candidate rescan this
+    replaces was O(rows × vars) per elimination step).
+
+    Returns ``{var: (cost, repr(var))}`` — ``cost`` is -1 when an
+    equality mentions the variable (substitution is always cheapest),
+    else |positives| × |negatives|.
+    """
+    counts = {}
     for constraint in system:
-        coeff = constraint.expr.coefficient(var)
-        if coeff == 0:
-            continue
-        if constraint.is_equality():
-            has_equality = True
-        elif coeff > 0:
-            positives += 1
-        else:
-            negatives += 1
-    if has_equality:
-        return (-1, repr(var))  # substitution is always cheapest
-    return (positives * negatives, repr(var))
+        is_equality = constraint.is_equality()
+        expr = constraint.expr
+        for var in constraint.variables():
+            if var not in remaining:
+                continue
+            entry = counts.get(var)
+            if entry is None:
+                entry = counts[var] = [0, 0, False]
+            if is_equality:
+                entry[2] = True
+            elif expr.coefficient(var) > 0:
+                entry[0] += 1
+            else:
+                entry[1] += 1
+    return {
+        var: ((-1, repr(var)) if has_eq
+              else (positives * negatives, repr(var)))
+        for var, (positives, negatives, has_eq) in counts.items()
+    }
 
 
-def project_onto(system, keep, prune=True, lp_prune_threshold=None):
+def project_onto(system, keep, prune=True, lp_prune_threshold=None,
+                 kernel=KERNEL_INT):
     """Project the solution set onto the variables in *keep*."""
     keep = set(keep)
     to_eliminate = system.variables() - keep
     return eliminate_all(
         system, to_eliminate, prune=prune,
-        lp_prune_threshold=lp_prune_threshold,
+        lp_prune_threshold=lp_prune_threshold, kernel=kernel,
     )
 
 
 def eliminate_all_tracked(
-    system, variables, final_lp_prune=True, max_rows=600
+    system, variables, final_lp_prune=True, max_rows=600,
+    kernel=KERNEL_INT,
 ):
     """Projection by pure-inequality FM with Chernikov ancestor pruning.
 
@@ -168,6 +265,23 @@ def eliminate_all_tracked(
     instead.  A final exact LP prune (small by then) yields a tidy
     result.
     """
+    _validate_kernel(kernel)
+    if kernel == KERNEL_INT:
+        result = tracked_project(system, variables, max_rows=max_rows)
+    else:
+        result = _reference_tracked(system, variables, max_rows)
+    # The exact LP prune is quadratic in rows x simplex cost; only tidy
+    # results that are already small (the quadratic pass on a big
+    # system would dominate everything else).
+    if final_lp_prune and 1 < len(result) <= 60:
+        result = prune_redundant(result, use_lp=True)
+    else:
+        result = prune_redundant(result)
+    return result
+
+
+def _reference_tracked(system, variables, max_rows):
+    """The object-pipeline tracked elimination (differential baseline)."""
     rows = []
     for index, constraint in enumerate(system.inequalities()):
         rows.append((constraint, frozenset((index,))))
@@ -191,15 +305,7 @@ def eliminate_all_tracked(
                 "tracked elimination exceeded %d rows" % max_rows
             )
 
-    result = ConstraintSystem(constraint for constraint, _ in rows)
-    # The exact LP prune is quadratic in rows x simplex cost; only tidy
-    # results that are already small (the quadratic pass on a big
-    # system would dominate everything else).
-    if final_lp_prune and 1 < len(result) <= 60:
-        result = prune_redundant(result, use_lp=True)
-    else:
-        result = prune_redundant(result)
-    return result
+    return ConstraintSystem(constraint for constraint, _ in rows)
 
 
 def _tracked_cost(rows, var):
@@ -287,14 +393,27 @@ def prune_redundant(system, use_lp=False):
 
 
 def _prune_with_lp(system):
+    """Drop every inequality entailed by the others — one pass.
+
+    Rows are tentatively removed in order; a candidate is tested
+    against the rows still alive (removed rows stay removed, rows
+    already proven necessary are never rebuilt or re-tested), and the
+    simplex sees a plain constraint list — no per-candidate
+    :class:`ConstraintSystem` re-normalization.
+    """
     from repro.linalg.simplex import entails
 
     rows = list(system)
-    kept = list(rows)
-    for candidate in rows:
+    alive = [True] * len(rows)
+    for position, candidate in enumerate(rows):
         if candidate.is_equality():
             continue
-        others = ConstraintSystem(c for c in kept if c != candidate)
-        if entails(others, candidate):
-            kept = [c for c in kept if c != candidate]
-    return ConstraintSystem(kept)
+        alive[position] = False
+        others = [
+            row for index, row in enumerate(rows) if alive[index]
+        ]
+        if not entails(others, candidate):
+            alive[position] = True
+    return ConstraintSystem(
+        row for index, row in enumerate(rows) if alive[index]
+    )

@@ -31,7 +31,7 @@ def _to_fraction(value):
 class LinearExpr:
     """``constant + sum(coeff * var)``; immutable and hashable."""
 
-    __slots__ = ("_coefficients", "_constant", "_hash")
+    __slots__ = ("_coefficients", "_constant", "_hash", "_variables")
 
     def __init__(self, coefficients=None, constant=0):
         items = {}
@@ -43,6 +43,7 @@ class LinearExpr:
         object.__setattr__(self, "_coefficients", items)
         object.__setattr__(self, "_constant", _to_fraction(constant))
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_variables", None)
 
     def __setattr__(self, key, value):
         raise AttributeError("LinearExpr is immutable")
@@ -59,6 +60,26 @@ class LinearExpr:
         """A single-variable expression with the given coefficient."""
         return cls({var: coefficient})
 
+    @classmethod
+    def _from_canonical_integers(cls, coefficients, constant):
+        """Internal: wrap ``{var: int}`` / ``int`` data without the
+        constructor's conversion and zero-filtering passes.
+
+        Only the integer row kernel's materialization boundary calls
+        this — its rows are nonzero-coefficient canonical integers by
+        construction.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(
+            self,
+            "_coefficients",
+            {var: Fraction(c) for var, c in coefficients.items()},
+        )
+        object.__setattr__(self, "_constant", Fraction(constant))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_variables", None)
+        return self
+
     # -- access ------------------------------------------------------------------
 
     @property
@@ -71,8 +92,12 @@ class LinearExpr:
         return self._coefficients.get(var, Fraction(0))
 
     def variables(self):
-        """The set of variables with non-zero coefficient."""
-        return frozenset(self._coefficients)
+        """The set of variables with non-zero coefficient (cached)."""
+        cached = self._variables
+        if cached is None:
+            cached = frozenset(self._coefficients)
+            object.__setattr__(self, "_variables", cached)
+        return cached
 
     def items(self):
         """(variable, coefficient) pairs in deterministic order."""

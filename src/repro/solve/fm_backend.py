@@ -6,6 +6,12 @@ satisfiability at every step, so the system is feasible iff the fully
 eliminated system has no contradiction row; a witness is recovered by
 assigning the variables in reverse elimination order, each within the
 interval its stage allows.
+
+The elimination itself runs on the integer row kernel
+(:class:`~repro.linalg.rows.StagedEliminator`) by default; the option
+``kernel="reference"`` keeps the original object pipeline for
+differential testing — both produce identical verdicts and witnesses
+satisfying the same stage intervals.
 """
 
 from __future__ import annotations
@@ -14,8 +20,12 @@ from fractions import Fraction
 from time import perf_counter
 
 from repro.linalg.constraints import ConstraintSystem
-from repro.linalg.fourier_motzkin import eliminate
+from repro.linalg.fourier_motzkin import (
+    KERNEL_REFERENCE,
+    eliminate,
+)
 from repro.linalg.linexpr import LinearExpr
+from repro.linalg.rows import StagedEliminator
 from repro.solve.backend import (
     LPBackend,
     SolveOutcome,
@@ -28,7 +38,9 @@ from repro.solve.backend import (
 class FourierMotzkinBackend(LPBackend):
     """Option ``prune`` (default True) runs redundancy pruning at every
     elimination step — the analyzer wires ``AnalyzerSettings.prune_fm``
-    through here.  ``stats.eliminations`` counts eliminated variables,
+    through here.  Option ``kernel`` (default ``"int"``) selects the
+    integer row kernel or the ``"reference"`` object path.
+    ``stats.eliminations`` counts eliminated variables,
     ``stats.rows_out`` the rows surviving full elimination."""
 
     name = "fm"
@@ -38,12 +50,38 @@ class FourierMotzkinBackend(LPBackend):
         if not isinstance(system, ConstraintSystem):
             system = ConstraintSystem(system)
         prune = self.options.get("prune", True)
+        if self.options.get("kernel", "int") == KERNEL_REFERENCE:
+            return self._feasible_point_reference(system, prune)
+        started = perf_counter()
+
+        eliminator = StagedEliminator(system)
+        final = eliminator.run(prune=prune)
+        stats = SolveStats(
+            backend=self.name,
+            rows_in=len(system),
+            rows_out=len(final),
+            variables=len(eliminator.variables),
+            eliminations=len(eliminator.variables),
+        )
+        if eliminator.has_contradiction():
+            stats.wall_time = perf_counter() - started
+            return SolveOutcome(feasible=False, stats=stats)
+        point = eliminator.witness()
+        stats.wall_time = perf_counter() - started
+        return SolveOutcome(feasible=True, witness=point, stats=stats)
+
+    def _feasible_point_reference(self, system, prune):
+        """The object-pipeline elimination (differential baseline)."""
         started = perf_counter()
 
         order = sorted(system.variables(), key=repr)
         stages = [system]
         for var in order:
-            stages.append(eliminate(stages[-1], var, prune=prune))
+            stages.append(
+                eliminate(
+                    stages[-1], var, prune=prune, kernel=KERNEL_REFERENCE
+                )
+            )
         stats = SolveStats(
             backend=self.name,
             rows_in=len(system),

@@ -1,0 +1,203 @@
+"""Unit tests for the dense integer row kernel."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg.constraints import Constraint, ConstraintSystem, EQ, GE
+from repro.linalg.fourier_motzkin import FMBlowupError
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.rows import (
+    RowKernel,
+    StagedEliminator,
+    constraint_of_row,
+    intern_variables,
+    normalize_row,
+    row_of_constraint,
+    tracked_project,
+)
+
+
+def x():
+    return LinearExpr.of("x")
+
+
+def y():
+    return LinearExpr.of("y")
+
+
+def z():
+    return LinearExpr.of("z")
+
+
+class TestInterning:
+    def test_variables_in_repr_order(self):
+        system = ConstraintSystem(
+            [Constraint.ge(z() + y()), Constraint.ge(x())]
+        )
+        assert intern_variables(system) == ("x", "y", "z")
+
+    def test_row_round_trip(self):
+        constraint = Constraint.ge(2 * x() - 3 * z() + 5)
+        variables = ("x", "y", "z")
+        row = row_of_constraint(constraint, variables)
+        assert row == ((2, 0, -3), 5)
+        assert constraint_of_row(row, variables) == constraint
+
+    def test_round_trip_preserves_canonical_hash(self):
+        # The trusted materialization path must produce objects that
+        # hash and compare equal to constructor-built constraints.
+        constraint = Constraint.ge(4 * x() - 2 * y() + 6)
+        variables = ("x", "y")
+        row = row_of_constraint(constraint, variables)
+        rebuilt = constraint_of_row(row, variables)
+        assert rebuilt == constraint
+        assert hash(rebuilt) == hash(constraint)
+        assert rebuilt in ConstraintSystem([constraint])
+
+
+class TestNormalizeRow:
+    def test_gcd_includes_constant(self):
+        assert normalize_row((4, -6), 10) == ((2, -3), 5)
+
+    def test_negative_constant_in_gcd(self):
+        # abs() of the constant must seed the gcd: (0, 0, -5) is the
+        # canonical contradiction row (0, 0, -1).
+        assert normalize_row((0, 0), -5) == ((0, 0), -1)
+
+    def test_trivially_true_rows_drop(self):
+        assert normalize_row((0, 0), 3) is None
+        assert normalize_row((0, 0), 0) is None
+
+    def test_coprime_rows_untouched(self):
+        assert normalize_row((2, 3), 7) == ((2, 3), 7)
+
+
+class TestRowKernel:
+    def make(self, constraints, track=False):
+        return RowKernel.from_system(
+            ConstraintSystem(constraints), track=track
+        )
+
+    def test_counters_match_rows(self):
+        kernel = self.make(
+            [Constraint.ge(x() - y()), Constraint.ge(y() - 3)]
+        )
+        assert kernel.pos == [1, 1]
+        assert kernel.neg == [0, 1]
+
+    def test_equalities_split_with_positional_histories(self):
+        kernel = self.make([Constraint.eq(x(), y())], track=True)
+        assert len(kernel) == 2
+        assert kernel.histories == [1, 2]
+
+    def test_choose_prefers_fewest_combinations(self):
+        # x: 2 pos x 1 neg = 2 combinations; y: 1 x 1 = 1.
+        kernel = self.make(
+            [
+                Constraint.ge(x() + y()),
+                Constraint.ge(x() - y() + 1),
+                Constraint.ge(3 - x()),
+            ]
+        )
+        remaining = {kernel.index["x"], kernel.index["y"]}
+        assert kernel.choose(remaining) == kernel.index["y"]
+
+    def test_choose_skips_absent_variables(self):
+        kernel = self.make([Constraint.ge(x() - 1)])
+        assert kernel.choose({kernel.index["x"]}) == kernel.index["x"]
+        kernel.eliminate(kernel.index["x"])
+        assert kernel.choose({kernel.index["x"]}) is None
+
+    def test_eliminate_updates_counters(self):
+        kernel = self.make(
+            [Constraint.le(x(), y()), Constraint.le(y(), 5)]
+        )
+        kernel.eliminate(kernel.index["y"])
+        j = kernel.index["x"]
+        assert kernel.pos[j] + kernel.neg[j] == 1
+        system = kernel.to_system()
+        assert system.satisfied_by({"x": 5})
+        assert not system.satisfied_by({"x": 6})
+
+    def test_dominance_keeps_tightest_constant(self):
+        # x >= 2 dominates x >= 1 (tighter ">= 0" constant is smaller).
+        kernel = self.make(
+            [Constraint.ge(x() - 1), Constraint.ge(x() - 2)]
+        )
+        kernel._dominance(list(kernel.rows), None)
+        assert kernel.rows == [((1,), -2)]
+
+    def test_to_system_matches_object_path(self):
+        constraints = [
+            Constraint.ge(2 * x() - y() + 1),
+            Constraint.ge(y() - z()),
+        ]
+        kernel = self.make(constraints)
+        assert list(kernel.to_system().constraints) == constraints
+
+
+class TestTrackedProject:
+    def test_projection_is_exact(self):
+        system = ConstraintSystem(
+            [
+                Constraint.le(x(), y()),
+                Constraint.le(y(), z()),
+                Constraint.le(z(), 4),
+            ]
+        )
+        result = tracked_project(system, {"y", "z"})
+        assert result.variables() == {"x"}
+        assert result.satisfied_by({"x": 4})
+        assert not result.satisfied_by({"x": 5})
+
+    def test_blowup_raises(self):
+        rows = []
+        for i in range(8):
+            rows.append(Constraint.ge(LinearExpr.of("e") - i * x() - i))
+            rows.append(Constraint.ge(i * x() + 7 - LinearExpr.of("e")))
+        system = ConstraintSystem(rows)
+        with pytest.raises(FMBlowupError):
+            tracked_project(system, {"e"}, max_rows=3)
+
+
+class TestStagedEliminator:
+    def test_feasible_system_has_witness(self):
+        system = ConstraintSystem(
+            [
+                Constraint.ge(x() - 1),
+                Constraint.le(x() + y(), 10),
+                Constraint.eq(y(), 2 * x()),
+            ]
+        )
+        eliminator = StagedEliminator(system)
+        eliminator.run()
+        assert not eliminator.has_contradiction()
+        witness = eliminator.witness()
+        assert system.satisfied_by(witness)
+
+    def test_contradiction_detected(self):
+        system = ConstraintSystem(
+            [Constraint.ge(x() - 3), Constraint.le(x(), 1)]
+        )
+        eliminator = StagedEliminator(system)
+        eliminator.run()
+        assert eliminator.has_contradiction()
+
+    def test_equality_substitution_stays_integral(self):
+        # 2y = 3x forces fraction-valued substitution; integer Gaussian
+        # elimination must reach the same canonical projection.
+        system = ConstraintSystem(
+            [Constraint.eq(2 * y(), 3 * x()), Constraint.le(y(), 3)]
+        )
+        eliminator = StagedEliminator(system)
+        eliminator.run()
+        assert not eliminator.has_contradiction()
+        witness = eliminator.witness()
+        assert system.satisfied_by(witness)
+
+    def test_witness_uses_equality_bound(self):
+        system = ConstraintSystem([Constraint.eq(x(), 7)])
+        eliminator = StagedEliminator(system)
+        eliminator.run()
+        assert eliminator.witness() == {"x": Fraction(7)}
