@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Validate a JSONL telemetry stream against schema ``repro.trace/1``.
+
+Stdlib-only on purpose: CI runs this against the trace that
+``repro-analyze --trace-out`` just wrote, and the sink tests run it
+against their own output, so the checker must not depend on the
+library it is checking.
+
+Checks (normative schema in ``docs/OBSERVABILITY.md``):
+
+- the first event is a ``meta`` event carrying the expected schema id;
+- every ``span`` event has the full key set with the right types,
+  a stream-unique increasing ``id``, a ``parent`` already seen
+  (pre-order), and non-negative ``start_s``/``wall_s``;
+- every ``metric`` event is a well-formed counter, gauge, or
+  histogram (bucket bounds strictly increasing, one overflow slot);
+- with ``--min-coverage F``, the direct children of each ``analyze``
+  root span must account for at least fraction ``F`` of the root's
+  wall time (the "no untraced time" acceptance gate).
+
+Exit status: 0 valid, 1 invalid, 2 unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+SCHEMA = "repro.trace/1"
+
+_SPAN_KEYS = {
+    "event", "id", "parent", "name", "start_s", "wall_s",
+    "attrs", "counters",
+}
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _is_num(value):
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def load_events(path):
+    """Parse a JSONL file into event dicts; raises ValueError on a
+    malformed line."""
+    events = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                raise ValueError(
+                    "line %d: not valid JSON" % line_number
+                ) from None
+            if not isinstance(event, dict):
+                raise ValueError(
+                    "line %d: event is not a JSON object" % line_number
+                )
+            events.append(event)
+    return events
+
+
+def validate_events(events):
+    """Return a list of problems (empty = schema-valid)."""
+    problems = []
+    if not events:
+        return ["empty stream: no events at all"]
+    head = events[0]
+    if head.get("event") != "meta":
+        problems.append("first event must be 'meta', got %r"
+                        % head.get("event"))
+    elif head.get("schema") != SCHEMA:
+        problems.append("meta schema is %r, expected %r"
+                        % (head.get("schema"), SCHEMA))
+
+    seen_ids = set()
+    last_id = None
+    for position, event in enumerate(events[1:], 2):
+        where = "event %d" % position
+        kind = event.get("event")
+        if kind == "meta":
+            problems.append("%s: duplicate meta event" % where)
+        elif kind == "span":
+            problems.extend(
+                "%s: %s" % (where, issue)
+                for issue in _check_span(event, seen_ids, last_id)
+            )
+            if isinstance(event.get("id"), int):
+                seen_ids.add(event["id"])
+                last_id = event["id"]
+        elif kind == "metric":
+            problems.extend(
+                "%s: %s" % (where, issue) for issue in _check_metric(event)
+            )
+        # unknown event types are forward-compatible: ignored
+    return problems
+
+
+def _check_span(event, seen_ids, last_id):
+    issues = []
+    missing = _SPAN_KEYS - set(event)
+    if missing:
+        issues.append("span missing keys %s" % ", ".join(sorted(missing)))
+        return issues
+    identifier = event["id"]
+    if not isinstance(identifier, int):
+        issues.append("span id %r is not an integer" % (identifier,))
+    else:
+        if identifier in seen_ids:
+            issues.append("span id %d repeated" % identifier)
+        if last_id is not None and identifier <= last_id:
+            issues.append("span id %d not increasing (last was %d)"
+                          % (identifier, last_id))
+    parent = event["parent"]
+    if parent is not None:
+        if not isinstance(parent, int):
+            issues.append("span parent %r is not an integer or null"
+                          % (parent,))
+        elif parent not in seen_ids:
+            issues.append("span parent %d not seen before child (events "
+                          "must be pre-order)" % parent)
+    if not isinstance(event["name"], str) or not event["name"]:
+        issues.append("span name %r is not a non-empty string"
+                      % (event["name"],))
+    for key in ("start_s", "wall_s"):
+        if not _is_num(event[key]) or event[key] < 0:
+            issues.append("span %s %r is not a non-negative number"
+                          % (key, event[key]))
+    if not isinstance(event["attrs"], dict):
+        issues.append("span attrs is not an object")
+    counters = event["counters"]
+    if not isinstance(counters, dict):
+        issues.append("span counters is not an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                issues.append("span counter %r = %r is not an integer"
+                              % (name, value))
+    return issues
+
+
+def _check_metric(event):
+    issues = []
+    kind = event.get("kind")
+    if kind not in _METRIC_KINDS:
+        return ["metric kind %r not one of %s"
+                % (kind, "/".join(_METRIC_KINDS))]
+    if not isinstance(event.get("name"), str) or not event.get("name"):
+        issues.append("metric name %r is not a non-empty string"
+                      % (event.get("name"),))
+    if kind in ("counter", "gauge"):
+        if not _is_num(event.get("value")):
+            issues.append("%s value %r is not a number"
+                          % (kind, event.get("value")))
+        return issues
+    buckets = event.get("buckets")
+    counts = event.get("counts")
+    if (not isinstance(buckets, list) or not buckets
+            or sorted(set(buckets)) != buckets):
+        issues.append("histogram buckets %r are not strictly increasing"
+                      % (buckets,))
+    if not isinstance(counts, list) or (
+        isinstance(buckets, list) and len(counts) != len(buckets) + 1
+    ):
+        issues.append("histogram needs len(buckets)+1 counts (overflow "
+                      "slot), got %r" % (counts,))
+    elif not all(isinstance(c, int) and c >= 0 for c in counts):
+        issues.append("histogram counts %r are not non-negative integers"
+                      % (counts,))
+    for key in ("sum", "count"):
+        if not _is_num(event.get(key)):
+            issues.append("histogram %s %r is not a number"
+                          % (key, event.get(key)))
+    return issues
+
+
+def coverage(events):
+    """Fraction of each ``analyze`` root's wall time accounted for by
+    its direct children, aggregated over all analyze roots.
+
+    Returns ``None`` when the stream has no analyze root with positive
+    wall time (coverage is then vacuous).
+    """
+    spans = {
+        event["id"]: event
+        for event in events
+        if event.get("event") == "span" and isinstance(event.get("id"), int)
+    }
+    child_wall = {}
+    for event in spans.values():
+        parent = event.get("parent")
+        if parent is not None:
+            child_wall[parent] = (
+                child_wall.get(parent, 0.0) + event.get("wall_s", 0.0)
+            )
+    total = 0.0
+    covered = 0.0
+    for identifier, event in spans.items():
+        if event.get("parent") is None and event.get("name") == "analyze":
+            total += event.get("wall_s", 0.0)
+            covered += min(
+                child_wall.get(identifier, 0.0), event.get("wall_s", 0.0)
+            )
+    if total <= 0:
+        return None
+    return covered / total
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL telemetry file to validate")
+    parser.add_argument(
+        "--min-coverage", type=float, default=None, metavar="F",
+        help="require the analyze roots' direct children to cover at "
+        "least fraction F (e.g. 0.95) of the roots' wall time",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except OSError as error:
+        print("%s: %s" % (args.trace, error), file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print("%s: %s" % (args.trace, error), file=sys.stderr)
+        return 1
+    problems = validate_events(events)
+    if args.min_coverage is not None and not problems:
+        fraction = coverage(events)
+        if fraction is None:
+            problems.append("no 'analyze' root span with positive wall "
+                            "time; cannot check coverage")
+        elif fraction < args.min_coverage:
+            problems.append(
+                "span tree covers %.1f%% of analyze wall time, below "
+                "the %.1f%% floor"
+                % (100 * fraction, 100 * args.min_coverage)
+            )
+    for problem in problems:
+        print("%s: %s" % (args.trace, problem), file=sys.stderr)
+    if problems:
+        return 1
+    spans = sum(1 for e in events if e.get("event") == "span")
+    metrics = sum(1 for e in events if e.get("event") == "metric")
+    print("%s: OK (%d events: %d spans, %d metrics)"
+          % (args.trace, len(events), spans, metrics))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,15 +4,30 @@ Every benchmark regenerates part of the paper's evaluation and writes
 its reproduction table to ``benchmarks/out/<experiment>.txt`` (as well
 as printing it), so EXPERIMENTS.md can quote the measured artifacts.
 Each emit also writes ``benchmarks/out/<experiment>.json`` — the same
-result as structured data, for dashboards and regression diffing.
+result as structured data, stamped with when and at which revision it
+was measured, for dashboards and regression diffing.
 """
 
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
 
 import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def _git_revision():
+    """The checkout's commit hash, or "unknown" outside a work tree."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
 
 
 def emit(experiment, text, data=None):
@@ -20,7 +35,9 @@ def emit(experiment, text, data=None):
 
     *data* (any JSON-serializable structure; non-serializable leaves
     fall back to ``str``) rides along in the ``.json`` artifact so the
-    experiment is machine-readable, not just quotable.
+    experiment is machine-readable, not just quotable; the payload is
+    stamped with a UTC timestamp and the git revision so artifacts
+    from different runs can be told apart.
     """
     os.makedirs(OUT_DIR, exist_ok=True)
     banner = "\n===== %s =====\n" % experiment
@@ -28,7 +45,14 @@ def emit(experiment, text, data=None):
     path = os.path.join(OUT_DIR, "%s.txt" % experiment)
     with open(path, "w") as handle:
         handle.write(text + "\n")
-    payload = {"experiment": experiment, "data": data}
+    payload = {
+        "experiment": experiment,
+        "data": data,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_revision": _git_revision(),
+    }
     with open(os.path.join(OUT_DIR, "%s.json" % experiment), "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")

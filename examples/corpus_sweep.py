@@ -20,6 +20,24 @@ from repro.core.report import render_stage_table, render_verdict_table
 from repro.corpus import all_programs
 
 
+def render_worker_summary(report):
+    """Load-balance table: items and analysis seconds per worker."""
+    loads = {}
+    for result in report.results:
+        items, elapsed = loads.get(result.worker, (0, 0.0))
+        loads[result.worker] = (items + 1, elapsed + result.elapsed_s)
+    busiest = max(elapsed for _, elapsed in loads.values()) or 1.0
+    lines = ["worker load balance:"]
+    for worker in sorted(loads):
+        items, elapsed = loads[worker]
+        lines.append(
+            "  worker %-2d  %3d items  %7.2fs  %s"
+            % (worker, items, elapsed,
+               "#" * max(1, round(20 * elapsed / busiest)))
+        )
+    return "\n".join(lines)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -46,6 +64,9 @@ def main():
     print("\n%d programs analyzed by %d methods in %.1fs (%d jobs)"
           % (len(rows), 1 + len(ALL_BASELINES), report.wall_time,
              report.jobs))
+
+    if report.jobs > 1:
+        print("\n" + render_worker_summary(report))
 
     # Where the paper's method spent its time, aggregated over the
     # whole corpus (the baseline columns are not instrumented).

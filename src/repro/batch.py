@@ -28,6 +28,7 @@ verdicts are identical, which ``tests/core/test_batch.py`` enforces.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -35,6 +36,7 @@ from time import perf_counter
 from repro.errors import AnalysisError, ReproError
 from repro.lp import parse_program
 from repro.core import AnalysisTrace, AnalyzerSettings, TerminationAnalyzer
+from repro.obs import METRICS, diff_snapshots, merge_snapshots
 
 __all__ = ["BatchItem", "BatchResult", "BatchReport", "analyze_many"]
 
@@ -57,7 +59,10 @@ class BatchResult:
     in ``error``; ``reasons`` lists the failing SCCs' explanations;
     ``constraint_rows``/``pivots`` summarize the analysis work (the
     scaling benchmarks plot them); ``baselines`` maps baseline method
-    names to their statuses when the batch requested them.
+    names to their statuses when the batch requested them; ``worker``
+    identifies the worker process that ran the item (compact ids in
+    first-completion order, 0 for in-process runs) — the corpus sweep
+    uses it for its load-balance summary.
     """
 
     name: str
@@ -65,6 +70,7 @@ class BatchResult:
     mode: str
     status: str
     wall_time: float = 0.0
+    worker: int = 0
     constraint_rows: int = 0
     pivots: int = 0
     reasons: tuple = ()
@@ -76,19 +82,27 @@ class BatchResult:
         """True when the verdict is PROVED."""
         return self.status == "PROVED"
 
+    @property
+    def elapsed_s(self):
+        """Wall-clock seconds the item took (alias of ``wall_time``)."""
+        return self.wall_time
+
 
 @dataclass
 class BatchReport:
     """Everything :func:`analyze_many` produced.
 
     ``results`` preserves input order; ``trace`` is the stage traces of
-    every analysis merged (the same fold the serial sweeps print).
+    every analysis merged (the same fold the serial sweeps print);
+    ``metrics`` is the merged metric snapshot of every worker — the
+    corpus-level counter totals, regardless of how the work was split.
     """
 
     results: list
     trace: AnalysisTrace
     jobs: int
     wall_time: float = 0.0
+    metrics: dict = field(default_factory=dict)
 
     @property
     def all_proved(self):
@@ -152,11 +166,17 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
     results = [None] * len(items)
 
     indexed = list(enumerate(items))
+    snapshots = []
+    workers = {}
     if jobs == 1 or len(items) <= 1:
-        chunk_results, trace = _run_chunk(indexed, settings, baseline_names)
+        chunk_results, trace, snapshot = _run_chunk(
+            indexed, settings, baseline_names
+        )
         for index, result in chunk_results:
+            result.worker = workers.setdefault(result.worker, len(workers))
             results[index] = result
         merged.merge(trace)
+        snapshots.append(snapshot)
     else:
         chunks = _make_chunks(indexed, jobs)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -165,16 +185,27 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
                 for chunk in chunks
             ]
             for future in futures:
-                chunk_results, trace = future.result()
+                chunk_results, trace, snapshot = future.result()
                 for index, result in chunk_results:
+                    result.worker = workers.setdefault(
+                        result.worker, len(workers)
+                    )
                     results[index] = result
                 merged.merge(trace)
+                snapshots.append(snapshot)
+        # Worker registries died with their processes; fold their
+        # counts into this process so --metrics sees the whole batch.
+        # (jobs=1 ran in-process — its counts are already here.)
+        if METRICS.enabled:
+            for snapshot in snapshots:
+                METRICS.merge_snapshot(snapshot)
 
     return BatchReport(
         results=results,
         trace=merged,
         jobs=jobs,
         wall_time=perf_counter() - started,
+        metrics=merge_snapshots(*snapshots),
     )
 
 
@@ -205,8 +236,17 @@ def _make_chunks(indexed, jobs):
 
 def _run_chunk(indexed, settings, baseline_names):
     """Worker body: analyze one chunk, reusing the analyzer across
-    consecutive items with identical source."""
+    consecutive items with identical source.
+
+    Returns ``(results, trace, metrics_delta)`` — the delta is what
+    *this chunk* added to the process-wide metrics registry, so the
+    parent can merge worker registries it otherwise cannot see.
+    ``BatchResult.worker`` leaves here as the worker's pid; the parent
+    remaps pids to compact ids.
+    """
+    worker = os.getpid()
     methods = _resolve_baselines(baseline_names)
+    before = METRICS.snapshot()
     trace = AnalysisTrace()
     out = []
     analyzer = None
@@ -225,6 +265,7 @@ def _run_chunk(indexed, settings, baseline_names):
                 name=item.name, root=tuple(item.root), mode=item.mode,
                 status="ERROR", error=str(error),
                 wall_time=perf_counter() - item_started,
+                worker=worker,
             )))
             continue
         trace.merge(result.trace)
@@ -239,6 +280,7 @@ def _run_chunk(indexed, settings, baseline_names):
             mode=item.mode,
             status=result.status,
             wall_time=perf_counter() - item_started,
+            worker=worker,
             constraint_rows=sum(
                 scc.constraint_rows for scc in result.scc_results
             ),
@@ -248,7 +290,7 @@ def _run_chunk(indexed, settings, baseline_names):
             ),
             baselines=verdicts,
         )))
-    return out, trace
+    return out, trace, diff_snapshots(METRICS.snapshot(), before)
 
 
 def _resolve_baselines(names):

@@ -85,6 +85,16 @@ def build_parser():
         help="emit the verdict and certificate as JSON instead of text",
     )
     parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the span tree and metric snapshot as JSONL "
+        "telemetry (render it later with repro-trace)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the process-wide metrics registry (cache hits, "
+        "FM rows, simplex pivots, theta iterations) after analysis",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for --all-modes (default 1: in-process)",
     )
@@ -172,7 +182,25 @@ def main(argv=None):
         if not args.json:
             print("certificate independently verified (primal simplex).")
 
+    _emit_telemetry(args, result.trace)
     return 0 if result.proved else 1
+
+
+def _emit_telemetry(args, trace):
+    """Handle ``--trace-out`` / ``--metrics`` for a finished run."""
+    if not (args.trace_out or args.metrics):
+        return
+    from repro.obs import METRICS, render_metrics, write_trace
+
+    snapshot = METRICS.snapshot()
+    if args.trace_out:
+        meta = {"source": args.source, "argv": " ".join(sys.argv[1:])}
+        count = write_trace(args.trace_out, trace.roots, snapshot, meta)
+        print("wrote %d telemetry events to %s" % (count, args.trace_out),
+              file=sys.stderr)
+    if args.metrics:
+        print()
+        print(render_metrics(snapshot))
 
 
 def _run_all_modes(program, settings, args):
@@ -207,6 +235,7 @@ def _run_all_modes(program, settings, args):
     if args.stats:
         print()
         print(render_stage_table(merged))
+    _emit_telemetry(args, merged)
     return worst
 
 
@@ -250,7 +279,61 @@ def _run_all_modes_parallel(program, declarations, settings, args):
     if args.stats:
         print()
         print(render_stage_table(report.trace))
+    _emit_telemetry(args, report.trace)
     return worst
+
+
+def build_trace_parser():
+    """Construct the argparse parser for ``repro-trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render a JSONL telemetry stream written by "
+        "'repro-analyze --trace-out' as a top-down time tree "
+        "(widest subtree first) plus the recorded metrics.",
+    )
+    parser.add_argument("trace", help="JSONL trace file to render")
+    parser.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="collapse spans deeper than N levels",
+    )
+    parser.add_argument(
+        "--min-ms", type=float, default=0.0, metavar="MS",
+        help="hide spans shorter than MS milliseconds",
+    )
+    parser.add_argument(
+        "--no-metrics", action="store_true",
+        help="show only the span tree, not the metric events",
+    )
+    return parser
+
+
+def trace_main(argv=None):
+    """``repro-trace`` entry point; returns the process exit code."""
+    args = build_trace_parser().parse_args(argv)
+    from repro.obs import read_trace, render_metrics, render_tree
+
+    try:
+        meta, roots, snapshot = read_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print("trace error: %s" % error, file=sys.stderr)
+        return 2
+    described = {
+        key: value for key, value in meta.items()
+        if key not in ("event", "schema")
+    }
+    try:
+        if described:
+            print("trace %s (%s)" % (args.trace, ", ".join(
+                "%s=%s" % pair for pair in sorted(described.items())
+            )))
+        print(render_tree(roots, max_depth=args.depth, min_ms=args.min_ms))
+        if not args.no_metrics and any(snapshot.get(k) for k in snapshot):
+            print()
+            print(render_metrics(snapshot))
+    except BrokenPipeError:
+        # Piped into head/less and the reader left; that's fine.
+        sys.stderr.close()
+    return 0
 
 
 if __name__ == "__main__":

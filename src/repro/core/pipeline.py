@@ -41,9 +41,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
-from time import perf_counter
 
 from repro.errors import AnalysisError
+from repro.obs import METRICS, Tracer, span
 from repro.lp.program import Program
 from repro.lp.terms import Struct, Var
 from repro.linalg.constraints import ConstraintSystem
@@ -121,54 +121,120 @@ class StageTrace:
         self.eliminations += other.eliminations
 
 
+#: StageTrace counter fields mirrored into stage-span counters.
+_STAGE_COUNTERS = (
+    "calls", "rows_in", "rows_out", "cache_hits", "cache_misses",
+    "pivots", "eliminations",
+)
+
+#: Span-name prefix marking the spans stage totals are derived from.
+_STAGE_SPAN_PREFIX = "stage."
+
+
 class AnalysisTrace:
-    """Per-stage instrumentation for one (or several merged) analyses."""
+    """Per-stage instrumentation for one (or several merged) analyses.
+
+    Since the observability rework this is a *view* over a span tree:
+    :attr:`tracer` records hierarchical spans (``analyze`` roots,
+    ``scc`` groups, ``stage.*`` leaves, plus whatever the backends and
+    caches attach below them), and the per-stage
+    :class:`StageTrace` totals the old API exposed — :meth:`stage`,
+    :meth:`stages`, :attr:`total_time` — are derived on demand by
+    folding the ``stage.*`` spans.  ``--trace-out`` serializes the
+    same tree through :mod:`repro.obs.sinks`, so the ``--stats`` table
+    and the JSONL trace can never disagree.
+    """
 
     def __init__(self):
-        self._stages = {name: StageTrace(stage=name) for name in STAGES}
+        self.tracer = Tracer()
+
+    @property
+    def roots(self):
+        """The recorded root spans (one ``analyze`` span per run)."""
+        return tuple(self.tracer.roots)
+
+    @contextmanager
+    def span(self, name, **attrs):
+        """Open a span in this trace's tree (non-stage grouping —
+        e.g. the per-SCC spans the pipeline wraps its stages in)."""
+        with self.tracer.span(name, **attrs) as node:
+            yield node
 
     @contextmanager
     def timed(self, stage):
         """Context manager timing one execution of *stage*; the yielded
         :class:`StageTrace` collects the stage's counters."""
         event = StageTrace(stage=stage, calls=1)
-        started = perf_counter()
-        try:
-            yield event
-        finally:
-            event.wall_time += perf_counter() - started
-            self.add(event)
+        with self.tracer.span(
+            _STAGE_SPAN_PREFIX + stage, stage=stage
+        ) as node:
+            try:
+                yield event
+            finally:
+                for name in _STAGE_COUNTERS:
+                    value = getattr(event, name)
+                    if value:
+                        node.counters[name] = (
+                            node.counters.get(name, 0) + value
+                        )
 
     def add(self, event):
-        """Merge one :class:`StageTrace` event into the totals."""
-        self._stages[event.stage].merge(event)
+        """Record an already-measured :class:`StageTrace` event as a
+        closed stage span (kept for callers that timed work
+        themselves)."""
+        node = None
+        with self.tracer.span(
+            _STAGE_SPAN_PREFIX + event.stage, stage=event.stage
+        ) as node:
+            pass
+        node.started = 0.0
+        node.wall_s = event.wall_time
+        for name in _STAGE_COUNTERS:
+            value = getattr(event, name)
+            if value:
+                node.counters[name] = value
 
     def stage(self, name):
-        """The accumulated :class:`StageTrace` for *name*."""
-        return self._stages[name]
+        """The accumulated :class:`StageTrace` for *name*, derived
+        from the span tree."""
+        total = StageTrace(stage=name)
+        wanted = _STAGE_SPAN_PREFIX + name
+        for node in self.tracer.iter_spans():
+            if node.name != wanted:
+                continue
+            total.calls += node.counters.get("calls", 1)
+            total.wall_time += node.wall_s
+            counters = node.counters
+            total.rows_in += counters.get("rows_in", 0)
+            total.rows_out += counters.get("rows_out", 0)
+            total.cache_hits += counters.get("cache_hits", 0)
+            total.cache_misses += counters.get("cache_misses", 0)
+            total.pivots += counters.get("pivots", 0)
+            total.eliminations += counters.get("eliminations", 0)
+        return total
 
     def stages(self):
         """Stages that actually ran, in pipeline order."""
-        return tuple(
-            self._stages[name] for name in STAGES
-            if self._stages[name].calls
-        )
+        derived = tuple(self.stage(name) for name in STAGES)
+        return tuple(s for s in derived if s.calls)
 
     def merge(self, other):
-        """Fold another trace into this one (e.g. across modes)."""
-        for name in STAGES:
-            self._stages[name].merge(other._stages[name])
+        """Fold another trace into this one (e.g. across modes):
+        the other trace's root spans are grafted into this forest, so
+        derived stage totals accumulate exactly as the old flat
+        counters did."""
+        self.tracer.adopt(other.tracer.roots)
         return self
 
     @property
     def total_time(self):
         """Wall time summed over every stage, in seconds."""
-        return sum(s.wall_time for s in self._stages.values())
+        return sum(s.wall_time for s in self.stages())
 
     @property
     def cache_hits(self):
         """Cache hits summed over every stage."""
-        return sum(s.cache_hits for s in self._stages.values())
+        return sum(s.cache_hits for s in self.stages())
 
     def describe(self):
         """Aligned per-stage table (the ``--stats`` rendering)."""
@@ -214,7 +280,37 @@ class AnalysisTrace:
 
         lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
         lines.extend(fmt(row) for row in rows)
+        effectiveness = self.describe_caches()
+        if effectiveness:
+            lines.append("")
+            lines.extend(effectiveness.splitlines())
         return "\n".join(lines)
+
+    def describe_caches(self):
+        """Cache-effectiveness summary (dualization + environment),
+        derived from the dualize/interarg stage counters; empty string
+        when neither cache was consulted."""
+        lines = []
+        for label, stage_name in (
+            ("dualization cache", "dualize"),
+            ("environment cache", "interarg"),
+        ):
+            record = self.stage(stage_name)
+            consulted = record.cache_hits + record.cache_misses
+            if not consulted:
+                continue
+            lines.append(
+                "  %-18s %d hits / %d misses  (%.0f%% hit rate)"
+                % (
+                    label,
+                    record.cache_hits,
+                    record.cache_misses,
+                    100.0 * record.cache_hits / consulted,
+                )
+            )
+        if not lines:
+            return ""
+        return "\n".join(["cache effectiveness:"] + lines)
 
 
 # -- results ------------------------------------------------------------------
@@ -396,8 +492,18 @@ def cached_pair_constraints(system, eliminate_w=True, prune=True):
     key = (rule_system_fingerprint(system), bool(prune))
     cached = _DUAL_CACHE.get(key)
     if cached is not None:
+        if METRICS.enabled:
+            METRICS.counter("dualize.cache.hit").inc()
         return cached, True
-    result = pair_constraints(system, eliminate_w=True, prune=prune)
+    if METRICS.enabled:
+        METRICS.counter("dualize.cache.miss").inc()
+    with span(
+        "dualize.pair",
+        head=system.head_node,
+        subgoal=system.subgoal_node,
+    ) as node:
+        result = pair_constraints(system, eliminate_w=True, prune=prune)
+        node.inc("rows_out", len(result))
     if len(_DUAL_CACHE) >= _DUAL_CACHE_LIMIT:
         _DUAL_CACHE.pop(next(iter(_DUAL_CACHE)))
     _DUAL_CACHE[key] = result
@@ -504,13 +610,18 @@ class AnalysisPipeline:
             )
         cached = _ENV_CACHE.get(self._environment_key)
         if cached is not None:
+            if METRICS.enabled:
+                METRICS.counter("env.cache.hit").inc()
             self._environment = cached
             return cached, True
-        environment = infer_interargument_constraints(
-            self.program,
-            norm=self.norm,
-            settings=self.settings.inference,
-        )
+        if METRICS.enabled:
+            METRICS.counter("env.cache.miss").inc()
+        with span("interarg.infer", norm=self.norm.name):
+            environment = infer_interargument_constraints(
+                self.program,
+                norm=self.norm,
+                settings=self.settings.inference,
+            )
         if len(_ENV_CACHE) >= _ENV_CACHE_LIMIT:
             _ENV_CACHE.pop(next(iter(_ENV_CACHE)))
         _ENV_CACHE[self._environment_key] = environment
@@ -523,7 +634,16 @@ class AnalysisPipeline:
         """Full analysis of the *root_mode* query on the root."""
         root_indicator = tuple(root_indicator)
         trace = AnalysisTrace()
+        with trace.span(
+            "analyze",
+            root="%s/%d" % root_indicator,
+            mode=str(root_mode),
+            norm=self.norm.name,
+            backend=self.backend.name,
+        ):
+            return self._run_traced(root_indicator, root_mode, trace)
 
+    def _run_traced(self, root_indicator, root_mode, trace):
         with trace.timed("adorn") as event:
             graph, nodes = adorned_call_graph(
                 self.program, root_indicator, root_mode
@@ -589,12 +709,15 @@ class AnalysisPipeline:
         if trace is None:
             trace = AnalysisTrace()
         state = _SCCState(members=tuple(members))
-        for name in self.SCC_STAGES:
-            stage = getattr(self, "_stage_%s" % name)
-            with trace.timed(name) as event:
-                result = stage(state, event)
-            if result is not None:
-                return result
+        with trace.span(
+            "scc", members=", ".join(str(m) for m in state.members)
+        ):
+            for name in self.SCC_STAGES:
+                stage = getattr(self, "_stage_%s" % name)
+                with trace.timed(name) as event:
+                    result = stage(state, event)
+                if result is not None:
+                    return result
         raise AnalysisError("certify stage returned no result")  # unreachable
 
     def _stage_rule_systems(self, state, event):

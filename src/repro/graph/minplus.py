@@ -8,6 +8,8 @@ evidence of nontermination").
 
 from __future__ import annotations
 
+from repro.obs import METRICS
+
 #: Sentinel for "no path".
 INFINITY = None
 
@@ -23,6 +25,9 @@ def min_plus_closure(nodes, weights):
     (callers should use :func:`has_nonpositive_cycle`).
     """
     nodes = list(nodes)
+    if METRICS.enabled:
+        METRICS.counter("theta.closure.calls").inc()
+        METRICS.counter("theta.closure.iterations").inc(len(nodes))
     dist = {}
     for u in nodes:
         for v in nodes:
@@ -74,27 +79,35 @@ def find_nonpositive_cycle(nodes, weights):
     """
     nodes = list(nodes)
     hop_limit = len(nodes)
-    for start in nodes:
-        # best[h][v] = cheapest walk start -> v using exactly h edges.
-        best = {0: {start: 0}}
-        parent = {}
-        for hops in range(1, hop_limit + 1):
-            layer = {}
-            for (u, v), weight in weights.items():
-                previous = best[hops - 1].get(u)
-                if previous is None:
-                    continue
-                candidate = previous + weight
-                if v not in layer or candidate < layer[v]:
-                    layer[v] = candidate
-                    parent[(hops, v)] = u
-            best[hops] = layer
-            if layer.get(start) is not None and layer[start] <= 0:
-                cycle = [start]
-                node = start
-                for h in range(hops, 0, -1):
-                    node = parent[(h, node)]
-                    cycle.append(node)
-                cycle.reverse()
-                return cycle
-    return None
+    rounds = 0
+    if METRICS.enabled:
+        METRICS.counter("theta.closure.calls").inc()
+    try:
+        for start in nodes:
+            # best[h][v] = cheapest walk start -> v using exactly h edges.
+            best = {0: {start: 0}}
+            parent = {}
+            for hops in range(1, hop_limit + 1):
+                rounds += 1
+                layer = {}
+                for (u, v), weight in weights.items():
+                    previous = best[hops - 1].get(u)
+                    if previous is None:
+                        continue
+                    candidate = previous + weight
+                    if v not in layer or candidate < layer[v]:
+                        layer[v] = candidate
+                        parent[(hops, v)] = u
+                best[hops] = layer
+                if layer.get(start) is not None and layer[start] <= 0:
+                    cycle = [start]
+                    node = start
+                    for h in range(hops, 0, -1):
+                        node = parent[(h, node)]
+                        cycle.append(node)
+                    cycle.reverse()
+                    return cycle
+        return None
+    finally:
+        if METRICS.enabled and rounds:
+            METRICS.counter("theta.closure.iterations").inc(rounds)

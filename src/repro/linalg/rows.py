@@ -39,6 +39,7 @@ from math import gcd
 from repro.errors import FMBlowupError
 from repro.linalg.constraints import Constraint, ConstraintSystem, EQ, GE
 from repro.linalg.linexpr import LinearExpr
+from repro.obs import METRICS
 
 __all__ = [
     "RowKernel",
@@ -204,12 +205,15 @@ class RowKernel:
         for row, _ in negatives:
             self._count(row[0], -1)
         width = range(len(self.variables))
+        generated = 0
+        chernikov_pruned = 0
         for (pcoeffs, pconst), phistory in positives:
             a = pcoeffs[j]
             for (ncoeffs, nconst), nhistory in negatives:
                 if track:
                     history = phistory | nhistory
                     if history.bit_count() > chernikov_limit:
+                        chernikov_pruned += 1
                         continue  # Chernikov: provably redundant
                 b = -ncoeffs[j]
                 combined = normalize_row(
@@ -220,15 +224,29 @@ class RowKernel:
                     continue
                 seen.add(combined)
                 kept.append(combined)
+                generated += 1
                 self._count(combined[0], 1)
                 if track:
                     kept_hist.append(history)
 
         if prune:
+            before = len(kept)
             self._dominance(kept, kept_hist)
+            dominance_pruned = before - len(self.rows)
         else:
+            dominance_pruned = 0
             self.rows = kept
             self.histories = kept_hist
+        if METRICS.enabled:
+            METRICS.counter("fm.rows.generated").inc(generated)
+            if chernikov_pruned:
+                METRICS.counter("fm.rows.pruned.chernikov").inc(
+                    chernikov_pruned
+                )
+            if dominance_pruned:
+                METRICS.counter("fm.rows.pruned.dominance").inc(
+                    dominance_pruned
+                )
 
     def _dominance(self, rows, histories):
         """Keep the tightest row per linear part (first-occurrence
@@ -378,6 +396,7 @@ class StagedEliminator:
                 seen.add((coeffs, const))
                 kept.append((coeffs, const))
         width = range(len(self.variables))
+        generated = 0
         for pcoeffs, pconst in positives:
             a = pcoeffs[j]
             for ncoeffs, nconst in negatives:
@@ -390,13 +409,22 @@ class StagedEliminator:
                     continue
                 seen.add(combined)
                 kept.append(combined)
+                generated += 1
+        dominance_pruned = 0
         if prune:
             best = {}
             for position, (coeffs, const) in enumerate(kept):
                 current = best.get(coeffs)
                 if current is None or const < kept[current][1]:
                     best[coeffs] = position
+            dominance_pruned = len(kept) - len(best)
             kept = [kept[p] for p in best.values()]
+        if METRICS.enabled:
+            METRICS.counter("fm.rows.generated").inc(generated)
+            if dominance_pruned:
+                METRICS.counter("fm.rows.pruned.dominance").inc(
+                    dominance_pruned
+                )
         return [(False, coeffs, const) for coeffs, const in kept]
 
     def _canonical(self, is_eq, coeffs, const):

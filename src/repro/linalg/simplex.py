@@ -28,6 +28,7 @@ from fractions import Fraction
 from repro.errors import InfeasibleError, UnboundedError
 from repro.linalg.constraints import Constraint, ConstraintSystem
 from repro.linalg.linexpr import LinearExpr
+from repro.obs import METRICS
 
 OPTIMAL = "optimal"
 INFEASIBLE = "infeasible"
@@ -81,7 +82,12 @@ def solve_lp(objective, constraints, sense="min", nonnegative=()):
         raise ValueError("sense must be 'min' or 'max'")
 
     problem = _StandardForm(objective, rows, sense, nonnegative)
-    return problem.solve()
+    result = problem.solve()
+    if METRICS.enabled:
+        METRICS.counter("simplex.solves").inc()
+        METRICS.counter("simplex.pivots").inc(result.pivots)
+        METRICS.histogram("simplex.pivots.per_solve").observe(result.pivots)
+    return result
 
 
 def is_feasible(constraints, nonnegative=()):

@@ -1,0 +1,68 @@
+"""Structured observability: spans, metrics, sinks, rendering.
+
+The analysis pipeline answers *what* (verdicts, certificates); this
+package answers *where the time and work went*:
+
+- :mod:`repro.obs.spans` — hierarchical timed spans with attributes
+  and counters; :class:`Tracer` builds the tree,
+  :func:`span` attaches ambiently from instrumented library code;
+- :mod:`repro.obs.metrics` — the process-wide :data:`METRICS`
+  registry of counters, gauges, and fixed-bucket histograms;
+- :mod:`repro.obs.sinks` — the JSONL event schema
+  (``repro.trace/1``), file and in-memory sinks, and the
+  write/read round trip behind ``--trace-out`` and ``repro-trace``;
+- :mod:`repro.obs.render` — text rendering: the flamegraph-style
+  time tree and the ``--metrics`` table.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and the recipe for
+adding a new counter or span.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+)
+from repro.obs.render import render_metrics, render_tree
+from repro.obs.sinks import (
+    SCHEMA,
+    JsonlSink,
+    MemorySink,
+    Sink,
+    metric_events,
+    read_trace,
+    span_events,
+    write_trace,
+)
+from repro.obs.spans import Span, Tracer, activate, active_tracer, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "merge_snapshots",
+    "render_metrics",
+    "render_tree",
+    "SCHEMA",
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "metric_events",
+    "read_trace",
+    "span_events",
+    "write_trace",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "span",
+]

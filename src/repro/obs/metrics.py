@@ -1,0 +1,257 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Instrumented code records *what happened how often* here — cache hits,
+generated/pruned FM rows, simplex pivots, min-plus relaxation rounds —
+while spans (:mod:`repro.obs.spans`) record *where the time went*.
+The two are deliberately decoupled: metrics are process-wide running
+totals that survive across analyses, spans belong to one trace.
+
+Three instrument kinds:
+
+- :class:`Counter` — monotonically increasing integer (``.inc(n)``);
+- :class:`Gauge` — last-written value (``.set(v)``);
+- :class:`Histogram` — fixed bucket boundaries chosen at first
+  registration; ``observe(v)`` increments the first bucket whose upper
+  bound is ``>= v`` (the last bucket is the implicit ``+inf``
+  overflow), and tracks ``sum``/``count`` for averages.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-ready
+dicts; :func:`merge_snapshots` is associative and commutative over
+counters and histograms (gauges take the last non-None value), which
+is what lets batch workers ship their snapshots to the parent in any
+completion order.  :func:`diff_snapshots` subtracts a "before" from an
+"after" snapshot so an in-process run can report only its own delta.
+
+Hot loops should accumulate locally and flush once per call::
+
+    if METRICS.enabled:
+        METRICS.counter("fm.rows.generated").inc(generated)
+
+``METRICS.enabled`` (toggled by :meth:`set_enabled`) is the
+observability kill switch the overhead benchmarks flip.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+    "diff_snapshots",
+]
+
+#: Default histogram bucket upper bounds (roughly log-spaced).
+DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add *amount* (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(
+                "counter %s cannot decrease (got %r)" % (self.name, amount)
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count.
+
+    *buckets* are upper bounds in increasing order; ``counts`` has one
+    slot per bound plus a final overflow slot for values above the
+    largest bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "histogram %s needs strictly increasing bucket bounds, "
+                "got %r" % (name, buckets)
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value):
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self):
+        """Average observation (0 when empty)."""
+        return self.sum / self.count if self.count else 0
+
+
+class MetricsRegistry:
+    """Name-keyed instruments with snapshot/merge/reset.
+
+    One process-wide instance (:data:`METRICS`) serves the whole
+    library; tests construct private registries.
+    """
+
+    def __init__(self, enabled=True):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        self.enabled = enabled
+
+    def set_enabled(self, enabled):
+        """Toggle recording; returns the previous state."""
+        previous = self.enabled
+        self.enabled = bool(enabled)
+        return previous
+
+    # -- instrument lookup (get-or-create) ------------------------------------
+
+    def counter(self, name):
+        """The counter registered under *name*."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name):
+        """The gauge registered under *name*."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name, buckets=None):
+        """The histogram under *name*; the first registration fixes
+        the bucket boundaries, later calls must agree (or omit them)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, DEFAULT_BUCKETS if buckets is None else buckets
+            )
+        elif buckets is not None and tuple(buckets) != instrument.buckets:
+            raise ValueError(
+                "histogram %s already registered with buckets %r"
+                % (name, instrument.buckets)
+            )
+        return instrument
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self):
+        """JSON-ready copy of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot):
+        """Fold a snapshot (e.g. from a worker process) into this
+        registry's running totals."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, tuple(data["buckets"]))
+            for slot, count in enumerate(data["counts"]):
+                histogram.counts[slot] += count
+            histogram.sum += data["sum"]
+            histogram.count += data["count"]
+
+    def reset(self):
+        """Drop every instrument (used by tests and benchmarks)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def merge_snapshots(*snapshots):
+    """Merge snapshot dicts into one (associative + commutative over
+    counters/histograms; gauges keep the last non-None value seen)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()
+
+
+def diff_snapshots(after, before):
+    """The telemetry recorded between *before* and *after* snapshots
+    of the same registry (counters/histograms subtract; gauges keep
+    the *after* value)."""
+    delta = {"counters": {}, "gauges": dict(after.get("gauges", {})),
+             "histograms": {}}
+    earlier = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        change = value - earlier.get(name, 0)
+        if change:
+            delta["counters"][name] = change
+    earlier = before.get("histograms", {})
+    for name, data in after.get("histograms", {}).items():
+        base = earlier.get(name)
+        if base is None:
+            delta["histograms"][name] = {
+                "buckets": list(data["buckets"]),
+                "counts": list(data["counts"]),
+                "sum": data["sum"],
+                "count": data["count"],
+            }
+            continue
+        counts = [a - b for a, b in zip(data["counts"], base["counts"])]
+        if any(counts):
+            delta["histograms"][name] = {
+                "buckets": list(data["buckets"]),
+                "counts": counts,
+                "sum": data["sum"] - base["sum"],
+                "count": data["count"] - base["count"],
+            }
+    return delta
+
+
+#: The process-wide registry every instrumented module records into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,137 @@
+"""Text rendering for span trees and metric snapshots.
+
+:func:`render_tree` is the ``repro-trace`` view: a top-down time tree,
+one line per span, siblings ordered widest-first (flamegraph style),
+with each span's share of its root's wall time, its attributes, and
+its counters.  :func:`render_metrics` is the ``--metrics`` view: an
+aligned table of every counter, gauge, and histogram in a registry
+snapshot.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_tree", "render_metrics"]
+
+
+def _brief(mapping):
+    """``k=v`` pairs, insertion order, compact."""
+    return " ".join("%s=%s" % (k, v) for k, v in mapping.items())
+
+
+def _bar(fraction, width=12):
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_tree(roots, max_depth=None, min_ms=0.0):
+    """Render span trees as an indented, widest-first time tree.
+
+    *max_depth* limits nesting (None = unlimited); *min_ms* hides
+    spans cheaper than that many milliseconds (pruned subtrees are
+    summarized so no time silently disappears).
+    """
+    lines = []
+
+    def visit(node, depth, root_wall):
+        share = node.wall_s / root_wall if root_wall else 0.0
+        detail = []
+        if node.attrs:
+            detail.append(_brief(node.attrs))
+        if node.counters:
+            detail.append("[%s]" % _brief(node.counters))
+        lines.append(
+            "%s %7.2fms %5.1f%%  %s%s%s"
+            % (
+                _bar(share),
+                node.wall_s * 1000,
+                share * 100,
+                "  " * depth,
+                node.name,
+                ("  " + " ".join(detail)) if detail else "",
+            )
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            hidden = len(node.children)
+            if hidden:
+                lines.append(
+                    "%s %7s %6s  %s... %d child span%s below --depth"
+                    % (" " * 12, "", "", "  " * (depth + 1), hidden,
+                       "" if hidden == 1 else "s")
+                )
+            return
+        children = sorted(
+            node.children, key=lambda child: child.wall_s, reverse=True
+        )
+        hidden = 0
+        hidden_ms = 0.0
+        for child in children:
+            if child.wall_s * 1000 < min_ms:
+                hidden += 1
+                hidden_ms += child.wall_s * 1000
+                continue
+            visit(child, depth + 1, root_wall)
+        if hidden:
+            lines.append(
+                "%s %7.2fms %5.1f%%  %s... %d span%s under %.3gms"
+                % (
+                    " " * 12,
+                    hidden_ms,
+                    (hidden_ms / 1000 / root_wall * 100) if root_wall else 0,
+                    "  " * (depth + 1),
+                    hidden,
+                    "" if hidden == 1 else "s",
+                    min_ms,
+                )
+            )
+
+    ordered = sorted(roots, key=lambda root: root.wall_s, reverse=True)
+    for index, root in enumerate(ordered):
+        if index:
+            lines.append("")
+        visit(root, 0, root.wall_s)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot):
+    """Aligned tables for a registry snapshot's instruments."""
+    lines = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append("  %-*s  %d" % (width, name, counters[name]))
+    gauges = {
+        name: value
+        for name, value in snapshot.get("gauges", {}).items()
+        if value is not None
+    }
+    if gauges:
+        width = max(len(name) for name in gauges)
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append("  %-*s  %s" % (width, name, gauges[name]))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            data = histograms[name]
+            count = data["count"]
+            mean = (data["sum"] / count) if count else 0
+            lines.append(
+                "  %s  count=%d sum=%s mean=%.2f" % (
+                    name, count, data["sum"], mean
+                )
+            )
+            labels = ["<=%s" % bound for bound in data["buckets"]] + ["+inf"]
+            peak = max(data["counts"]) or 1
+            for label, bucket_count in zip(labels, data["counts"]):
+                if not bucket_count:
+                    continue
+                lines.append(
+                    "    %-8s %6d  %s"
+                    % (label, bucket_count, _bar(bucket_count / peak, 24))
+                )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)

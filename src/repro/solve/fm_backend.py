@@ -26,6 +26,7 @@ from repro.linalg.fourier_motzkin import (
 )
 from repro.linalg.linexpr import LinearExpr
 from repro.linalg.rows import StagedEliminator
+from repro.obs import span
 from repro.solve.backend import (
     LPBackend,
     SolveOutcome,
@@ -52,26 +53,37 @@ class FourierMotzkinBackend(LPBackend):
         prune = self.options.get("prune", True)
         if self.options.get("kernel", "int") == KERNEL_REFERENCE:
             return self._feasible_point_reference(system, prune)
-        started = perf_counter()
+        with span("solve.fm", kernel="int") as node:
+            node.inc("rows_in", len(system))
+            started = perf_counter()
 
-        eliminator = StagedEliminator(system)
-        final = eliminator.run(prune=prune)
-        stats = SolveStats(
-            backend=self.name,
-            rows_in=len(system),
-            rows_out=len(final),
-            variables=len(eliminator.variables),
-            eliminations=len(eliminator.variables),
-        )
-        if eliminator.has_contradiction():
+            eliminator = StagedEliminator(system)
+            final = eliminator.run(prune=prune)
+            stats = SolveStats(
+                backend=self.name,
+                rows_in=len(system),
+                rows_out=len(final),
+                variables=len(eliminator.variables),
+                eliminations=len(eliminator.variables),
+            )
+            node.inc("eliminations", stats.eliminations)
+            node.inc("rows_out", stats.rows_out)
+            if eliminator.has_contradiction():
+                stats.wall_time = perf_counter() - started
+                node.set(feasible=False)
+                return SolveOutcome(feasible=False, stats=stats)
+            point = eliminator.witness()
             stats.wall_time = perf_counter() - started
-            return SolveOutcome(feasible=False, stats=stats)
-        point = eliminator.witness()
-        stats.wall_time = perf_counter() - started
-        return SolveOutcome(feasible=True, witness=point, stats=stats)
+            node.set(feasible=True)
+            return SolveOutcome(feasible=True, witness=point, stats=stats)
 
     def _feasible_point_reference(self, system, prune):
         """The object-pipeline elimination (differential baseline)."""
+        with span("solve.fm", kernel="reference") as node:
+            node.inc("rows_in", len(system))
+            return self._reference_solve(system, prune, node)
+
+    def _reference_solve(self, system, prune, node):
         started = perf_counter()
 
         order = sorted(system.variables(), key=repr)
@@ -89,13 +101,17 @@ class FourierMotzkinBackend(LPBackend):
             variables=len(order),
             eliminations=len(order),
         )
+        node.inc("eliminations", stats.eliminations)
+        node.inc("rows_out", stats.rows_out)
         if stages[-1].has_contradiction_row():
             stats.wall_time = perf_counter() - started
+            node.set(feasible=False)
             return SolveOutcome(feasible=False, stats=stats)
         point = {}
         for var, stage in zip(reversed(order), reversed(stages[:-1])):
             point[var] = _pick_value(stage, var, point)
         stats.wall_time = perf_counter() - started
+        node.set(feasible=True)
         return SolveOutcome(feasible=True, witness=point, stats=stats)
 
 

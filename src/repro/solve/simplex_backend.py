@@ -7,6 +7,7 @@ from time import perf_counter
 from repro.linalg.constraints import ConstraintSystem
 from repro.linalg.linexpr import LinearExpr
 from repro.linalg.simplex import OPTIMAL, solve_lp
+from repro.obs import span
 from repro.solve.backend import (
     LPBackend,
     SolveOutcome,
@@ -29,18 +30,22 @@ class SimplexBackend(LPBackend):
         """Decide feasibility of *system*; return a :class:`SolveOutcome`."""
         if not isinstance(system, ConstraintSystem):
             system = ConstraintSystem(system)
-        started = perf_counter()
-        result = solve_lp(LinearExpr.constant(0), system)
-        stats = SolveStats(
-            backend=self.name,
-            rows_in=len(system),
-            rows_out=len(system),
-            variables=len(system.variables()),
-            pivots=result.pivots,
-            wall_time=perf_counter() - started,
-        )
-        if result.status != OPTIMAL:
-            return SolveOutcome(feasible=False, stats=stats)
-        return SolveOutcome(
-            feasible=True, witness=result.assignment, stats=stats
-        )
+        with span("solve.simplex") as node:
+            started = perf_counter()
+            result = solve_lp(LinearExpr.constant(0), system)
+            stats = SolveStats(
+                backend=self.name,
+                rows_in=len(system),
+                rows_out=len(system),
+                variables=len(system.variables()),
+                pivots=result.pivots,
+                wall_time=perf_counter() - started,
+            )
+            node.inc("rows_in", stats.rows_in)
+            node.inc("pivots", stats.pivots)
+            node.set(feasible=result.status == OPTIMAL)
+            if result.status != OPTIMAL:
+                return SolveOutcome(feasible=False, stats=stats)
+            return SolveOutcome(
+                feasible=True, witness=result.assignment, stats=stats
+            )

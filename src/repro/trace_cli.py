@@ -1,0 +1,14 @@
+"""``python -m repro.trace_cli`` — the ``repro-trace`` renderer.
+
+Thin wrapper so the trace viewer is reachable without an installed
+console script (CI and editable checkouts run it this way).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import trace_main
+
+if __name__ == "__main__":
+    sys.exit(trace_main())

@@ -133,6 +133,74 @@ class TestParallelMatchesSerial:
         ]
 
 
+class TestBatchTelemetry:
+    def test_results_carry_worker_and_elapsed(self):
+        report = analyze_many(
+            [
+                (APPEND, ("append", 3), "bbf"),
+                (LOOP, ("p", 1), "b"),
+            ],
+            jobs=2,
+        )
+        workers = {r.worker for r in report.results}
+        # Compact ids starting at 0, at most one per pool process.
+        assert workers == set(range(len(workers)))
+        assert len(workers) <= 2
+        for result in report.results:
+            assert result.elapsed_s == result.wall_time
+            assert result.elapsed_s >= 0.0
+
+    def test_serial_results_are_worker_zero(self):
+        report = analyze_many([(APPEND, ("append", 3), "bbf")])
+        assert report.results[0].worker == 0
+
+    def test_report_metrics_cover_the_batch(self):
+        from repro.obs import METRICS
+
+        items = [
+            (APPEND, ("append", 3), "bbf"),
+            (APPEND, ("append", 3), "ffb"),
+        ]
+        previous = METRICS.set_enabled(True)
+        try:
+            report = analyze_many(items)
+        finally:
+            METRICS.set_enabled(previous)
+        counters = report.metrics.get("counters", {})
+        assert counters.get("simplex.pivots", 0) > 0
+
+    def test_parallel_metrics_reach_the_parent(self):
+        """Worker registries die with their processes; the merged
+        snapshot and the parent registry must both see their counts."""
+        from repro.obs import METRICS
+
+        items = [
+            (APPEND, ("append", 3), "bbf"),
+            (LOOP, ("p", 1), "b"),
+        ]
+        previous = METRICS.set_enabled(True)
+        before = METRICS.snapshot()
+        try:
+            report = analyze_many(items, jobs=2)
+        finally:
+            METRICS.set_enabled(previous)
+        batch_pivots = report.metrics["counters"].get("simplex.pivots", 0)
+        assert batch_pivots > 0
+        parent_pivots = METRICS.snapshot()["counters"].get(
+            "simplex.pivots", 0
+        )
+        assert parent_pivots >= (
+            before["counters"].get("simplex.pivots", 0) + batch_pivots
+        )
+
+    def test_merged_trace_has_span_roots(self):
+        report = analyze_many(
+            [(APPEND, ("append", 3), "bbf")] * 2, jobs=2
+        )
+        names = [root.name for root in report.trace.roots]
+        assert names.count("analyze") == 2
+
+
 class TestChunking:
     def test_groups_by_source(self):
         from repro.batch import _make_chunks

@@ -1,0 +1,137 @@
+"""The metrics registry: instruments, snapshots, merge algebra."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+    render_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.snapshot()["counters"]["c"] == 5
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(1)
+        assert registry.snapshot()["gauges"]["g"] == 1
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestHistogramBucketing:
+    def test_boundary_placement(self):
+        """observe(v) lands in the first bucket with bound >= v."""
+        h = Histogram("h", buckets=(1, 10, 100))
+        for value in (0, 1):        # <= 1
+            h.observe(value)
+        for value in (2, 10):       # <= 10
+            h.observe(value)
+        h.observe(55)               # <= 100
+        h.observe(101)              # overflow
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == 169
+        assert h.mean == pytest.approx(169 / 6)
+
+    def test_overflow_slot_exists(self):
+        h = Histogram("h")
+        assert len(h.counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_re_registration_must_agree(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2))
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1, 2, 3))
+
+
+def _sample(counter=0, observations=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("c").inc(counter)
+    for value in observations:
+        registry.histogram("h", buckets=(1, 10)).observe(value)
+    return registry.snapshot()
+
+
+class TestSnapshotAlgebra:
+    def test_merge_is_associative_and_commutative(self):
+        a = _sample(counter=1, observations=(0, 5))
+        b = _sample(counter=2, observations=(100,))
+        c = _sample(counter=4)
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        shuffled = merge_snapshots(c, a, b)
+        assert left == right == shuffled
+        assert left["counters"]["c"] == 7
+        assert left["histograms"]["h"]["counts"] == [1, 1, 1]
+
+    def test_diff_recovers_the_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h", buckets=(1, 10)).observe(5)
+        before = registry.snapshot()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(0)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"] == {"c": 2}
+        assert delta["histograms"]["h"]["counts"] == [1, 0, 0]
+        assert merge_snapshots(before, delta) == registry.snapshot()
+
+    def test_diff_drops_untouched_instruments(self):
+        before = _sample(counter=3, observations=(5,))
+        delta = diff_snapshots(before, before)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+
+class TestEnabledFlag:
+    def test_set_enabled_returns_previous(self):
+        registry = MetricsRegistry()
+        assert registry.set_enabled(False) is True
+        assert registry.enabled is False
+        assert registry.set_enabled(True) is False
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestRenderMetrics:
+    def test_mentions_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("dualize.cache.hit").inc(7)
+        registry.gauge("depth").set(3)
+        registry.histogram("h", buckets=(1, 10)).observe(4)
+        text = render_metrics(registry.snapshot())
+        assert "dualize.cache.hit" in text
+        assert "depth" in text
+        assert "count=1" in text
+
+    def test_empty_snapshot(self):
+        assert "no metrics" in render_metrics(MetricsRegistry().snapshot())

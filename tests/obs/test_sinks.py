@@ -1,0 +1,193 @@
+"""Sinks, the JSONL round trip, the schema checker, and repro-trace."""
+
+import json
+
+import pytest
+
+from benchmarks.check_trace_schema import (
+    coverage,
+    load_events,
+    validate_events,
+)
+from repro.obs import (
+    SCHEMA,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    read_trace,
+    render_tree,
+    span_events,
+    write_trace,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("analyze", root="p/1") as root:
+        with tracer.span("stage.solve") as solve:
+            solve.inc("pivots", 7)
+        solve.wall_s = 0.9
+    root.wall_s = 1.0
+    return tracer
+
+
+class TestSinks:
+    def test_memory_sink_collects_and_closes(self):
+        sink = MemorySink()
+        with sink:
+            sink.emit({"event": "meta"})
+        assert sink.events == [{"event": "meta"}]
+        assert sink.closed
+
+    def test_jsonl_sink_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "meta", "schema": SCHEMA})
+            sink.emit({"event": "metric", "kind": "counter",
+                       "name": "c", "value": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["schema"] == SCHEMA
+
+
+class TestSpanEvents:
+    def test_preorder_ids_and_parents(self):
+        events = span_events(_sample_tracer().roots)
+        assert [e["name"] for e in events] == ["analyze", "stage.solve"]
+        assert events[0]["parent"] is None
+        assert events[1]["parent"] == events[0]["id"]
+        assert events[0]["id"] < events[1]["id"]
+        assert events[1]["counters"] == {"pivots": 7}
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_everything(self, tmp_path):
+        tracer = _sample_tracer()
+        registry = MetricsRegistry()
+        registry.counter("simplex.pivots").inc(7)
+        registry.histogram("h", buckets=(1, 10)).observe(3)
+        path = tmp_path / "trace.jsonl"
+        count = write_trace(
+            path, tracer.roots, registry.snapshot(), meta={"source": "x.pl"}
+        )
+        meta, roots, snapshot = read_trace(path)
+        assert count == 1 + 2 + 2
+        assert meta["schema"] == SCHEMA
+        assert meta["source"] == "x.pl"
+        assert [r.name for r in roots] == ["analyze"]
+        assert roots[0].children[0].counters == {"pivots": 7}
+        assert roots[0].children[0].wall_s == pytest.approx(0.9)
+        assert snapshot["counters"] == {"simplex.pivots": 7}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_read_rejects_missing_meta(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "span", "id": 0, "parent": null, '
+                        '"name": "x", "start_s": 0, "wall_s": 0, '
+                        '"attrs": {}, "counters": {}}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_unknown_events_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"event": "meta", "schema": SCHEMA}) + "\n"
+            + json.dumps({"event": "future-thing", "x": 1}) + "\n"
+        )
+        meta, roots, snapshot = read_trace(path)
+        assert roots == []
+
+
+class TestSchemaChecker:
+    """The CI validator accepts our own output and rejects mutations."""
+
+    def _events(self, tmp_path, mutate=None):
+        tracer = _sample_tracer()
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, tracer.roots, registry.snapshot())
+        events = load_events(path)
+        if mutate:
+            mutate(events)
+        return events
+
+    def test_own_output_is_valid(self, tmp_path):
+        events = self._events(tmp_path)
+        assert validate_events(events) == []
+        assert coverage(events) == pytest.approx(0.9)
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        events = self._events(
+            tmp_path, lambda e: e[0].update(schema="other/9")
+        )
+        assert validate_events(events)
+
+    def test_rejects_orphan_child(self, tmp_path):
+        events = self._events(tmp_path, lambda e: e[2].update(parent=99))
+        assert any("parent" in p for p in validate_events(events))
+
+    def test_rejects_negative_wall(self, tmp_path):
+        events = self._events(tmp_path, lambda e: e[1].update(wall_s=-1))
+        assert any("wall_s" in p for p in validate_events(events))
+
+    def test_rejects_bad_histogram(self, tmp_path):
+        events = self._events(tmp_path)
+        events.append({
+            "event": "metric", "kind": "histogram", "name": "h",
+            "buckets": [5, 1], "counts": [0, 0, 0], "sum": 0, "count": 0,
+        })
+        assert any("buckets" in p for p in validate_events(events))
+
+
+class TestTraceCli:
+    def test_renders_real_analysis_trace(self, tmp_path, capsys):
+        from repro.cli import main, trace_main
+
+        program = tmp_path / "p.pl"
+        program.write_text(
+            "append([], Y, Y).\n"
+            "append([X|Xs], Y, [X|Zs]) :- append(Xs, Y, Zs).\n"
+        )
+        trace = tmp_path / "trace.jsonl"
+        rc = main([str(program), "--root", "append/3", "--mode", "bbf",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        assert validate_events(load_events(trace)) == []
+
+        rc = trace_main([str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "analyze" in out
+        assert "stage.solve" in out
+        assert "100.0%" in out
+
+    def test_depth_and_min_ms_summarize(self, tmp_path):
+        meta, roots, _ = _round_tripped(tmp_path)
+        shallow = render_tree(roots, max_depth=1)
+        assert "below --depth" in shallow
+        pruned = render_tree(roots, min_ms=1e6)
+        assert "under" in pruned
+
+    def test_unreadable_trace_is_exit_2(self, tmp_path, capsys):
+        from repro.cli import trace_main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        assert trace_main([str(bad)]) == 2
+        assert "trace error" in capsys.readouterr().err
+
+
+def _round_tripped(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "t.jsonl"
+    write_trace(path, tracer.roots)
+    return read_trace(path)
