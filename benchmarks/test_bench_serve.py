@@ -1,0 +1,178 @@
+"""Experiment F9: the analysis service and its persistent store.
+
+Two claims to regenerate:
+
+- warm requests (answered from the content-addressed store) are far
+  cheaper than cold requests (solved by a worker) — the store turns
+  repeated analyses of the same program into O(hash + lookup);
+- the daemon sustains concurrent load at ``jobs=2``, with every
+  payload byte-identical between the cold and warm passes.
+
+The measurements fold into the repo-level ``BENCH_F9.json`` so the
+headline numbers are quotable without re-running pytest.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.batch import as_batch_item
+from repro.corpus import all_programs
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient
+from repro.serve.pool import SolverPool
+from repro.serve.store import ResultStore
+
+from benchmarks.conftest import emit
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADLINE_PATH = os.path.join(REPO_ROOT, "BENCH_F9.json")
+
+SLICE = 10
+
+
+def _update_headline(key, value):
+    """Merge one section into the repo-level BENCH_F9.json artifact."""
+    payload = {}
+    if os.path.exists(HEADLINE_PATH):
+        with open(HEADLINE_PATH) as handle:
+            payload = json.load(handle)
+    payload[key] = value
+    with open(HEADLINE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+class _LiveServer:
+    """A real daemon on an ephemeral port, event loop on a thread."""
+
+    def __init__(self, tmp_path, jobs):
+        self.store = ResultStore(str(tmp_path / "cache"))
+        self.app = ServeApp(self.store, SolverPool(jobs=jobs),
+                            max_inflight=64)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.app.start(port=0), self.loop
+        ).result(10)
+        return ServeClient("127.0.0.1:%d" % self.app.port)
+
+    def __exit__(self, *exc_info):
+        asyncio.run_coroutine_threadsafe(
+            self.app.shutdown(), self.loop
+        ).result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+def _timed_pass(client, items):
+    """One replay over *items*: (latencies_ms, texts, hits)."""
+    latencies, texts, hits = [], {}, 0
+    for item in items:
+        started = time.perf_counter()
+        answer = client.analyze(item.source, item.root, item.mode)
+        latencies.append((time.perf_counter() - started) * 1000)
+        texts[item.name] = answer.text
+        hits += answer.cached
+    return latencies, texts, hits
+
+
+def test_cold_vs_warm_latency(tmp_path, benchmark):
+    items = [as_batch_item(e) for e in all_programs()[:SLICE]]
+    with _LiveServer(tmp_path, jobs=1) as client:
+        cold_ms, cold_texts, cold_hits = _timed_pass(client, items)
+        warm_ms, warm_texts, warm_hits = _timed_pass(client, items)
+
+        assert cold_hits == 0
+        assert warm_hits == len(items)  # every repeat is a store hit
+        assert warm_texts == cold_texts  # byte-identical payloads
+
+        benchmark.pedantic(
+            lambda: _timed_pass(client, items), rounds=3, iterations=1
+        )
+
+    cold_median = _median(cold_ms)
+    warm_median = _median(warm_ms)
+    ratio = cold_median / warm_median if warm_median else float("inf")
+    lines = [
+        "replay of %d corpus programs through one daemon" % len(items),
+        "cold pass (worker solves):  median %7.2f ms" % cold_median,
+        "warm pass (store hits):     median %7.2f ms" % warm_median,
+        "cold/warm:                  %7.1fx" % ratio,
+        "payloads byte-identical: True",
+    ]
+    record = {
+        "programs": len(items),
+        "cold_median_ms": cold_median,
+        "warm_median_ms": warm_median,
+        "cold_over_warm": ratio,
+        "byte_identical": True,
+    }
+    emit("F9_cold_warm", "\n".join(lines) + "\n", data=record)
+    _update_headline("cold_warm", record)
+    # A store hit skips parsing, adornment, FM, and the LP entirely;
+    # even against the fastest corpus programs it must win clearly.
+    assert ratio >= 2.0, lines
+
+
+def test_concurrent_throughput_jobs2(tmp_path):
+    import concurrent.futures
+
+    items = [as_batch_item(e) for e in all_programs()[:SLICE]]
+    with _LiveServer(tmp_path, jobs=2) as client:
+        started = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(4) as executor:
+            answers = list(executor.map(
+                lambda item: client.analyze(
+                    item.source, item.root, item.mode
+                ),
+                items,
+            ))
+        cold_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(4) as executor:
+            warm = list(executor.map(
+                lambda item: client.analyze(
+                    item.source, item.root, item.mode
+                ),
+                items,
+            ))
+        warm_wall = time.perf_counter() - started
+
+    assert all(a.status in ("PROVED", "UNKNOWN") for a in answers)
+    assert all(a.cached for a in warm)
+    cold_rps = len(items) / cold_wall
+    warm_rps = len(items) / warm_wall
+    lines = [
+        "%d concurrent requests, daemon at jobs=2" % len(items),
+        "cold: %6.2fs wall, %6.1f req/s" % (cold_wall, cold_rps),
+        "warm: %6.2fs wall, %6.1f req/s" % (warm_wall, warm_rps),
+    ]
+    record = {
+        "programs": len(items),
+        "jobs": 2,
+        "cold_wall_seconds": cold_wall,
+        "cold_requests_per_second": cold_rps,
+        "warm_wall_seconds": warm_wall,
+        "warm_requests_per_second": warm_rps,
+    }
+    emit("F9_throughput", "\n".join(lines) + "\n", data=record)
+    _update_headline("throughput_jobs2", record)
+    assert warm_rps > cold_rps, lines

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Replay a corpus slice against a running ``repro-serve`` daemon.
+
+The smallest useful load driver for the analysis service: POST each
+corpus program (optionally several times), print per-request cache
+status and latency, and summarize the hit rate.  The CI smoke job runs
+it twice against one daemon and asserts the second pass is served
+almost entirely from the persistent store.
+
+Run:
+    repro-serve --port 8421 --cache-dir /tmp/repro-cache &
+    python examples/serve_client.py --url http://127.0.0.1:8421
+    python examples/serve_client.py --url http://127.0.0.1:8421 \\
+        --min-hit-rate 0.9       # exits 1 below the bar
+
+The ``--min-hit-rate`` gate makes the script double as an assertion:
+a warm store (second pass, or a daemon that has seen this corpus
+before) must answer from cache.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.batch import as_batch_item
+from repro.corpus import all_programs
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+
+
+def replay(client, items, repeat):
+    """POST every item *repeat* times; return (answers, hits)."""
+    answers = []
+    hits = 0
+    for _ in range(repeat):
+        for item in items:
+            started = time.perf_counter()
+            answer = client.analyze(item.source, item.root, item.mode)
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            hits += answer.cached
+            answers.append(answer)
+            print(
+                "%-22s %-6s %-8s %-5s %8.2f ms"
+                % (item.name, item.mode, answer.status,
+                   "hit" if answer.cached else "miss", elapsed_ms)
+            )
+    return answers, hits
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Replay corpus programs against a repro-serve "
+        "daemon and report the store hit rate."
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8421",
+        help="daemon base URL (default http://127.0.0.1:8421)",
+    )
+    parser.add_argument(
+        "--slice", type=int, default=12, metavar="N",
+        help="number of corpus programs to replay (default 12)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="replay the slice N times (default 1)",
+    )
+    parser.add_argument(
+        "--min-hit-rate", type=float, default=None, metavar="RATE",
+        help="exit 1 unless at least RATE of requests hit the store",
+    )
+    args = parser.parse_args(argv)
+
+    client = ServeClient(args.url)
+    try:
+        health = client.health()
+    except ServeError as error:
+        print("daemon unreachable: %s" % error, file=sys.stderr)
+        return 2
+    print("daemon ok: revision %s, %d stored verdict(s)\n"
+          % (health["revision"], health["store"]["entries"]))
+
+    items = [as_batch_item(entry) for entry in all_programs()[:args.slice]]
+    answers, hits = replay(client, items, args.repeat)
+
+    total = len(answers)
+    rate = hits / total if total else 0.0
+    print("\n%d requests, %d store hits (%.0f%%)"
+          % (total, hits, 100 * rate))
+    if args.min_hit_rate is not None and rate < args.min_hit_rate:
+        print("hit rate %.2f below required %.2f"
+              % (rate, args.min_hit_rate), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

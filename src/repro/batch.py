@@ -30,12 +30,17 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 
 from repro.errors import AnalysisError, ReproError
 from repro.lp import parse_program
-from repro.core import AnalysisTrace, AnalyzerSettings, TerminationAnalyzer
+from repro.core import (
+    AnalysisTrace,
+    AnalyzerSettings,
+    TerminationAnalyzer,
+    validate_query,
+)
 from repro.obs import METRICS, diff_snapshots, merge_snapshots
 
 __all__ = ["BatchItem", "BatchResult", "BatchReport", "analyze_many"]
@@ -149,6 +154,13 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
     :class:`~repro.baselines.BaselineMethod` objects to run alongside
     the paper's analyzer (their statuses land in
     :attr:`BatchResult.baselines`).
+
+    Entries sharing a (source, root, mode) triple are solved once;
+    the report still lists one :class:`BatchResult` per requested
+    entry (duplicates get a copy under their own name).  Roots are
+    validated against the parsed program before analysis, so a typo'd
+    root comes back as a clear ``ERROR`` result, not a vacuous
+    verdict.
     """
     items = [as_batch_item(entry, i) for i, entry in enumerate(entries)]
     settings = settings or AnalyzerSettings()
@@ -165,10 +177,25 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
     merged = AnalysisTrace()
     results = [None] * len(items)
 
-    indexed = list(enumerate(items))
+    # Identical (source, root, mode) items are solved once; the extra
+    # requesters are satisfied from the first answer below.  Batch
+    # sweeps with overlapping slices and multi-client fan-in through
+    # repro.serve routinely repeat work units, and analysis is a pure
+    # function of that triple (the name rides along per requester).
+    first_of = {}
+    duplicate_of = {}
+    indexed = []
+    for index, item in enumerate(items):
+        key = (item.source, item.root, item.mode)
+        if key in first_of:
+            duplicate_of[index] = first_of[key]
+        else:
+            first_of[key] = index
+            indexed.append((index, item))
+
     snapshots = []
     workers = {}
-    if jobs == 1 or len(items) <= 1:
+    if jobs == 1 or len(indexed) <= 1:
         chunk_results, trace, snapshot = _run_chunk(
             indexed, settings, baseline_names
         )
@@ -199,6 +226,10 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
         if METRICS.enabled:
             for snapshot in snapshots:
                 METRICS.merge_snapshot(snapshot)
+
+    for index, source_index in duplicate_of.items():
+        results[index] = replace(results[source_index],
+                                 name=items[index].name)
 
     return BatchReport(
         results=results,
@@ -259,6 +290,7 @@ def _run_chunk(indexed, settings, baseline_names):
                 program = parse_program(item.source)
                 analyzer = TerminationAnalyzer(program, settings=settings)
                 current_source = item.source
+            validate_query(program, item.root, item.mode)
             result = analyzer.analyze(tuple(item.root), item.mode)
         except ReproError as error:
             out.append((index, BatchResult(

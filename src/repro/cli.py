@@ -5,9 +5,18 @@ Usage::
     repro-analyze program.pl --root perm/2 --mode bf
     repro-analyze program.pl --root perm/2 --mode bf --norm list_length
     repro-analyze program.pl --root p/1 --mode b --transform --verbose
+    repro-analyze program.pl --root perm/2 --mode bf --cache-dir .cache
+    repro-analyze program.pl --root perm/2 --mode bf --remote :8421
 
 Prints the verdict and the certificate (or failure reasons) and exits
-0 on PROVED, 1 on UNKNOWN, 2 on usage/parse errors.
+0 on PROVED, 1 on UNKNOWN, 2 on usage/parse errors, 3 when
+``--timeout`` expires (or a remote daemon reports its own deadline).
+
+``--cache-dir`` consults the same content-addressed persistent store
+``repro-serve`` maintains, so repeated identical analyses — across
+processes and across CLI/daemon boundaries — are answered without
+re-solving.  ``--remote URL`` ships the request to a running daemon
+instead of solving in-process.
 """
 
 from __future__ import annotations
@@ -15,17 +24,22 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import AnalysisTimeout, ReproError, ServeError
 from repro.lp import parse_program
 from repro.core import (
     AnalysisTrace,
     AnalyzerSettings,
     TerminationAnalyzer,
     analyze_program,
+    validate_query,
     verify_proof,
 )
 from repro.core.report import render_report, render_stage_table
 from repro.transform import normalize_program
+
+#: Exit code for an analysis stopped by ``--timeout`` (or a daemon's
+#: per-request deadline) — distinct from UNKNOWN (1) and errors (2).
+EXIT_TIMEOUT = 3
 
 
 def build_parser():
@@ -98,6 +112,22 @@ def build_parser():
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for --all-modes (default 1: in-process)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the analysis; on expiry exit "
+        "with status %d (the serial twin of the server's per-request "
+        "deadline)" % EXIT_TIMEOUT,
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="consult/update the content-addressed persistent result "
+        "store in DIR (the same store repro-serve uses)",
+    )
+    parser.add_argument(
+        "--remote", metavar="URL",
+        help="send the request to a running repro-serve daemon "
+        "(e.g. http://127.0.0.1:8421) instead of solving locally",
+    )
     return parser
 
 
@@ -154,11 +184,36 @@ def main(argv=None):
         allow_negative_theta=args.negative_theta,
     )
 
+    if args.remote:
+        if args.verify:
+            raise SystemExit("--verify is local-only (certificates "
+                             "stay in the daemon's workers)")
+        if args.jobs > 1 or args.cache_dir:
+            raise SystemExit("--remote excludes --jobs and --cache-dir")
+        return _run_remote(program, root, settings, args)
+
     if args.all_modes:
         return _run_all_modes(program, settings, args)
 
     try:
-        result = analyze_program(program, root, args.mode, settings=settings)
+        validate_query(program, root, args.mode)
+    except ReproError as error:
+        print("analysis error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.cache_dir:
+        return _run_single_stored(program, root, settings, args)
+
+    from repro.serve.pool import deadline
+
+    try:
+        with deadline(args.timeout):
+            result = analyze_program(
+                program, root, args.mode, settings=settings
+            )
+    except AnalysisTimeout as error:
+        print("analysis timed out: %s" % error, file=sys.stderr)
+        return EXIT_TIMEOUT
     except ReproError as error:
         print("analysis error: %s" % error, file=sys.stderr)
         return 2
@@ -184,6 +239,159 @@ def main(argv=None):
 
     _emit_telemetry(args, result.trace)
     return 0 if result.proved else 1
+
+
+def _render_payload(payload):
+    """Compact text rendering of a stored/remote verdict payload
+    (the full report needs the in-process result object)."""
+    root = payload.get("root", {})
+    lines = [
+        "%s/%s mode %s: %s  [norm %s]"
+        % (root.get("predicate"), root.get("arity"),
+           payload.get("mode"), payload.get("status"),
+           payload.get("norm"))
+    ]
+    for scc in payload.get("sccs", ()):
+        if scc.get("status") == "PROVED":
+            proof = scc.get("proof", {})
+            members = ", ".join(
+                "%s/%s^%s" % (m["predicate"], m["arity"], m["adornment"])
+                for m in proof.get("members", ())
+            )
+            note = (" (nonrecursive)"
+                    if proof.get("trivially_nonrecursive") else "")
+            lines.append("  scc %s: PROVED%s" % (members, note))
+        else:
+            members = ", ".join(
+                "%s/%s^%s" % (m["predicate"], m["arity"], m["adornment"])
+                for m in scc.get("members", ())
+            )
+            lines.append("  scc %s: %s — %s"
+                         % (members, scc.get("status"),
+                            scc.get("reason", "")))
+    return "\n".join(lines)
+
+
+def _run_single_stored(program, root, settings, args):
+    """Single-mode analysis through the persistent result store.
+
+    ``--json`` prints the canonical payload text on both paths, so
+    cold and warm output are byte-identical; the text mode prints the
+    full report when solving and the compact payload rendering on a
+    hit (``--verify`` needs the in-process certificate, so it skips
+    the store read but still publishes its result).
+    """
+    import json as json_module
+
+    from repro.serve.pool import deadline
+    from repro.serve.protocol import (
+        AnalyzeRequest,
+        payload_from_result,
+        payload_text,
+    )
+    from repro.serve.store import ResultStore
+
+    request = AnalyzeRequest(
+        source=str(program), root=tuple(root), mode=args.mode,
+        settings=settings,
+    )
+    key = request.key()
+    with ResultStore(args.cache_dir) as store:
+        cached = None if args.verify else store.get(key)
+        if cached is not None:
+            payload = json_module.loads(cached)
+            print(cached if args.json else _render_payload(payload))
+            print("(served from store %s, key %s)"
+                  % (args.cache_dir, key[:16]), file=sys.stderr)
+            return 0 if payload.get("status") == "PROVED" else 1
+        try:
+            with deadline(args.timeout):
+                result = analyze_program(
+                    program, root, args.mode, settings=settings
+                )
+        except AnalysisTimeout as error:
+            print("analysis timed out: %s" % error, file=sys.stderr)
+            return EXIT_TIMEOUT
+        except ReproError as error:
+            print("analysis error: %s" % error, file=sys.stderr)
+            return 2
+        text = payload_text(payload_from_result(result))
+        store.put(key, text, root="%s/%d" % tuple(root), mode=args.mode)
+    if args.json:
+        print(text)
+    else:
+        print(
+            render_report(
+                result,
+                show_rule_systems=args.verbose,
+                show_environment=args.verbose,
+                show_stats=args.stats,
+            )
+        )
+    if args.verify and result.proved:
+        verify_proof(result.proof)
+        if not args.json:
+            print("certificate independently verified (primal simplex).")
+    _emit_telemetry(args, result.trace)
+    return 0 if result.proved else 1
+
+
+def _run_remote(program, root, settings, args):
+    """Ship the request(s) to a running ``repro-serve`` daemon."""
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.remote, timeout=args.timeout or 120.0)
+    source = str(program)
+    if not args.all_modes:
+        return _remote_one(client, source, root, args.mode, settings,
+                           args)
+    declarations = program.mode_declarations
+    if not declarations:
+        print("no ':- mode(...)' declarations found", file=sys.stderr)
+        return 2
+    worst = 0
+    for declaration in declarations:
+        code = _remote_one(
+            client, source, declaration.indicator, declaration.mode,
+            settings, args, label=True,
+        )
+        worst = max(worst, code)
+    return worst
+
+
+def _remote_one(client, source, root, mode, settings, args, label=False):
+    """One remote request; returns the exit code for its verdict."""
+    try:
+        answer = client.analyze(source, root, mode, settings=settings)
+    except ServeError as error:
+        print("remote error: %s" % error, file=sys.stderr)
+        return EXIT_TIMEOUT if error.status == 504 else 2
+    if label:
+        print("%s/%d mode %s: %s%s"
+              % (root[0], root[1], mode, answer.status,
+                 " (cached)" if answer.cached else ""))
+    elif args.json:
+        print(answer.text)
+    else:
+        print(_render_payload(answer.payload))
+        print("(answered by %s, key %s, cache %s)"
+              % (args.remote, answer.key[:16],
+                 "hit" if answer.cached else "miss"),
+              file=sys.stderr)
+    if args.trace_out and not label:
+        try:
+            with open(args.trace_out, "w") as handle:
+                handle.write(client.trace(answer.key))
+            print("wrote remote trace to %s" % args.trace_out,
+                  file=sys.stderr)
+        except ServeError as error:
+            print("no remote trace: %s" % error, file=sys.stderr)
+    if args.metrics and not label:
+        from repro.obs import render_metrics
+
+        print()
+        print(render_metrics(client.metrics()))
+    return 0 if answer.proved else 1
 
 
 def _emit_telemetry(args, trace):
@@ -215,28 +423,104 @@ def _run_all_modes(program, settings, args):
         print("no ':- mode(...)' declarations found", file=sys.stderr)
         return 2
     if args.jobs > 1:
+        if args.timeout is not None or args.cache_dir:
+            raise SystemExit(
+                "--timeout/--cache-dir need --jobs 1 (the daemon is "
+                "the parallel path with a deadline and a store)"
+            )
         return _run_all_modes_parallel(program, declarations, settings, args)
+
+    from repro.serve.pool import deadline
+
+    store = None
+    if args.cache_dir:
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(args.cache_dir)
     analyzer = TerminationAnalyzer(program, settings=settings)
     merged = AnalysisTrace()
     worst = 0
-    for declaration in declarations:
-        result = analyzer.analyze(declaration.indicator, declaration.mode)
-        merged.merge(result.trace)
-        name, arity = declaration.indicator
-        print("%s/%d mode %s: %s" % (name, arity, declaration.mode,
-                                     result.status))
-        if args.verify and result.proved:
-            verify_proof(result.proof)
-        if not result.proved:
-            worst = 1
-            if args.verbose:
-                for failing in result.failing_sccs():
-                    print("  reason: %s" % failing.reason)
+    try:
+        with deadline(args.timeout):
+            for declaration in declarations:
+                name, arity = declaration.indicator
+                label = "%s/%d mode %s" % (name, arity, declaration.mode)
+                try:
+                    validate_query(program, declaration.indicator,
+                                   declaration.mode)
+                except ReproError as error:
+                    print("%s: ERROR %s" % (label, error),
+                          file=sys.stderr)
+                    worst = 2
+                    continue
+                hit = _stored_status(store, program, declaration,
+                                     settings)
+                if hit is not None:
+                    print("%s: %s (cached)" % (label, hit))
+                    if hit != "PROVED":
+                        worst = max(worst, 1)
+                    continue
+                result = analyzer.analyze(declaration.indicator,
+                                          declaration.mode)
+                merged.merge(result.trace)
+                print("%s: %s" % (label, result.status))
+                if store is not None:
+                    _store_result(store, program, declaration, settings,
+                                  result)
+                if args.verify and result.proved:
+                    verify_proof(result.proof)
+                if not result.proved:
+                    worst = max(worst, 1)
+                    if args.verbose:
+                        for failing in result.failing_sccs():
+                            print("  reason: %s" % failing.reason)
+    except AnalysisTimeout as error:
+        print("analysis timed out: %s" % error, file=sys.stderr)
+        return EXIT_TIMEOUT
+    finally:
+        if store is not None:
+            store.close()
     if args.stats:
         print()
         print(render_stage_table(merged))
     _emit_telemetry(args, merged)
     return worst
+
+
+def _stored_status(store, program, declaration, settings):
+    """The stored verdict for one mode declaration, or None."""
+    if store is None:
+        return None
+    import json as json_module
+
+    from repro.serve.protocol import AnalyzeRequest
+
+    request = AnalyzeRequest(
+        source=str(program), root=declaration.indicator,
+        mode=declaration.mode, settings=settings,
+    )
+    cached = store.get(request.key())
+    if cached is None:
+        return None
+    return json_module.loads(cached).get("status")
+
+
+def _store_result(store, program, declaration, settings, result):
+    """Publish one fresh verdict to the persistent store."""
+    from repro.serve.protocol import (
+        AnalyzeRequest,
+        payload_from_result,
+        payload_text,
+    )
+
+    request = AnalyzeRequest(
+        source=str(program), root=declaration.indicator,
+        mode=declaration.mode, settings=settings,
+    )
+    store.put(
+        request.key(), payload_text(payload_from_result(result)),
+        root="%s/%d" % declaration.indicator, mode=declaration.mode,
+    )
 
 
 def _run_all_modes_parallel(program, declarations, settings, args):

@@ -37,6 +37,7 @@ from repro.core.analyzer import (
     SCCResult,
     TerminationAnalyzer,
     analyze_program,
+    validate_query,
 )
 from repro.core.pipeline import (
     STAGES,
@@ -60,6 +61,7 @@ __all__ = [
     "SCCResult",
     "TerminationAnalyzer",
     "analyze_program",
+    "validate_query",
     "STAGES",
     "AnalysisPipeline",
     "AnalysisTrace",

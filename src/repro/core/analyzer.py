@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import AnalysisError
 from repro.lp.program import Program
 from repro.interarg import InferenceSettings
 from repro.core.pipeline import (
@@ -55,7 +56,60 @@ __all__ = [
     "StageTrace",
     "TerminationAnalyzer",
     "analyze_program",
+    "validate_query",
 ]
+
+
+def validate_query(program, root, mode):
+    """Check a (root, mode) query against a parsed program.
+
+    A root naming an undefined predicate — or the right name at the
+    wrong arity — used to sail through the pipeline and come back
+    vacuously ``PROVED`` (no reachable SCCs), or surface as an opaque
+    downstream :class:`~repro.errors.ModeError`.  Every request
+    front end (the CLI, :func:`repro.batch.analyze_many` workers, and
+    the ``repro.serve`` request validator) calls this first instead,
+    so a typo'd root fails loudly, with the program's actual
+    predicates in the message.
+
+    Returns the normalized ``((name, arity), mode)`` pair; raises
+    :class:`~repro.errors.AnalysisError` on any mismatch.
+    """
+    try:
+        name, arity = tuple(root)
+        arity = int(arity)
+    except (TypeError, ValueError):
+        raise AnalysisError(
+            "root must be a (name, arity) pair, got %r" % (root,)
+        ) from None
+    mode = str(mode)
+    defined = sorted(program.defined_indicators())
+    if (name, arity) not in defined:
+        same_name = ["%s/%d" % pair for pair in defined if pair[0] == name]
+        if same_name:
+            raise AnalysisError(
+                "root %s/%d does not match the program: %s is defined "
+                "with arity %s" % (name, arity, name,
+                                   ", ".join(same_name))
+            )
+        raise AnalysisError(
+            "root %s/%d is not defined by the program; defined "
+            "predicates: %s"
+            % (name, arity,
+               ", ".join("%s/%d" % pair for pair in defined) or "(none)")
+        )
+    if len(mode) != arity:
+        raise AnalysisError(
+            "mode %r has %d positions but %s/%d needs %d"
+            % (mode, len(mode), name, arity, arity)
+        )
+    bad = sorted(set(mode) - set("bf"))
+    if bad:
+        raise AnalysisError(
+            "mode %r may use only 'b' (bound) and 'f' (free), got %s"
+            % (mode, ", ".join(repr(c) for c in bad))
+        )
+    return (name, arity), mode
 
 
 @dataclass

@@ -66,5 +66,32 @@ class ModeError(AnalysisError):
     """Raised for inconsistent or underspecified bound/free adornments."""
 
 
+class AnalysisTimeout(AnalysisError):
+    """Raised when an analysis exceeds its wall-clock deadline.
+
+    Carries the deadline in seconds; raised by the serial-path
+    ``repro-analyze --timeout`` watchdog and inside ``repro.serve``
+    pool workers when a request overruns the server's per-request
+    budget.
+    """
+
+    def __init__(self, message, seconds=None):
+        self.seconds = seconds
+        super().__init__(message)
+
+
+class ServeError(ReproError):
+    """Raised by the ``repro.serve`` client for transport failures and
+    non-success responses from an analysis daemon.
+
+    ``status`` carries the HTTP status code when the server answered
+    at all (None for connection-level failures).
+    """
+
+    def __init__(self, message, status=None):
+        self.status = status
+        super().__init__(message)
+
+
 class TransformError(ReproError):
     """Raised when a syntactic transformation cannot be applied."""

@@ -1,0 +1,60 @@
+"""``repro.serve`` — the long-running analysis service.
+
+Every earlier entry point (``repro-analyze``, the corpus sweeps,
+:func:`repro.batch.analyze_many`) is a one-shot process whose caches
+die with it.  This package turns the analyzer into a daemon:
+
+- :mod:`repro.serve.protocol` — the wire format and the content
+  address of a request (analysis is a pure function of source, root,
+  mode, settings, and code revision);
+- :mod:`repro.serve.store` — the content-addressed persistent result
+  store (sqlite): identical requests, including across restarts and
+  from the offline CLI, are answered without re-solving;
+- :mod:`repro.serve.pool` — process-pool solving with worker-side
+  deadlines and graceful degradation to in-process serial;
+- :mod:`repro.serve.app` — the asyncio JSON-over-HTTP server
+  (``repro-serve``) with bounded admission (429), per-request
+  timeouts (504), and drain-then-exit on SIGTERM;
+- :mod:`repro.serve.client` — the thin client behind
+  ``repro-analyze --remote``.
+
+See ``docs/SERVING.md`` for the protocol, the store layout, and the
+operational knobs.
+"""
+
+from repro.serve.protocol import (
+    PAYLOAD_SCHEMA,
+    WIRE_SETTINGS,
+    AnalyzeRequest,
+    code_revision,
+    normalize_source,
+    payload_from_result,
+    payload_text,
+    request_key,
+    settings_fingerprint,
+)
+from repro.serve.store import SCHEMA_VERSION, ResultStore
+from repro.serve.pool import SolverPool, deadline, solve_wire
+from repro.serve.app import ServeApp, serve_forever
+from repro.serve.client import ServeAnswer, ServeClient
+
+__all__ = [
+    "PAYLOAD_SCHEMA",
+    "WIRE_SETTINGS",
+    "AnalyzeRequest",
+    "code_revision",
+    "normalize_source",
+    "payload_from_result",
+    "payload_text",
+    "request_key",
+    "settings_fingerprint",
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "SolverPool",
+    "deadline",
+    "solve_wire",
+    "ServeApp",
+    "serve_forever",
+    "ServeAnswer",
+    "ServeClient",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — start the analysis daemon."""
+
+import sys
+
+from repro.serve.app import main
+
+if __name__ == "__main__":
+    sys.exit(main())

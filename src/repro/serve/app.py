@@ -1,0 +1,482 @@
+"""The asyncio JSON-over-HTTP analysis daemon (``repro-serve``).
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, stdlib only — composing the three layers the rest of the
+repo already provides: the analysis pipeline (via
+:mod:`repro.serve.pool` workers), the content-addressed store
+(:mod:`repro.serve.store`), and the observability stack
+(:mod:`repro.obs`).
+
+Endpoints::
+
+    POST /v1/analyze     {"source": ..., "root": "perm/2",
+                          "mode": "bf", "settings": {...}}
+    GET  /v1/health      liveness + store/pool/queue stats
+    GET  /v1/metrics     repro.obs.METRICS snapshot (all workers merged)
+    GET  /v1/trace/{id}  repro.trace/1 JSONL telemetry of request {id}
+
+``POST /v1/analyze`` answers 200 with the canonical verdict payload.
+Response headers carry what the body must not (the body is
+byte-identical for identical requests): ``X-Repro-Key`` is the
+request's content address — also its trace id — and ``X-Repro-Cache``
+says ``hit`` or ``miss``.
+
+Admission control: at most ``max_inflight`` requests may be queued or
+solving; request ``max_inflight + 1`` is refused immediately with 429
+(back off and retry beats silently queueing into a timeout).  Each
+admitted solve races a wall-clock deadline: the worker-side SIGALRM
+cancels the computation, an ``asyncio.wait_for`` backstop fails the
+request with 504 even if the worker cannot be interrupted.  SIGTERM
+and SIGINT drain: the listener closes, new requests get 503, in-flight
+requests finish and are persisted, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import io
+import json
+import signal
+import sys
+from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
+
+from repro.errors import AnalysisTimeout, ReproError
+from repro.obs import METRICS, Span, Tracer
+from repro.obs.sinks import JsonlSink, write_trace
+from repro.serve.protocol import (
+    AnalyzeRequest,
+    code_revision,
+    payload_text,
+)
+from repro.serve.pool import SolverPool
+from repro.serve.store import ResultStore
+
+__all__ = ["ServeApp", "main", "serve_forever"]
+
+_LATENCY_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                    5000)
+_MAX_BODY = 8 << 20
+_MAX_HEADER_LINES = 64
+
+
+def _json_bytes(data):
+    return (json.dumps(data, sort_keys=True) + "\n").encode()
+
+
+class _HttpError(Exception):
+    """Internal: unwinds request handling into an error response."""
+
+    def __init__(self, status, message):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ServeApp:
+    """The daemon: routing, admission control, drain-then-exit."""
+
+    def __init__(self, store, pool, *, max_inflight=None,
+                 request_timeout=None):
+        self.store = store
+        self.pool = pool
+        self.max_inflight = (
+            max_inflight if max_inflight is not None
+            else max(4, 4 * pool.jobs)
+        )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.request_timeout = request_timeout
+        self.draining = False
+        self.inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = None
+        self.port = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, host="127.0.0.1", port=0):
+        """Bind and start accepting; ``self.port`` gets the real port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def shutdown(self):
+        """Drain then stop: close the listener, flag 503 for any
+        connection already accepted, wait for in-flight requests, and
+        close the store (so every finished verdict is persisted)."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        self.pool.shutdown()
+        self.store.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            try:
+                method, path = await self._read_request_line(reader)
+                headers = await self._read_headers(reader)
+                body = await self._read_body(reader, headers)
+            except _HttpError as error:
+                await self._respond(
+                    writer, error.status,
+                    _json_bytes({"error": error.message}),
+                )
+                return
+            await self._dispatch(writer, method, path, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request_line(self, reader):
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "malformed request line")
+        return parts[0].upper(), parts[1]
+
+    async def _read_headers(self, reader):
+        headers = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raise _HttpError(400, "too many header lines")
+
+    async def _read_body(self, reader, headers):
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise _HttpError(
+                413, "body exceeds %d bytes" % _MAX_BODY
+            )
+        if length <= 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _respond(self, writer, status, body, content_type=None,
+                       extra_headers=()):
+        reason = _REASONS.get(status, "Unknown")
+        head = [
+            "HTTP/1.1 %d %s" % (status, reason),
+            "Content-Type: %s" % (content_type or "application/json"),
+            "Content-Length: %d" % len(body),
+            "Connection: close",
+        ]
+        head.extend("%s: %s" % pair for pair in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+        writer.write(body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _dispatch(self, writer, method, path, body):
+        if METRICS.enabled:
+            METRICS.counter("serve.requests").inc()
+        if self.draining:
+            await self._respond(
+                writer, 503, _json_bytes({"error": "draining"})
+            )
+            return
+        if path == "/v1/health":
+            await self._require(writer, method, "GET") and \
+                await self._health(writer)
+        elif path == "/v1/metrics":
+            await self._require(writer, method, "GET") and \
+                await self._metrics(writer)
+        elif path.startswith("/v1/trace/"):
+            await self._require(writer, method, "GET") and \
+                await self._trace(writer, path[len("/v1/trace/"):])
+        elif path == "/v1/analyze":
+            await self._require(writer, method, "POST") and \
+                await self._analyze(writer, body)
+        else:
+            await self._respond(
+                writer, 404,
+                _json_bytes({"error": "no route %s" % path}),
+            )
+
+    async def _require(self, writer, method, expected):
+        if method == expected:
+            return True
+        await self._respond(
+            writer, 405,
+            _json_bytes({"error": "%s required" % expected}),
+        )
+        return False
+
+    # -- endpoints -------------------------------------------------------------
+
+    async def _health(self, writer):
+        await self._respond(writer, 200, _json_bytes({
+            "status": "ok",
+            "revision": code_revision(),
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "pool": {"jobs": self.pool.jobs, "lane": self.pool.lane},
+            "store": self.store.stats(),
+        }))
+
+    async def _metrics(self, writer):
+        await self._respond(
+            writer, 200, _json_bytes(METRICS.snapshot())
+        )
+
+    async def _trace(self, writer, key):
+        jsonl = self.store.get_trace(key)
+        if jsonl is None:
+            await self._respond(
+                writer, 404,
+                _json_bytes({"error": "no trace for %r" % key}),
+            )
+            return
+        await self._respond(
+            writer, 200, jsonl.encode(),
+            content_type="application/x-ndjson",
+        )
+
+    async def _analyze(self, writer, body):
+        started = perf_counter()
+        try:
+            wire = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            await self._respond(
+                writer, 400,
+                _json_bytes({"error": "body is not valid JSON"}),
+            )
+            return
+        try:
+            request = AnalyzeRequest.from_wire(wire)
+            request.parse()
+        except ReproError as error:
+            await self._respond(
+                writer, 400, _json_bytes({"error": str(error)})
+            )
+            return
+        key = request.key()
+        cached = self.store.get(key)
+        if cached is not None:
+            await self._finish(writer, started, 200, cached.encode(),
+                               key, "hit")
+            return
+        if self.inflight >= self.max_inflight:
+            if METRICS.enabled:
+                METRICS.counter("serve.rejected").inc()
+            await self._respond(
+                writer, 429, _json_bytes({
+                    "error": "at capacity (%d in flight); retry later"
+                             % self.inflight,
+                }),
+                extra_headers=(("Retry-After", "1"),),
+            )
+            return
+        self.inflight += 1
+        self._idle.clear()
+        try:
+            status, payload_bytes = await self._solve(request, key)
+        finally:
+            self.inflight -= 1
+            if self.inflight == 0:
+                self._idle.set()
+        await self._finish(writer, started, status, payload_bytes,
+                           key, "miss")
+
+    async def _finish(self, writer, started, status, body, key, cache):
+        if METRICS.enabled:
+            METRICS.histogram(
+                "serve.request_ms", _LATENCY_BUCKETS
+            ).observe((perf_counter() - started) * 1000)
+        await self._respond(
+            writer, status, body,
+            extra_headers=(
+                ("X-Repro-Key", key), ("X-Repro-Cache", cache),
+            ),
+        )
+
+    async def _solve(self, request, key):
+        """Run one admitted solve; returns (status, body bytes)."""
+        tracer = Tracer()
+        try:
+            with tracer.span("serve.request", key=key,
+                             root="%s/%d" % request.root,
+                             mode=request.mode,
+                             lane=self.pool.lane) as serve_span:
+                future = self.pool.submit(request, self.request_timeout)
+                try:
+                    payload, roots, delta = await asyncio.wait_for(
+                        asyncio.wrap_future(future),
+                        timeout=self.request_timeout,
+                    )
+                except BrokenProcessPool:
+                    # The pool died under us (worker OOM-killed, fork
+                    # failure); degrade to the in-process serial lane
+                    # and retry this request there.
+                    serve_span.set(lane="serial", degraded=True)
+                    payload, roots, delta = await asyncio.wait_for(
+                        asyncio.wrap_future(
+                            self.pool.submit_serial(
+                                request, self.request_timeout
+                            )
+                        ),
+                        timeout=self.request_timeout,
+                    )
+                serve_span.set(status=payload.get("status", ""))
+        except (asyncio.TimeoutError, AnalysisTimeout):
+            if METRICS.enabled:
+                METRICS.counter("serve.timeouts").inc()
+            return 504, _json_bytes({
+                "error": "analysis exceeded the %.3gs request deadline"
+                         % self.request_timeout,
+            })
+        except ReproError as error:
+            if METRICS.enabled:
+                METRICS.counter("serve.errors").inc()
+            return 400, _json_bytes({"error": str(error)})
+        except Exception as error:  # noqa: BLE001 — the 500 boundary
+            if METRICS.enabled:
+                METRICS.counter("serve.errors").inc()
+            return 500, _json_bytes({
+                "error": "%s: %s" % (type(error).__name__, error),
+            })
+        if METRICS.enabled:
+            METRICS.merge_snapshot(delta)
+        text = payload_text(payload)
+        self.store.put(key, text,
+                       root="%s/%d" % request.root, mode=request.mode)
+        self._store_trace(key, tracer.roots, list(roots), delta)
+        return 200, text.encode()
+
+    def _store_trace(self, key, serve_roots, worker_roots, delta):
+        """Persist the request's repro.trace/1 stream.
+
+        Server-side spans and worker spans stay separate roots: their
+        ``perf_counter`` clocks belong to different processes, so
+        nesting one under the other would fabricate offsets.
+        """
+        buffer = io.StringIO()
+        write_trace(
+            JsonlSink(buffer),
+            list(serve_roots) + [
+                root if isinstance(root, Span) else Span.from_dict(root)
+                for root in worker_roots
+            ],
+            delta,
+            meta={"request": key},
+        )
+        self.store.put_trace(key, buffer.getvalue())
+
+
+async def serve_forever(app, host, port, ready=None):
+    """Start *app*, install drain-on-SIGTERM/SIGINT, run until done."""
+    await app.start(host, port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loop; Ctrl-C still raises
+    print("repro-serve listening on %s:%d (jobs=%d, queue=%d, "
+          "store=%s)" % (host, app.port, app.pool.jobs,
+                         app.max_inflight, app.store.path),
+          file=sys.stderr, flush=True)
+    if ready is not None:
+        ready(app)
+    await stop.wait()
+    print("repro-serve draining %d in-flight request(s)..."
+          % app.inflight, file=sys.stderr, flush=True)
+    await app.shutdown()
+    print("repro-serve drained; bye.", file=sys.stderr, flush=True)
+
+
+def build_serve_parser():
+    """Construct the argparse parser for ``repro-serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-running termination-analysis daemon: "
+        "JSON over HTTP, content-addressed persistent result store, "
+        "process-pool solving.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8421,
+        help="TCP port (default 8421; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="persistent result store directory, shared with "
+        "'repro-analyze --cache-dir' (default ./.repro-cache)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="solver worker processes (default 1: in-process serial)",
+    )
+    parser.add_argument(
+        "--queue", type=int, default=None, metavar="N",
+        help="max in-flight requests before 429 "
+        "(default: max(4, 4*jobs))",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock deadline (default: none)",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=4096, metavar="N",
+        help="verdict store bound before LRU eviction (default 4096)",
+    )
+    return parser
+
+
+def main(argv=None):
+    """``repro-serve`` entry point; returns the process exit code."""
+    args = build_serve_parser().parse_args(argv)
+    try:
+        store = ResultStore(args.cache_dir,
+                            max_entries=args.max_entries)
+    except OSError as error:
+        print("cannot open store: %s" % error, file=sys.stderr)
+        return 2
+    app = ServeApp(
+        store,
+        SolverPool(jobs=args.jobs),
+        max_inflight=args.queue,
+        request_timeout=args.timeout,
+    )
+    try:
+        asyncio.run(serve_forever(app, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

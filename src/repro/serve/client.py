@@ -1,0 +1,154 @@
+"""Thin synchronous client for a ``repro-serve`` daemon.
+
+Stdlib :mod:`http.client`, one connection per call — the client is
+deliberately boring so every existing driver (``repro-analyze
+--remote``, batch sweeps, the examples) can target a daemon without
+growing an async stack.  Transport failures and non-success responses
+surface as :class:`~repro.errors.ServeError` with the server's own
+message, so callers handle exactly one exception type.
+
+>>> client = ServeClient("http://127.0.0.1:8421")   # doctest: +SKIP
+>>> answer = client.analyze(source, ("perm", 2), "bf")  # doctest: +SKIP
+>>> answer.payload["status"], answer.cached             # doctest: +SKIP
+('PROVED', True)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from urllib.parse import urlsplit
+
+from repro.errors import ServeError
+from repro.serve.protocol import AnalyzeRequest
+
+__all__ = ["ServeAnswer", "ServeClient"]
+
+
+@dataclass(frozen=True)
+class ServeAnswer:
+    """One verdict from the daemon.
+
+    ``text`` is the raw response body — byte-identical across
+    repeated identical requests; ``payload`` its decoded form;
+    ``key`` the content address (also the trace id); ``cached``
+    whether the persistent store answered.
+    """
+
+    payload: dict
+    text: str
+    key: str
+    cached: bool
+
+    @property
+    def status(self):
+        """The verdict: ``PROVED`` or ``UNKNOWN``."""
+        return self.payload.get("status", "")
+
+    @property
+    def proved(self):
+        """True when the verdict is PROVED."""
+        return self.status == "PROVED"
+
+
+class ServeClient:
+    """Talks to one daemon at *base_url* (e.g. ``http://host:8421``)."""
+
+    def __init__(self, base_url, timeout=120.0):
+        parts = urlsplit(
+            base_url if "//" in base_url else "http://" + base_url
+        )
+        if parts.scheme not in ("", "http"):
+            raise ServeError(
+                "only http:// daemons are supported, got %r" % base_url
+            )
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8421
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, method, path, body=None):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            try:
+                connection.request(
+                    method, path,
+                    body=body,
+                    headers={"Content-Type": "application/json"}
+                    if body else {},
+                )
+                response = connection.getresponse()
+                text = response.read().decode("utf-8")
+            except (OSError, http.client.HTTPException) as error:
+                raise ServeError(
+                    "cannot reach repro-serve at %s:%d: %s"
+                    % (self.host, self.port, error)
+                ) from None
+            return response.status, dict(response.getheaders()), text
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _error_message(text):
+        try:
+            return json.loads(text).get("error", text.strip())
+        except ValueError:
+            return text.strip() or "(empty response)"
+
+    # -- endpoints -------------------------------------------------------------
+
+    def analyze(self, source, root, mode, settings=None):
+        """POST one analysis request; returns a :class:`ServeAnswer`."""
+        request = AnalyzeRequest(
+            source=source, root=tuple(root), mode=str(mode),
+            **({"settings": settings} if settings is not None else {}),
+        )
+        status, headers, text = self._request(
+            "POST", "/v1/analyze",
+            json.dumps(request.to_wire()).encode(),
+        )
+        if status != 200:
+            raise ServeError(
+                "analyze failed (%d): %s"
+                % (status, self._error_message(text)),
+                status=status,
+            )
+        return ServeAnswer(
+            payload=json.loads(text),
+            text=text,
+            key=headers.get("X-Repro-Key", ""),
+            cached=headers.get("X-Repro-Cache") == "hit",
+        )
+
+    def health(self):
+        """GET /v1/health as a dict."""
+        return self._get_json("/v1/health")
+
+    def metrics(self):
+        """GET /v1/metrics as a registry snapshot dict."""
+        return self._get_json("/v1/metrics")
+
+    def trace(self, key):
+        """GET /v1/trace/{key}: the raw repro.trace/1 JSONL text."""
+        status, _, text = self._request("GET", "/v1/trace/%s" % key)
+        if status != 200:
+            raise ServeError(
+                "no trace for %r (%d): %s"
+                % (key, status, self._error_message(text)),
+                status=status,
+            )
+        return text
+
+    def _get_json(self, path):
+        status, _, text = self._request("GET", path)
+        if status != 200:
+            raise ServeError(
+                "%s failed (%d): %s"
+                % (path, status, self._error_message(text)),
+                status=status,
+            )
+        return json.loads(text)

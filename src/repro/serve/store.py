@@ -1,0 +1,234 @@
+"""Content-addressed persistent result store (sqlite, stdlib-only).
+
+One directory holds one store: ``<dir>/results.sqlite`` with three
+tables —
+
+``meta(key TEXT PRIMARY KEY, value TEXT)``
+    ``schema_version`` (layout version; a mismatch on open drops and
+    recreates every table — stored verdicts are pure derived data, so
+    "wipe on schema change" is always correct) and ``clock`` (a
+    monotonic access counter; wall clocks can tie or step backwards,
+    a counter cannot, so eviction order is deterministic).
+
+``results(key TEXT PRIMARY KEY, payload TEXT, root TEXT, mode TEXT,
+created REAL, last_access INTEGER, hits INTEGER)``
+    ``key`` is the :func:`~repro.serve.protocol.request_key` content
+    address; ``payload`` the canonical verdict text, returned byte
+    for byte on every hit.
+
+``traces(key TEXT PRIMARY KEY, jsonl TEXT, last_access INTEGER)``
+    The ``repro.trace/1`` JSONL telemetry of the request that
+    *solved* ``key`` (hits don't re-trace), served by
+    ``GET /v1/trace/{id}``.
+
+Writes run inside sqlite transactions under WAL journaling, so a
+process killed mid-``put`` leaves either the complete entry or none —
+never a half-written payload.  Eviction is LRU by the access counter,
+bounded by ``max_entries``/``max_traces``; both the daemon
+(``repro-serve --cache-dir``) and the offline CLI
+(``repro-analyze --cache-dir``) point at the same directory and see
+each other's entries.
+
+The store is safe for multi-threaded use within one process (a lock
+serializes statements); cross-process sharing goes through sqlite's
+own file locking.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+
+from repro.obs import METRICS
+
+__all__ = ["SCHEMA_VERSION", "ResultStore"]
+
+#: Bump when the table layout changes; existing stores self-wipe.
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """A content-addressed verdict + trace store rooted at *root*."""
+
+    def __init__(self, root, max_entries=4096, max_traces=512):
+        if max_entries < 1 or max_traces < 1:
+            raise ValueError("store bounds must be >= 1")
+        self.root = os.path.abspath(root)
+        self.max_entries = max_entries
+        self.max_traces = max_traces
+        os.makedirs(self.root, exist_ok=True)
+        self.path = os.path.join(self.root, "results.sqlite")
+        self._lock = threading.Lock()
+        self._db = sqlite3.connect(self.path, check_same_thread=False)
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._ensure_schema()
+
+    # -- schema ----------------------------------------------------------------
+
+    def _ensure_schema(self):
+        with self._lock, self._db:
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS meta "
+                "(key TEXT PRIMARY KEY, value TEXT)"
+            )
+            row = self._db.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is not None and int(row[0]) != SCHEMA_VERSION:
+                self._db.execute("DROP TABLE IF EXISTS results")
+                self._db.execute("DROP TABLE IF EXISTS traces")
+                self._db.execute("DELETE FROM meta")
+                row = None
+            if row is None:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO meta VALUES "
+                    "('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+                self._db.execute(
+                    "INSERT OR IGNORE INTO meta VALUES ('clock', '0')"
+                )
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "key TEXT PRIMARY KEY, payload TEXT NOT NULL, "
+                "root TEXT, mode TEXT, created REAL, "
+                "last_access INTEGER, hits INTEGER)"
+            )
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS traces ("
+                "key TEXT PRIMARY KEY, jsonl TEXT NOT NULL, "
+                "last_access INTEGER)"
+            )
+
+    def _tick(self):
+        """Advance and return the monotonic access counter.
+
+        Callers hold ``self._lock`` and an open transaction.
+        """
+        clock = int(self._db.execute(
+            "SELECT value FROM meta WHERE key='clock'"
+        ).fetchone()[0]) + 1
+        self._db.execute(
+            "UPDATE meta SET value=? WHERE key='clock'", (str(clock),)
+        )
+        return clock
+
+    # -- verdicts --------------------------------------------------------------
+
+    def get(self, key):
+        """The stored payload text for *key*, or None (recording the
+        hit/miss in the ``serve.store.*`` metrics)."""
+        with self._lock, self._db:
+            row = self._db.execute(
+                "SELECT payload FROM results WHERE key=?", (key,)
+            ).fetchone()
+            if row is not None:
+                self._db.execute(
+                    "UPDATE results SET last_access=?, hits=hits+1 "
+                    "WHERE key=?",
+                    (self._tick(), key),
+                )
+        if METRICS.enabled:
+            kind = "hits" if row is not None else "misses"
+            METRICS.counter("serve.store.%s" % kind).inc()
+        return row[0] if row is not None else None
+
+    def put(self, key, payload, root="", mode=""):
+        """Store the payload text under *key*; evict past the bound.
+
+        A concurrent writer may have stored the same key first — the
+        content address guarantees its payload is identical, so the
+        first write wins and later ones are no-ops.
+        """
+        with self._lock, self._db:
+            self._db.execute(
+                "INSERT OR IGNORE INTO results VALUES (?,?,?,?,?,?,0)",
+                (key, payload, root, mode, time.time(), self._tick()),
+            )
+            self._evict("results", self.max_entries)
+        if METRICS.enabled:
+            METRICS.counter("serve.store.puts").inc()
+
+    # -- traces ----------------------------------------------------------------
+
+    def put_trace(self, key, jsonl):
+        """Store the request's JSONL telemetry under its key."""
+        with self._lock, self._db:
+            self._db.execute(
+                "INSERT OR REPLACE INTO traces VALUES (?,?,?)",
+                (key, jsonl, self._tick()),
+            )
+            self._evict("traces", self.max_traces)
+
+    def get_trace(self, key):
+        """The stored JSONL telemetry for *key*, or None."""
+        with self._lock, self._db:
+            row = self._db.execute(
+                "SELECT jsonl FROM traces WHERE key=?", (key,)
+            ).fetchone()
+            if row is not None:
+                self._db.execute(
+                    "UPDATE traces SET last_access=? WHERE key=?",
+                    (self._tick(), key),
+                )
+        return row[0] if row is not None else None
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _evict(self, table, bound):
+        """Drop least-recently-accessed rows beyond *bound* (caller
+        holds the lock and an open transaction)."""
+        over = self._db.execute(
+            "SELECT COUNT(*) FROM %s" % table
+        ).fetchone()[0] - bound
+        if over > 0:
+            self._db.execute(
+                "DELETE FROM %s WHERE key IN (SELECT key FROM %s "
+                "ORDER BY last_access ASC LIMIT ?)" % (table, table),
+                (over,),
+            )
+            if METRICS.enabled:
+                METRICS.counter("serve.store.evictions").inc(over)
+
+    def stats(self):
+        """Entry counts and hit totals (the health endpoint's view)."""
+        with self._lock:
+            entries, hits = self._db.execute(
+                "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM results"
+            ).fetchone()
+            traces = self._db.execute(
+                "SELECT COUNT(*) FROM traces"
+            ).fetchone()[0]
+        return {
+            "path": self.path,
+            "schema_version": SCHEMA_VERSION,
+            "entries": entries,
+            "traces": traces,
+            "hits": hits,
+            "max_entries": self.max_entries,
+            "max_traces": self.max_traces,
+        }
+
+    def keys(self):
+        """Every stored verdict key (insertion order not guaranteed)."""
+        with self._lock:
+            return [
+                row[0] for row in
+                self._db.execute("SELECT key FROM results")
+            ]
+
+    def close(self):
+        """Flush and close the database handle (idempotent)."""
+        with self._lock:
+            if self._db is not None:
+                self._db.close()
+                self._db = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -194,11 +194,108 @@ class TestBatchTelemetry:
         )
 
     def test_merged_trace_has_span_roots(self):
+        # Two *distinct* items: identical ones are deduplicated and
+        # solved once (see TestDedup).
         report = analyze_many(
-            [(APPEND, ("append", 3), "bbf")] * 2, jobs=2
+            [(APPEND, ("append", 3), "bbf"),
+             (APPEND, ("append", 3), "ffb")],
+            jobs=2,
         )
         names = [root.name for root in report.trace.roots]
         assert names.count("analyze") == 2
+
+
+class TestValidation:
+    """Bad roots fail loudly instead of proving vacuously."""
+
+    def test_undefined_root_is_a_clear_error(self):
+        report = analyze_many([(APPEND, ("appendd", 3), "bbf")])
+        result = report.results[0]
+        assert result.status == "ERROR"
+        assert "appendd/3" in result.error
+        assert "append/3" in result.error  # names what IS defined
+
+    def test_wrong_arity_names_the_right_one(self):
+        report = analyze_many([(APPEND, ("append", 2), "bb")])
+        result = report.results[0]
+        assert result.status == "ERROR"
+        assert "arity" in result.error
+
+    def test_bad_mode_length(self):
+        report = analyze_many([(APPEND, ("append", 3), "bb")])
+        assert report.results[0].status == "ERROR"
+        assert "3 positions" not in report.results[0].error  # msg says 2
+        assert "needs 3" in report.results[0].error
+
+    def test_bad_mode_characters(self):
+        report = analyze_many([(APPEND, ("append", 3), "bxf")])
+        assert report.results[0].status == "ERROR"
+        assert "'b'" in report.results[0].error
+
+    def test_parallel_path_reports_the_same_error(self):
+        report = analyze_many(
+            [(APPEND, ("appendd", 3), "bbf"),
+             (APPEND, ("append", 3), "bbf")],
+            jobs=2,
+        )
+        assert report.results[0].status == "ERROR"
+        assert report.results[1].status == "PROVED"
+
+
+class TestDedup:
+    """Identical (source, root, mode) items are solved exactly once."""
+
+    def test_every_requested_item_is_reported(self):
+        report = analyze_many(
+            [
+                BatchItem("first", APPEND, ("append", 3), "bbf"),
+                BatchItem("again", APPEND, ("append", 3), "bbf"),
+                BatchItem("loop", LOOP, ("p", 1), "b"),
+                BatchItem("thrice", APPEND, ("append", 3), "bbf"),
+            ]
+        )
+        assert [r.name for r in report.results] == [
+            "first", "again", "loop", "thrice",
+        ]
+        assert [r.status for r in report.results] == [
+            "PROVED", "PROVED", "UNKNOWN", "PROVED",
+        ]
+
+    def test_duplicates_analyzed_once(self):
+        report = analyze_many(
+            [(APPEND, ("append", 3), "bbf")] * 5
+        )
+        # One adorn pass per *unique* analysis, not per requested item.
+        assert report.trace.stage("adorn").calls == 1
+        assert len(report.results) == 5
+
+    def test_distinct_modes_not_conflated(self):
+        report = analyze_many(
+            [
+                (APPEND, ("append", 3), "bbf"),
+                (APPEND, ("append", 3), "ffb"),
+            ]
+        )
+        assert report.trace.stage("adorn").calls == 2
+
+    def test_parallel_dedup_matches_serial(self):
+        items = [(APPEND, ("append", 3), "bbf")] * 4 + [
+            (LOOP, ("p", 1), "b"),
+            (APPEND, ("append", 3), "ffb"),
+        ]
+        serial = analyze_many(items, jobs=1)
+        parallel = analyze_many(items, jobs=2)
+        assert [r.status for r in serial.results] == [
+            r.status for r in parallel.results
+        ]
+
+    def test_single_unique_item_skips_the_pool(self):
+        # 5 requested, 1 unique: takes the in-process path even with
+        # jobs=2 (nothing to parallelize).
+        report = analyze_many(
+            [(APPEND, ("append", 3), "bbf")] * 5, jobs=2
+        )
+        assert all(r.status == "PROVED" for r in report.results)
 
 
 class TestChunking:

@@ -133,6 +133,18 @@ class TestMain:
         stages = [entry["stage"] for entry in data["trace"]]
         assert "solve" in stages
 
+    def test_bad_root_is_a_clear_error(self, perm_file, capsys):
+        code = main([perm_file, "--root", "prem/2", "--mode", "bf"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "prem/2" in err
+        assert "perm/2" in err  # names what IS defined
+
+    def test_bad_mode_is_a_clear_error(self, perm_file, capsys):
+        code = main([perm_file, "--root", "perm/2", "--mode", "bff"])
+        assert code == 2
+        assert "needs 2" in capsys.readouterr().err
+
     def test_norm_flag(self, tmp_path):
         path = tmp_path / "msort.pl"
         from repro.corpus.registry import get_program
@@ -147,3 +159,87 @@ class TestMain:
         )
         assert structural == 1
         assert lengths == 0
+
+
+class TestTimeout:
+    """--timeout: exit 3 on expiry, no effect when analysis is fast."""
+
+    def test_generous_budget_is_a_no_op(self, perm_file, capsys):
+        code = main(
+            [perm_file, "--root", "perm/2", "--mode", "bf",
+             "--timeout", "60"]
+        )
+        assert code == 0
+        assert "PROVED" in capsys.readouterr().out
+
+    def test_expired_budget_exits_three(self, perm_file, capsys,
+                                        monkeypatch):
+        import repro.cli as cli_module
+
+        def stall(*args, **kwargs):
+            import time
+
+            time.sleep(10)
+
+        monkeypatch.setattr(cli_module, "analyze_program", stall)
+        code = main(
+            [perm_file, "--root", "perm/2", "--mode", "bf",
+             "--timeout", "0.2"]
+        )
+        assert code == 3
+        assert "timed out" in capsys.readouterr().err
+
+    def test_timeout_is_distinct_from_unknown(self, loop_file):
+        # UNKNOWN stays 1 even under a (generous) deadline.
+        code = main(
+            [loop_file, "--root", "p/1", "--mode", "b",
+             "--timeout", "60"]
+        )
+        assert code == 1
+
+
+class TestCacheDir:
+    """--cache-dir: the CLI face of the persistent result store."""
+
+    def test_cold_then_warm(self, perm_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = [perm_file, "--root", "perm/2", "--mode", "bf",
+                "--cache-dir", cache]
+        assert main(base) == 0
+        cold = capsys.readouterr()
+        assert "served from store" not in cold.err
+        assert main(base) == 0
+        warm = capsys.readouterr()
+        assert "served from store" in warm.err
+        assert "PROVED" in warm.out
+
+    def test_json_byte_identical_cold_and_warm(self, perm_file,
+                                               tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = [perm_file, "--root", "perm/2", "--mode", "bf",
+                "--json", "--cache-dir", cache]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert main(base) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_unknown_exit_code_preserved_on_hit(self, loop_file,
+                                                tmp_path):
+        cache = str(tmp_path / "cache")
+        base = [loop_file, "--root", "p/1", "--mode", "b",
+                "--cache-dir", cache]
+        assert main(base) == 1  # cold miss solves
+        assert main(base) == 1  # warm hit keeps the verdict's code
+
+    def test_verify_skips_the_store_read(self, perm_file, tmp_path,
+                                         capsys):
+        cache = str(tmp_path / "cache")
+        base = [perm_file, "--root", "perm/2", "--mode", "bf",
+                "--cache-dir", cache]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "served from store" not in captured.err
+        assert "verified" in captured.out

@@ -1,0 +1,326 @@
+"""Integration tests: the daemon end to end on an ephemeral port.
+
+Each test boots a real :class:`~repro.serve.app.ServeApp` on a
+background-thread event loop and talks to it through the thin
+:class:`~repro.serve.client.ServeClient` — the same wire path
+``repro-analyze --remote`` takes.
+"""
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.batch import as_batch_item
+from repro.core import TerminationAnalyzer
+from repro.corpus import all_programs
+from repro.errors import ServeError
+from repro.lp import parse_program
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient
+from repro.serve.pool import SolverPool, solve_wire
+from repro.serve.protocol import payload_from_result, payload_text
+from repro.serve.store import ResultStore
+
+APPEND = (
+    "append([], Y, Y).\n"
+    "append([X|Xs], Y, [X|Zs]) :- append(Xs, Y, Zs).\n"
+)
+
+
+class SlowPool(SolverPool):
+    """A serial pool that stalls before solving — makes 'in flight'
+    a state the tests can hold open long enough to observe."""
+
+    def __init__(self, delay=0.4):
+        super().__init__(jobs=1)
+        self.delay = delay
+
+    def submit(self, wire, timeout=None):
+        def stalled():
+            time.sleep(self.delay)
+            return solve_wire(wire, timeout)
+
+        return self._serial.submit(stalled)
+
+
+@contextmanager
+def running_app(store, pool, **app_kwargs):
+    """Boot *store*/*pool* behind a live listener; yield (app, client)."""
+    app = ServeApp(store, pool, **app_kwargs)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(app.start(port=0), loop).result(10)
+    try:
+        yield app, ServeClient("127.0.0.1:%d" % app.port)
+    finally:
+        asyncio.run_coroutine_threadsafe(app.shutdown(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+@contextmanager
+def serve(tmp_path, *, jobs=1, pool=None, **app_kwargs):
+    with ResultStore(str(tmp_path / "cache")) as store:
+        with running_app(
+            store, pool or SolverPool(jobs=jobs), **app_kwargs
+        ) as (app, client):
+            yield app, client
+
+
+def local_payload_text(source, root, mode):
+    """What serial in-process analysis would answer, canonically."""
+    result = TerminationAnalyzer(parse_program(source)).analyze(
+        root, mode
+    )
+    return payload_text(payload_from_result(result))
+
+
+class TestEndpoints:
+    def test_health(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["store"]["entries"] == 0
+            assert health["pool"]["lane"] == "serial"
+
+    def test_analyze_matches_serial_byte_for_byte(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            answer = client.analyze(APPEND, ("append", 3), "bbf")
+            assert answer.proved
+            assert not answer.cached
+            assert answer.text == local_payload_text(
+                APPEND, ("append", 3), "bbf"
+            )
+
+    def test_metrics_snapshot_shape(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            client.analyze(APPEND, ("append", 3), "bbf")
+            snapshot = client.metrics()
+            assert "counters" in snapshot
+
+    def test_trace_for_solved_request(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            answer = client.analyze(APPEND, ("append", 3), "bbf")
+            lines = client.trace(answer.key).splitlines()
+            meta = json.loads(lines[0])
+            assert meta["event"] == "meta"
+            assert meta["schema"] == "repro.trace/1"
+            assert meta["request"] == answer.key
+            names = {
+                json.loads(line)["name"] for line in lines[1:]
+                if json.loads(line)["event"] == "span"
+            }
+            assert "serve.request" in names
+
+    def test_trace_missing_is_404(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.trace("no-such-key")
+            assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            with pytest.raises(ServeError) as excinfo:
+                client._get_json("/v2/nothing")
+            assert excinfo.value.status == 404
+
+    def test_bad_json_is_400(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            status, _, _ = client._request(
+                "POST", "/v1/analyze", b"not json"
+            )
+            assert status == 400
+
+    def test_undefined_root_is_400_with_message(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.analyze(APPEND, ("appendd", 3), "bbf")
+            assert excinfo.value.status == 400
+            assert "appendd/3" in str(excinfo.value)
+
+
+class TestStoreIntegration:
+    def test_second_identical_request_is_a_warm_hit(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            cold = client.analyze(APPEND, ("append", 3), "bbf")
+            warm = client.analyze(APPEND, ("append", 3), "bbf")
+            assert not cold.cached and warm.cached
+            assert warm.text == cold.text  # byte-identical
+            assert warm.key == cold.key
+
+    def test_hit_survives_a_server_restart(self, tmp_path):
+        store_dir = tmp_path / "cache"
+        with ResultStore(str(store_dir)) as store:
+            with running_app(store, SolverPool()) as (app, client):
+                cold = client.analyze(APPEND, ("append", 3), "bbf")
+        with ResultStore(str(store_dir)) as store:
+            with running_app(store, SolverPool()) as (app, client):
+                warm = client.analyze(APPEND, ("append", 3), "bbf")
+        assert warm.cached
+        assert warm.text == cold.text
+
+    def test_layout_variant_hits_the_same_entry(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            cold = client.analyze(APPEND, ("append", 3), "bbf")
+            warm = client.analyze(
+                APPEND.replace("\n", "\r\n") + "\n\n",
+                ("append", 3), "bbf",
+            )
+            assert warm.cached
+            assert warm.key == cold.key
+
+    def test_distinct_modes_are_distinct_entries(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            first = client.analyze(APPEND, ("append", 3), "bbf")
+            second = client.analyze(APPEND, ("append", 3), "ffb")
+            assert not second.cached
+            assert second.key != first.key
+
+
+class TestConcurrency:
+    def test_concurrent_mixed_mode_requests(self, tmp_path):
+        """The acceptance shape: a corpus slice, mixed modes, many
+        client threads, every verdict byte-identical to serial."""
+        items = [as_batch_item(e) for e in all_programs()[:6]]
+        expected = {
+            item.name: local_payload_text(
+                item.source, item.root, item.mode
+            )
+            for item in items
+        }
+        with serve(tmp_path, jobs=2, max_inflight=32) as (app, client):
+            with concurrent.futures.ThreadPoolExecutor(6) as executor:
+                answers = list(executor.map(
+                    lambda item: (item.name, client.analyze(
+                        item.source, item.root, item.mode
+                    )),
+                    items,
+                ))
+            for name, answer in answers:
+                assert answer.text == expected[name], name
+            # And a full warm replay hits the store for every item.
+            for item in items:
+                assert client.analyze(
+                    item.source, item.root, item.mode
+                ).cached
+
+    def test_backpressure_429_at_capacity(self, tmp_path):
+        with serve(
+            tmp_path, pool=SlowPool(delay=0.8), max_inflight=1
+        ) as (app, client):
+            with concurrent.futures.ThreadPoolExecutor(1) as executor:
+                first = executor.submit(
+                    client.analyze, APPEND, ("append", 3), "bbf"
+                )
+                time.sleep(0.2)  # let the first request occupy the slot
+                with pytest.raises(ServeError) as excinfo:
+                    client.analyze(APPEND, ("append", 3), "ffb")
+                assert excinfo.value.status == 429
+                assert first.result(30).proved
+            # Capacity frees once the first solve lands.
+            assert client.analyze(APPEND, ("append", 3), "ffb").proved
+
+    def test_request_timeout_is_504(self, tmp_path):
+        with serve(
+            tmp_path, pool=SlowPool(delay=5.0), request_timeout=0.3
+        ) as (app, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.analyze(APPEND, ("append", 3), "bbf")
+            assert excinfo.value.status == 504
+
+    def test_graceful_drain_finishes_inflight_work(self, tmp_path):
+        """Shutdown mid-solve: the in-flight request completes and its
+        verdict is persisted; the listener refuses new work."""
+        store_dir = tmp_path / "cache"
+        store = ResultStore(str(store_dir))
+        app = ServeApp(store, SlowPool(delay=0.6))
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                app.start(port=0), loop
+            ).result(10)
+            client = ServeClient("127.0.0.1:%d" % app.port)
+            with concurrent.futures.ThreadPoolExecutor(1) as executor:
+                inflight = executor.submit(
+                    client.analyze, APPEND, ("append", 3), "bbf"
+                )
+                time.sleep(0.2)  # request admitted, solve under way
+                drain = asyncio.run_coroutine_threadsafe(
+                    app.shutdown(), loop
+                )
+                answer = inflight.result(30)
+                drain.result(30)
+            assert answer.proved and not answer.cached
+            # No half-written entries: the drained verdict is readable
+            # from a fresh handle on the same store.
+            with ResultStore(str(store_dir)) as reopened:
+                assert reopened.get(answer.key) == answer.text
+            with pytest.raises(ServeError):
+                client.health()  # listener is gone
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+            loop.close()
+
+
+class TestRemoteCli:
+    def test_remote_flag_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.corpus import get_program
+
+        entry = get_program("perm")
+        source_file = tmp_path / "perm.pl"
+        source_file.write_text(entry.source)
+        with serve(tmp_path) as (app, client):
+            url = "http://127.0.0.1:%d" % app.port
+            code = main([
+                str(source_file), "--root", "perm/2", "--mode", "bf",
+                "--remote", url,
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "PROVED" in out
+
+    def test_remote_json_matches_local_cache_dir_json(
+        self, tmp_path, capsys
+    ):
+        """The end-to-end byte-identity promise: --remote --json and
+        --cache-dir --json print the same canonical payload."""
+        from repro.cli import main
+
+        source_file = tmp_path / "append.pl"
+        source_file.write_text(APPEND)
+        base = [
+            str(source_file), "--root", "append/3", "--mode", "bbf",
+            "--json",
+        ]
+        with serve(tmp_path) as (app, client):
+            url = "http://127.0.0.1:%d" % app.port
+            assert main(base + ["--remote", url]) == 0
+            remote_out = capsys.readouterr().out
+        assert main(
+            base + ["--cache-dir", str(tmp_path / "cli-cache")]
+        ) == 0
+        local_out = capsys.readouterr().out
+        assert remote_out == local_out
+
+    def test_remote_rejects_local_only_flags(self, tmp_path):
+        from repro.cli import main
+
+        source_file = tmp_path / "append.pl"
+        source_file.write_text(APPEND)
+        with pytest.raises(SystemExit):
+            main([
+                str(source_file), "--root", "append/3",
+                "--mode", "bbf", "--remote", "http://127.0.0.1:1",
+                "--jobs", "2",
+            ])

@@ -1,0 +1,135 @@
+"""Unit tests for the content-addressed persistent result store."""
+
+import sqlite3
+
+import pytest
+
+from repro.serve import store as store_module
+from repro.serve.store import ResultStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "cache")) as s:
+        yield s
+
+
+class TestRoundTrip:
+    def test_get_miss_then_hit(self, store):
+        assert store.get("k1") is None
+        store.put("k1", '{"status":"PROVED"}', root="p/1", mode="b")
+        assert store.get("k1") == '{"status":"PROVED"}'
+
+    def test_payload_returned_byte_identically(self, store):
+        text = '{"a":1,"b":[2,3],"c":"\\u00e9"}'
+        store.put("k", text)
+        assert store.get("k") == text
+        assert store.get("k") == text  # repeated hits don't mutate
+
+    def test_first_write_wins(self, store):
+        # Content addressing guarantees identical payloads per key, so
+        # a racing second put is a no-op, never an overwrite.
+        store.put("k", "first")
+        store.put("k", "second")
+        assert store.get("k") == "first"
+
+    def test_stats(self, store):
+        store.put("k1", "x")
+        store.put("k2", "y")
+        store.get("k1")
+        store.get("missing")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["hits"] == 1
+        assert stats["schema_version"] == store_module.SCHEMA_VERSION
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with ResultStore(root) as store:
+            store.put("k1", "payload-1")
+        with ResultStore(root) as store:
+            assert store.get("k1") == "payload-1"
+
+    def test_traces_survive_reopen(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with ResultStore(root) as store:
+            store.put_trace("k1", '{"event":"meta"}\n')
+        with ResultStore(root) as store:
+            assert store.get_trace("k1") == '{"event":"meta"}\n'
+
+    def test_two_handles_share_one_store(self, tmp_path):
+        # The offline CLI and a daemon may point at the same directory.
+        root = str(tmp_path / "cache")
+        with ResultStore(root) as writer, ResultStore(root) as reader:
+            writer.put("k", "shared")
+            assert reader.get("k") == "shared"
+
+
+class TestEviction:
+    def test_lru_eviction_over_bound(self, tmp_path):
+        with ResultStore(str(tmp_path), max_entries=3) as store:
+            for i in range(3):
+                store.put("k%d" % i, "v%d" % i)
+            store.get("k0")          # k0 becomes most recent
+            store.put("k3", "v3")    # evicts k1, the least recent
+            assert store.get("k1") is None
+            assert store.get("k0") == "v0"
+            assert store.get("k2") == "v2"
+            assert store.get("k3") == "v3"
+
+    def test_entry_count_never_exceeds_bound(self, tmp_path):
+        with ResultStore(str(tmp_path), max_entries=4) as store:
+            for i in range(20):
+                store.put("k%d" % i, "v")
+            assert store.stats()["entries"] == 4
+
+    def test_trace_eviction_independent(self, tmp_path):
+        with ResultStore(str(tmp_path), max_entries=2,
+                         max_traces=2) as store:
+            for i in range(4):
+                store.put_trace("t%d" % i, "line\n")
+            assert store.stats()["traces"] == 2
+            assert store.get_trace("t3") == "line\n"
+            assert store.get_trace("t0") is None
+
+    def test_bounds_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(str(tmp_path), max_entries=0)
+
+
+class TestSchemaVersioning:
+    def test_version_mismatch_wipes_the_store(self, tmp_path,
+                                              monkeypatch):
+        root = str(tmp_path / "cache")
+        with ResultStore(root) as store:
+            store.put("k1", "old-layout")
+            store.put_trace("k1", "old-trace\n")
+        monkeypatch.setattr(
+            store_module, "SCHEMA_VERSION",
+            store_module.SCHEMA_VERSION + 1,
+        )
+        with ResultStore(root) as store:
+            assert store.get("k1") is None
+            assert store.get_trace("k1") is None
+            assert store.stats()["schema_version"] == (
+                store_module.SCHEMA_VERSION
+            )
+
+    def test_same_version_preserves_the_store(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with ResultStore(root) as store:
+            store.put("k1", "kept")
+        with ResultStore(root) as store:
+            assert store.get("k1") == "kept"
+
+    def test_version_recorded_in_meta_table(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ResultStore(root).close()
+        db = sqlite3.connect(str(tmp_path / "cache" / "results.sqlite"))
+        row = db.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        db.close()
+        assert int(row[0]) == store_module.SCHEMA_VERSION
