@@ -1,0 +1,126 @@
+"""Experiment F10: one-clause-edit re-analysis under the SCC cache.
+
+The incremental claim to regenerate: after analyzing a multi-SCC
+corpus program once with a certificate cache attached, appending one
+clause to the *root* predicate and re-analyzing reuses every untouched
+SCC's certificate and re-proves only the edited SCC — making the
+edit-re-analysis at least 5x faster (median across programs) than
+re-analyzing the edited program cold.
+
+The three corpus programs with the deepest SCC structure carry the
+measurement (gcd_euclid: 5 recursive SCCs; perm and quicksort: 3
+each).  Results fold into the repo-level ``BENCH_F10.json`` so the
+headline numbers are quotable without re-running pytest.
+"""
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.core import MemoryCertificateCache, TerminationAnalyzer, clear_caches
+from repro.corpus import get_program
+from repro.lp import parse_program
+
+from benchmarks.conftest import emit
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADLINE_PATH = os.path.join(REPO_ROOT, "BENCH_F10.json")
+
+#: (corpus name, one-clause edit appended to the root predicate).
+PROGRAMS = [
+    ("gcd_euclid", "gcd(zzz, zzz, zzz).\n"),
+    ("perm", "perm(zzz, zzz).\n"),
+    ("quicksort", "qsort(zzz, zzz).\n"),
+]
+
+REPEATS = 3
+
+
+def _analyze(source, root, mode, cache):
+    clear_caches()
+    program = parse_program(source)
+    return TerminationAnalyzer(
+        program, certificate_cache=cache
+    ).analyze(root, mode)
+
+
+def _best_of(fn, repeats=REPEATS):
+    """(best wall seconds, last result) over *repeats* runs."""
+    best, result = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_one_clause_edit_reanalysis_speedup():
+    rows = []
+    records = []
+    for name, edit in PROGRAMS:
+        entry = get_program(name)
+        edited = entry.source + "\n" + edit
+
+        # Cold: the edited program, empty cache every run.
+        cold_s, cold = _best_of(
+            lambda: _analyze(edited, entry.root, entry.mode,
+                             MemoryCertificateCache())
+        )
+
+        # Warm: certificates earned on the *unedited* program.
+        seed = MemoryCertificateCache()
+        _analyze(entry.source, entry.root, entry.mode, seed)
+        warm_s, warm = _best_of(
+            lambda: _analyze(edited, entry.root, entry.mode,
+                             MemoryCertificateCache(
+                                 entries=dict(seed.entries)))
+        )
+
+        assert warm.status == cold.status
+        assert warm.proved
+        # The edit touched the root SCC only: everything else reuses.
+        assert warm.sccs_reproved == 1
+        assert warm.sccs_reused == cold.sccs_reproved - 1
+        assert warm.sccs_rejected == 0
+
+        speedup = cold_s / warm_s
+        rows.append("%-12s cold %7.1f ms   warm %7.1f ms   %5.1fx   "
+                    "reused %d / re-proved %d"
+                    % (name, cold_s * 1e3, warm_s * 1e3, speedup,
+                       warm.sccs_reused, warm.sccs_reproved))
+        records.append({
+            "program": name,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup": speedup,
+            "sccs_reused": warm.sccs_reused,
+            "sccs_reproved": warm.sccs_reproved,
+        })
+
+    median_speedup = statistics.median(r["speedup"] for r in records)
+    text = "\n".join(rows + [
+        "",
+        "median one-clause-edit speedup: %.1fx (threshold 5x)"
+        % median_speedup,
+    ])
+    result = {
+        "programs": records,
+        "median_speedup": median_speedup,
+        "repeats": REPEATS,
+    }
+    emit("F10_incremental", text, result)
+
+    payload = {}
+    if os.path.exists(HEADLINE_PATH):
+        with open(HEADLINE_PATH) as handle:
+            payload = json.load(handle)
+    payload["one_clause_edit"] = result
+    with open(HEADLINE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert median_speedup >= 5.0

@@ -169,18 +169,27 @@ def test_parallel_sweep(benchmark):
     assert parallel_verdicts == serial_verdicts
 
     cores = os.cpu_count() or 1
+    # On a single-core box the ratio measures process-pool overhead,
+    # not scaling; flag it so BENCH_F8.json consumers never quote a
+    # ~1.0x single-core figure as a parallel-speedup result.
+    scaling_measured = cores >= 2
     speedup = serial.wall_time / parallel.wall_time
     lines = [
         "corpus sweep over %d programs (%d cores available)"
         % (len(entries), cores),
         "serial (jobs=1):   %6.2fs" % serial.wall_time,
         "parallel (jobs=4): %6.2fs" % parallel.wall_time,
-        "speedup:           %5.2fx" % speedup,
+        "speedup:           %5.2fx%s"
+        % (speedup,
+           "" if scaling_measured
+           else "  (single core: overhead check only, NOT a scaling "
+                "measurement)"),
         "verdicts identical: True",
     ]
     record = {
         "programs": len(entries),
         "cores": cores,
+        "scaling_measured": scaling_measured,
         "serial_seconds": serial.wall_time,
         "parallel_seconds": parallel.wall_time,
         "speedup": speedup,

@@ -38,6 +38,7 @@ from repro.lp import parse_program
 from repro.core import (
     AnalysisTrace,
     AnalyzerSettings,
+    MemoryCertificateCache,
     TerminationAnalyzer,
     validate_query,
 )
@@ -81,6 +82,8 @@ class BatchResult:
     reasons: tuple = ()
     baselines: dict = field(default_factory=dict)
     error: str = ""
+    sccs_reused: int = 0
+    sccs_reproved: int = 0
 
     @property
     def proved(self):
@@ -101,6 +104,9 @@ class BatchReport:
     every analysis merged (the same fold the serial sweeps print);
     ``metrics`` is the merged metric snapshot of every worker — the
     corpus-level counter totals, regardless of how the work was split.
+    ``certificates`` holds the per-SCC cache entries the batch ended
+    with (empty unless ``incremental=True``) — feed them back in as
+    the next batch's ``certificates`` to carry reuse across sweeps.
     """
 
     results: list
@@ -108,6 +114,7 @@ class BatchReport:
     jobs: int
     wall_time: float = 0.0
     metrics: dict = field(default_factory=dict)
+    certificates: dict = field(default_factory=dict)
 
     @property
     def all_proved(self):
@@ -145,7 +152,8 @@ def as_batch_item(entry, index=0):
     )
 
 
-def analyze_many(entries, jobs=1, settings=None, baselines=()):
+def analyze_many(entries, jobs=1, settings=None, baselines=(),
+                 incremental=False, certificates=None):
     """Analyze every entry; return a :class:`BatchReport`.
 
     *entries* — any mix of :class:`BatchItem`, corpus entries, or
@@ -154,6 +162,14 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
     :class:`~repro.baselines.BaselineMethod` objects to run alongside
     the paper's analyzer (their statuses land in
     :attr:`BatchResult.baselines`).
+
+    *incremental* gives every worker a per-SCC certificate cache,
+    seeded from *certificates* (a prior report's
+    :attr:`BatchReport.certificates`); each worker's final entries are
+    merged into the returned report.  Workers do not share entries
+    mid-batch (caches are process-local), so the win inside one cold
+    batch is modest — the payoff is warm re-runs seeded from a prior
+    report.  Verdicts are byte-identical either way.
 
     Entries sharing a (source, root, mode) triple are solved once;
     the report still lists one :class:`BatchResult` per requested
@@ -193,26 +209,32 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
             first_of[key] = index
             indexed.append((index, item))
 
+    seed = dict(certificates) if certificates else {}
+    merged_certificates = {}
     snapshots = []
     workers = {}
     if jobs == 1 or len(indexed) <= 1:
-        chunk_results, trace, snapshot = _run_chunk(
-            indexed, settings, baseline_names
+        chunk_results, trace, snapshot, cert_entries = _run_chunk(
+            indexed, settings, baseline_names, incremental, seed
         )
         for index, result in chunk_results:
             result.worker = workers.setdefault(result.worker, len(workers))
             results[index] = result
         merged.merge(trace)
         snapshots.append(snapshot)
+        merged_certificates.update(cert_entries)
     else:
         chunks = _make_chunks(indexed, jobs)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_run_chunk, chunk, settings, baseline_names)
+                pool.submit(_run_chunk, chunk, settings, baseline_names,
+                            incremental, seed)
                 for chunk in chunks
             ]
             for future in futures:
-                chunk_results, trace, snapshot = future.result()
+                chunk_results, trace, snapshot, cert_entries = (
+                    future.result()
+                )
                 for index, result in chunk_results:
                     result.worker = workers.setdefault(
                         result.worker, len(workers)
@@ -220,6 +242,9 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
                     results[index] = result
                 merged.merge(trace)
                 snapshots.append(snapshot)
+                # Fingerprints are content addresses: two workers can
+                # only disagree on a key by storing identical payloads.
+                merged_certificates.update(cert_entries)
         # Worker registries died with their processes; fold their
         # counts into this process so --metrics sees the whole batch.
         # (jobs=1 ran in-process — its counts are already here.)
@@ -237,6 +262,7 @@ def analyze_many(entries, jobs=1, settings=None, baselines=()):
         jobs=jobs,
         wall_time=perf_counter() - started,
         metrics=merge_snapshots(*snapshots),
+        certificates=merged_certificates,
     )
 
 
@@ -265,18 +291,25 @@ def _make_chunks(indexed, jobs):
     return chunks
 
 
-def _run_chunk(indexed, settings, baseline_names):
+def _run_chunk(indexed, settings, baseline_names, incremental=False,
+               certificates=None):
     """Worker body: analyze one chunk, reusing the analyzer across
     consecutive items with identical source.
 
-    Returns ``(results, trace, metrics_delta)`` — the delta is what
-    *this chunk* added to the process-wide metrics registry, so the
-    parent can merge worker registries it otherwise cannot see.
+    Returns ``(results, trace, metrics_delta, cert_entries)`` — the
+    delta is what *this chunk* added to the process-wide metrics
+    registry, so the parent can merge worker registries it otherwise
+    cannot see; ``cert_entries`` are the worker-local certificate
+    cache's final entries (empty unless *incremental*).
     ``BatchResult.worker`` leaves here as the worker's pid; the parent
     remaps pids to compact ids.
     """
     worker = os.getpid()
     methods = _resolve_baselines(baseline_names)
+    cache = (
+        MemoryCertificateCache(entries=dict(certificates or {}))
+        if incremental else None
+    )
     before = METRICS.snapshot()
     trace = AnalysisTrace()
     out = []
@@ -288,7 +321,9 @@ def _run_chunk(indexed, settings, baseline_names):
         try:
             if item.source != current_source:
                 program = parse_program(item.source)
-                analyzer = TerminationAnalyzer(program, settings=settings)
+                analyzer = TerminationAnalyzer(
+                    program, settings=settings, certificate_cache=cache
+                )
                 current_source = item.source
             validate_query(program, item.root, item.mode)
             result = analyzer.analyze(tuple(item.root), item.mode)
@@ -321,8 +356,11 @@ def _run_chunk(indexed, settings, baseline_names):
                 scc.reason for scc in result.failing_sccs()
             ),
             baselines=verdicts,
+            sccs_reused=result.sccs_reused,
+            sccs_reproved=result.sccs_reproved,
         )))
-    return out, trace, diff_snapshots(METRICS.snapshot(), before)
+    return (out, trace, diff_snapshots(METRICS.snapshot(), before),
+            dict(cache.entries) if cache is not None else {})
 
 
 def _resolve_baselines(names):

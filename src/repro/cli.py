@@ -15,8 +15,15 @@ Prints the verdict and the certificate (or failure reasons) and exits
 ``--cache-dir`` consults the same content-addressed persistent store
 ``repro-serve`` maintains, so repeated identical analyses — across
 processes and across CLI/daemon boundaries — are answered without
-re-solving.  ``--remote URL`` ships the request to a running daemon
-instead of solving in-process.
+re-solving.  The store also holds per-SCC certificates: when a whole
+request misses (the program changed), analysis still reuses the
+certificates of every SCC whose fingerprint is unchanged, re-proving
+only what the edit touched (``--no-incremental`` turns this off).
+``repro-analyze OLD --diff NEW --root r/n --mode m`` runs that edit
+workflow end to end and reports the reused/re-proved split.
+``--remote URL`` ships the request to a running daemon instead of
+solving locally; add ``--incremental`` to ask the daemon to reuse
+*its* stored certificates.
 """
 
 from __future__ import annotations
@@ -121,7 +128,25 @@ def build_parser():
     parser.add_argument(
         "--cache-dir", metavar="DIR",
         help="consult/update the content-addressed persistent result "
-        "store in DIR (the same store repro-serve uses)",
+        "store in DIR (the same store repro-serve uses); also reuses "
+        "stored per-SCC certificates when the whole request misses",
+    )
+    parser.add_argument(
+        "--diff", metavar="NEW",
+        help="incremental re-analysis: analyze the positional source "
+        "(OLD), then NEW reusing every certificate of an unchanged "
+        "SCC; report the reused/re-proved split and exit per NEW's "
+        "verdict (needs --root/--mode)",
+    )
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="never reuse per-SCC certificates from --cache-dir "
+        "(every SCC is proved from scratch)",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="with --remote: ask the daemon to reuse per-SCC "
+        "certificates from its store when solving",
     )
     parser.add_argument(
         "--remote", metavar="URL",
@@ -183,6 +208,26 @@ def main(argv=None):
         use_interarg=not args.no_interarg,
         allow_negative_theta=args.negative_theta,
     )
+
+    if args.incremental and not args.remote:
+        raise SystemExit("--incremental is the --remote opt-in; local "
+                         "runs with --cache-dir reuse certificates by "
+                         "default (see --no-incremental)")
+
+    if args.diff:
+        if args.all_modes or args.remote or args.jobs > 1:
+            raise SystemExit(
+                "--diff excludes --all-modes/--remote/--jobs"
+            )
+        if args.transform:
+            raise SystemExit("--diff excludes --transform (it would "
+                             "rewrite only the OLD program)")
+        if args.no_incremental:
+            raise SystemExit("--diff *is* the incremental workflow; "
+                             "--no-incremental contradicts it")
+        if root is None:
+            raise SystemExit("--diff needs --root and --mode")
+        return _run_diff(program, root, settings, args)
 
     if args.remote:
         if args.verify:
@@ -291,6 +336,8 @@ def _run_single_stored(program, root, settings, args):
     )
     from repro.serve.store import ResultStore
 
+    from repro.serve.store import StoreCertificateCache
+
     request = AnalyzeRequest(
         source=str(program), root=tuple(root), mode=args.mode,
         settings=settings,
@@ -304,11 +351,16 @@ def _run_single_stored(program, root, settings, args):
             print("(served from store %s, key %s)"
                   % (args.cache_dir, key[:16]), file=sys.stderr)
             return 0 if payload.get("status") == "PROVED" else 1
+        certificate_cache = (
+            None if args.no_incremental else StoreCertificateCache(store)
+        )
         try:
             with deadline(args.timeout):
-                result = analyze_program(
-                    program, root, args.mode, settings=settings
+                analyzer = TerminationAnalyzer(
+                    program, settings=settings,
+                    certificate_cache=certificate_cache,
                 )
+                result = analyzer.analyze(tuple(root), args.mode)
         except AnalysisTimeout as error:
             print("analysis timed out: %s" % error, file=sys.stderr)
             return EXIT_TIMEOUT
@@ -317,6 +369,11 @@ def _run_single_stored(program, root, settings, args):
             return 2
         text = payload_text(payload_from_result(result))
         store.put(key, text, root="%s/%d" % tuple(root), mode=args.mode)
+        if certificate_cache is not None and result.sccs_reused:
+            print("(reused %d certified SCC(s) from the store, "
+                  "re-proved %d)"
+                  % (result.sccs_reused, result.sccs_reproved),
+                  file=sys.stderr)
     if args.json:
         print(text)
     else:
@@ -334,6 +391,88 @@ def _run_single_stored(program, root, settings, args):
             print("certificate independently verified (primal simplex).")
     _emit_telemetry(args, result.trace)
     return 0 if result.proved else 1
+
+
+def _run_diff(old_program, root, settings, args):
+    """The one-edit re-analysis workflow (``OLD --diff NEW``).
+
+    Analyzes OLD to populate a certificate cache — the persistent
+    store's when ``--cache-dir`` is given (so a warm store skips even
+    the OLD solve's SCCs), an in-memory one otherwise — then analyzes
+    NEW against it and reports how much of the proof survived the
+    edit.  The exit code follows NEW's verdict.
+    """
+    from repro.core import MemoryCertificateCache
+    from repro.serve.pool import deadline
+
+    try:
+        with open(args.diff) as handle:
+            new_text = handle.read()
+        new_program = parse_program(new_text)
+        validate_query(old_program, root, args.mode)
+        validate_query(new_program, root, args.mode)
+    except OSError as error:
+        print("cannot read %s: %s" % (args.diff, error), file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print("analysis error: %s" % error, file=sys.stderr)
+        return 2
+
+    store = None
+    if args.cache_dir:
+        from repro.serve.store import ResultStore, StoreCertificateCache
+
+        store = ResultStore(args.cache_dir)
+        cache = StoreCertificateCache(store)
+    else:
+        cache = MemoryCertificateCache()
+    label = "%s/%d mode %s" % (root[0], root[1], args.mode)
+    try:
+        with deadline(args.timeout):
+            old_result = TerminationAnalyzer(
+                old_program, settings=settings, certificate_cache=cache
+            ).analyze(tuple(root), args.mode)
+            new_result = TerminationAnalyzer(
+                new_program, settings=settings, certificate_cache=cache
+            ).analyze(tuple(root), args.mode)
+    except AnalysisTimeout as error:
+        print("analysis timed out: %s" % error, file=sys.stderr)
+        return EXIT_TIMEOUT
+    except ReproError as error:
+        print("analysis error: %s" % error, file=sys.stderr)
+        return 2
+    finally:
+        if store is not None:
+            store.close()
+
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps({
+            "old": {"status": old_result.status},
+            "new": {
+                "status": new_result.status,
+                "sccs_reused": new_result.sccs_reused,
+                "sccs_reproved": new_result.sccs_reproved,
+                "sccs_rejected": new_result.sccs_rejected,
+            },
+        }, sort_keys=True))
+    else:
+        print("%s: %s -> %s" % (label, old_result.status,
+                                new_result.status))
+        print("  certificates: %d reused, %d re-proved (%d rejected "
+              "by the verifier)"
+              % (new_result.sccs_reused, new_result.sccs_reproved,
+                 new_result.sccs_rejected))
+        if not new_result.proved and args.verbose:
+            for failing in new_result.failing_sccs():
+                print("  reason: %s" % failing.reason)
+    if args.verify and new_result.proved:
+        verify_proof(new_result.proof)
+        if not args.json:
+            print("certificate independently verified (primal simplex).")
+    _emit_telemetry(args, new_result.trace)
+    return 0 if new_result.proved else 1
 
 
 def _run_remote(program, root, settings, args):
@@ -362,7 +501,8 @@ def _run_remote(program, root, settings, args):
 def _remote_one(client, source, root, mode, settings, args, label=False):
     """One remote request; returns the exit code for its verdict."""
     try:
-        answer = client.analyze(source, root, mode, settings=settings)
+        answer = client.analyze(source, root, mode, settings=settings,
+                                incremental=args.incremental)
     except ServeError as error:
         print("remote error: %s" % error, file=sys.stderr)
         return EXIT_TIMEOUT if error.status == 504 else 2
@@ -378,6 +518,10 @@ def _remote_one(client, source, root, mode, settings, args, label=False):
               % (args.remote, answer.key[:16],
                  "hit" if answer.cached else "miss"),
               file=sys.stderr)
+        if args.incremental and not answer.cached:
+            print("(daemon reused %d certified SCC(s), re-proved %d)"
+                  % (answer.sccs_reused, answer.sccs_reproved),
+                  file=sys.stderr)
     if args.trace_out and not label:
         try:
             with open(args.trace_out, "w") as handle:
@@ -433,11 +577,16 @@ def _run_all_modes(program, settings, args):
     from repro.serve.pool import deadline
 
     store = None
+    certificate_cache = None
     if args.cache_dir:
-        from repro.serve.store import ResultStore
+        from repro.serve.store import ResultStore, StoreCertificateCache
 
         store = ResultStore(args.cache_dir)
-    analyzer = TerminationAnalyzer(program, settings=settings)
+        if not args.no_incremental:
+            certificate_cache = StoreCertificateCache(store)
+    analyzer = TerminationAnalyzer(
+        program, settings=settings, certificate_cache=certificate_cache
+    )
     merged = AnalysisTrace()
     worst = 0
     try:

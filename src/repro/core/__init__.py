@@ -47,7 +47,13 @@ from repro.core.pipeline import (
     clear_caches,
 )
 from repro.core.capture import CapturePlan, plan_capture_rules
+from repro.core.certcache import MemoryCertificateCache
 from repro.core.certificate import SCCProof, TerminationProof
+from repro.core.fingerprint import (
+    canonical_polyhedron,
+    env_scc_fingerprint,
+    scc_certificate_fingerprint,
+)
 from repro.core.verifier import VerificationError, verify_proof
 from repro.core.wellmoded import ModeReport, check_well_moded
 
@@ -67,6 +73,10 @@ __all__ = [
     "AnalysisTrace",
     "StageTrace",
     "clear_caches",
+    "MemoryCertificateCache",
+    "canonical_polyhedron",
+    "env_scc_fingerprint",
+    "scc_certificate_fingerprint",
     "SCCProof",
     "TerminationProof",
     "VerificationError",

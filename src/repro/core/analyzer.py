@@ -163,9 +163,11 @@ class TerminationAnalyzer:
     inferred inter-argument environment and the dualization cache.
     """
 
-    def __init__(self, program, settings=None):
+    def __init__(self, program, settings=None, certificate_cache=None):
         self.settings = settings or AnalyzerSettings()
-        self.pipeline = AnalysisPipeline(program, self.settings)
+        self.pipeline = AnalysisPipeline(
+            program, self.settings, certificate_cache=certificate_cache
+        )
         self.program = self.pipeline.program
         self._norm = self.pipeline.norm
 

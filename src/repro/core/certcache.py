@@ -1,0 +1,246 @@
+"""Pluggable per-SCC certificate caches and their serialization.
+
+A *certificate cache* is anything with ``get(key) -> str | None`` and
+``put(key, payload, kind="")`` — the pipeline and the inter-argument
+fixpoint consult it through exactly that duck-typed surface, so the
+in-memory cache here and the sqlite-backed
+:class:`repro.serve.store.StoreCertificateCache` are interchangeable.
+
+Two payload kinds share the cache, distinguished by their key prefix
+(see :mod:`repro.core.fingerprint`):
+
+- ``env`` entries (``env1:...`` keys) hold the solved argument-size
+  polyhedra of one dependency-graph SCC, keyed positionally by the
+  fingerprint's canonical member order;
+- ``cert`` entries (``scc1:...`` keys) hold one recursive adorned
+  SCC's termination outcome: the lambda/theta witness for ``PROVED``
+  (re-validated against freshly built rule systems before reuse — see
+  :meth:`repro.core.pipeline.AnalysisPipeline.analyze_scc`), or the
+  status + reason template for ``UNKNOWN``.
+
+All payloads are JSON with exact fractions rendered as strings;
+:func:`decode_scc_certificate` / :func:`decode_env_entries` return
+``None`` on any malformed payload, which callers treat as a miss (a
+corrupt cache can cost a re-solve, never a wrong answer).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+from repro.linalg.constraints import Constraint
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.polyhedron import Polyhedron
+from repro.sizes.size_equations import arg_dimension
+
+__all__ = [
+    "CERT_SCHEMA",
+    "MemoryCertificateCache",
+    "encode_env_entries",
+    "decode_env_entries",
+    "encode_scc_certificate",
+    "decode_scc_certificate",
+]
+
+#: Schema identifier stamped into every serialized certificate.
+CERT_SCHEMA = "repro.cert/1"
+
+
+class MemoryCertificateCache:
+    """Bounded in-process certificate cache (insertion-order FIFO).
+
+    ``entries`` exposes the raw ``{key: (payload, kind)}`` mapping so
+    batch workers can ship their locally-earned certificates back to
+    the parent (see :func:`repro.batch.analyze_many`).
+    """
+
+    def __init__(self, limit=4096, entries=None):
+        if limit < 1:
+            raise ValueError("cache limit must be >= 1")
+        self.limit = limit
+        self.entries = {}
+        if entries:
+            for key, value in entries.items():
+                payload, kind = value
+                self.put(key, payload, kind)
+
+    def get(self, key):
+        """The stored payload for *key*, or None."""
+        entry = self.entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def put(self, key, payload, kind=""):
+        """Store *payload* under *key*, evicting oldest past the bound."""
+        if key not in self.entries and len(self.entries) >= self.limit:
+            self.entries.pop(next(iter(self.entries)))
+        self.entries[key] = (payload, kind)
+
+    def __len__(self):
+        return len(self.entries)
+
+
+# -- exact-fraction helpers ----------------------------------------------------
+
+
+def _fraction_text(value):
+    value = Fraction(value)
+    if value.denominator == 1:
+        return str(value.numerator)
+    return "%d/%d" % (value.numerator, value.denominator)
+
+
+# -- environment payloads ------------------------------------------------------
+
+
+def encode_env_entries(env, order):
+    """Serialize the polyhedra of *order*'s indicators (the canonical
+    member order of one ``env1:`` fingerprint) from *env*."""
+    polyhedra = []
+    for indicator in order:
+        poly = env.get(indicator)
+        polyhedra.append([
+            [
+                constraint.relation,
+                [
+                    [var[1], _fraction_text(coeff)]
+                    for var, coeff in constraint.expr.items()
+                ],
+                _fraction_text(constraint.expr.const),
+            ]
+            for constraint in poly.system
+        ])
+    return json.dumps(
+        {"schema": CERT_SCHEMA, "kind": "env", "polyhedra": polyhedra},
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+def decode_env_entries(payload, order):
+    """Rebuild ``{indicator: Polyhedron}`` for *order*'s indicators
+    from a payload written by :func:`encode_env_entries`; None if the
+    payload is malformed or does not match the member count."""
+    try:
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            return None
+        if data.get("schema") != CERT_SCHEMA or data.get("kind") != "env":
+            return None
+        polyhedra = data["polyhedra"]
+        if len(polyhedra) != len(order):
+            return None
+        decoded = {}
+        for indicator, rows in zip(order, polyhedra):
+            _, arity = indicator
+            dims = tuple(arg_dimension(i) for i in range(1, arity + 1))
+            constraints = [
+                Constraint(
+                    LinearExpr(
+                        {
+                            arg_dimension(int(position)): Fraction(coeff)
+                            for position, coeff in coefficients
+                        },
+                        Fraction(const),
+                    ),
+                    relation,
+                )
+                for relation, coefficients, const in rows
+            ]
+            decoded[indicator] = Polyhedron(dims, constraints)
+        return decoded
+    except (ValueError, KeyError, TypeError, IndexError):
+        return None
+
+
+# -- termination-certificate payloads ------------------------------------------
+
+
+def _reason_template(reason, order):
+    """Replace member names in a reason string by ``{m<i>}`` placeholders
+    (longest names first, so ``p/2^bf`` never clobbers ``p/2^bff``)."""
+    by_length = sorted(
+        enumerate(order), key=lambda pair: -len(str(pair[1]))
+    )
+    for index, node in by_length:
+        reason = reason.replace(str(node), "{m%d}" % index)
+    return reason
+
+
+def _reason_render(template, order):
+    for index, node in enumerate(order):
+        template = template.replace("{m%d}" % index, str(node))
+    return template
+
+
+def encode_scc_certificate(result, order):
+    """Serialize one :class:`~repro.core.pipeline.SCCResult` relative
+    to the fingerprint's canonical member *order*."""
+    index_of = {node: i for i, node in enumerate(order)}
+    data = {
+        "schema": CERT_SCHEMA,
+        "kind": "cert",
+        "status": result.status,
+        "rows": result.constraint_rows,
+        "reason": _reason_template(result.reason, order),
+    }
+    if result.proof is not None:
+        data["lambdas"] = [
+            [
+                index_of[node],
+                {
+                    str(position): _fraction_text(weight)
+                    for position, weight in sorted(weights.items())
+                },
+            ]
+            for node, weights in sorted(
+                result.proof.lambdas.items(),
+                key=lambda kv: index_of[kv[0]],
+            )
+        ]
+        data["thetas"] = [
+            [index_of[i], index_of[j], _fraction_text(value)]
+            for (i, j), value in sorted(
+                result.proof.thetas.items(),
+                key=lambda kv: (index_of[kv[0][0]], index_of[kv[0][1]]),
+            )
+        ]
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def decode_scc_certificate(payload, order):
+    """Decode a certificate payload against the current program's
+    canonical member *order*.
+
+    Returns ``{"status", "reason", "rows", "lambdas", "thetas"}`` with
+    lambdas/thetas re-keyed to the current member nodes, or None when
+    the payload is malformed (treated as a miss by callers).
+    """
+    try:
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            return None
+        if data.get("schema") != CERT_SCHEMA or data.get("kind") != "cert":
+            return None
+        status = data["status"]
+        decoded = {
+            "status": status,
+            "reason": _reason_render(data.get("reason", ""), order),
+            "rows": int(data.get("rows", 0)),
+            "lambdas": None,
+            "thetas": None,
+        }
+        if "lambdas" in data:
+            decoded["lambdas"] = {
+                order[int(index)]: {
+                    int(position): Fraction(weight)
+                    for position, weight in weights.items()
+                }
+                for index, weights in data["lambdas"]
+            }
+            decoded["thetas"] = {
+                (order[int(i)], order[int(j)]): Fraction(value)
+                for i, j, value in data.get("thetas", ())
+            }
+        return decoded
+    except (ValueError, KeyError, TypeError, IndexError):
+        return None

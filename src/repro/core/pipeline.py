@@ -74,10 +74,14 @@ PROVED = "PROVED"
 UNKNOWN = "UNKNOWN"
 
 #: Stage names in execution order; ``adorn``/``interarg`` run once per
-#: analysis, the rest once per recursive SCC.
+#: analysis, the rest once per recursive SCC.  ``fingerprint`` only
+#: runs when a certificate cache is installed: it computes the SCC's
+#: content address, consults the cache, and re-validates any reused
+#: PROVED certificate.
 STAGES = (
     "adorn",
     "interarg",
+    "fingerprint",
     "rule_systems",
     "dualize",
     "theta",
@@ -294,6 +298,7 @@ class AnalysisTrace:
         for label, stage_name in (
             ("dualization cache", "dualize"),
             ("environment cache", "interarg"),
+            ("certificate cache", "fingerprint"),
         ):
             record = self.stage(stage_name)
             consulted = record.cache_hits + record.cache_misses
@@ -318,13 +323,24 @@ class AnalysisTrace:
 
 @dataclass
 class SCCResult:
-    """Outcome for one SCC: a proof, or a reason it was not found."""
+    """Outcome for one SCC: a proof, or a reason it was not found.
+
+    ``cache`` records how the incremental certificate cache treated
+    this SCC — ``""`` (no cache consulted / nonrecursive), ``"hit"``
+    (certificate reused), ``"miss"`` (proved fresh, published), or
+    ``"rejected"`` (a cached certificate failed re-verification and
+    the SCC was re-proved); ``fingerprint`` is the SCC's content
+    address when one was computed.  Neither field is exported — the
+    verdict payload stays a pure function of the request.
+    """
 
     members: tuple            # AdornedPredicate nodes
     status: str
     proof: object = None
     reason: str = ""
     constraint_rows: int = 0
+    cache: str = ""
+    fingerprint: str = ""
 
     @property
     def proved(self):
@@ -361,6 +377,25 @@ class AnalysisResult:
         )
         certificate.scc_proofs = [r.proof for r in self.scc_results]
         return certificate
+
+    @property
+    def sccs_reused(self):
+        """Recursive SCCs answered from the certificate cache."""
+        return sum(1 for r in self.scc_results if r.cache == "hit")
+
+    @property
+    def sccs_reproved(self):
+        """Recursive SCCs proved fresh despite a cache being consulted
+        (misses plus rejected certificates)."""
+        return sum(
+            1 for r in self.scc_results if r.cache in ("miss", "rejected")
+        )
+
+    @property
+    def sccs_rejected(self):
+        """Reused certificates that failed re-verification (a subset
+        of :attr:`sccs_reproved`)."""
+        return sum(1 for r in self.scc_results if r.cache == "rejected")
 
     def failing_sccs(self):
         """The SCC results that were not proved."""
@@ -572,14 +607,28 @@ class AnalysisPipeline:
     PROGRAM_STAGES = ("adorn", "interarg")
     SCC_STAGES = ("rule_systems", "dualize", "theta", "solve", "certify")
 
-    def __init__(self, program, settings):
+    def __init__(self, program, settings, certificate_cache=None):
         if not isinstance(program, Program):
             raise AnalysisError("expected a Program")
         self.program = program
         self.settings = settings
         self.norm, self.backend = resolve_settings(settings)
+        self.certificate_cache = certificate_cache
         self._environment = None
         self._environment_key = None
+
+    def _certificate_settings_key(self):
+        """Every knob the SCC stages read, as a hashable tuple — part
+        of the certificate fingerprint so a cache shared across
+        configurations can never alias their certificates."""
+        s = self.settings
+        return (
+            self.norm.name,
+            bool(s.allow_negative_theta),
+            bool(s.eliminate_w),
+            bool(s.prune_fm),
+            self.backend.name,
+        )
 
     # -- inter-argument constraints ------------------------------------------
 
@@ -621,6 +670,7 @@ class AnalysisPipeline:
                 self.program,
                 norm=self.norm,
                 settings=self.settings.inference,
+                cache=self.certificate_cache,
             )
         if len(_ENV_CACHE) >= _ENV_CACHE_LIMIT:
             _ENV_CACHE.pop(next(iter(_ENV_CACHE)))
@@ -705,20 +755,141 @@ class AnalysisPipeline:
     # -- SCC-level stages -----------------------------------------------------
 
     def analyze_scc(self, members, trace=None):
-        """Run the SCC stages (Sections 3–6) for one recursive SCC."""
+        """Run the SCC stages (Sections 3–6) for one recursive SCC.
+
+        With a certificate cache installed, a ``fingerprint`` stage
+        runs first: it computes the SCC's content address and tries to
+        reuse a cached certificate — re-validated through
+        :mod:`repro.core.verifier` when it claims PROVED.  A failed
+        validation counts as ``scc.cache.rejected`` and falls through
+        to a fresh solve; a fresh outcome is published back.
+        """
         if trace is None:
             trace = AnalysisTrace()
         state = _SCCState(members=tuple(members))
         with trace.span(
             "scc", members=", ".join(str(m) for m in state.members)
-        ):
+        ) as scc_span:
+            fingerprint = ""
+            order = None
+            cache_state = ""
+            if self.certificate_cache is not None:
+                with trace.timed("fingerprint") as event:
+                    reused, fingerprint, order = self._reuse_certificate(
+                        state.members, event
+                    )
+                if reused is not None:
+                    scc_span.set(cache="hit")
+                    return reused
+                cache_state = (
+                    "rejected" if event.cache_misses and event.cache_hits
+                    else "miss"
+                )
+                scc_span.set(cache=cache_state)
             for name in self.SCC_STAGES:
                 stage = getattr(self, "_stage_%s" % name)
                 with trace.timed(name) as event:
                     result = stage(state, event)
                 if result is not None:
-                    return result
+                    return self._publish_certificate(
+                        result, fingerprint, order, cache_state
+                    )
         raise AnalysisError("certify stage returned no result")  # unreachable
+
+    def _reuse_certificate(self, members, event):
+        """Try the certificate cache for one SCC.
+
+        Returns ``(result_or_None, fingerprint, canonical_order)``,
+        recording hit/miss/rejected on the stage *event* and the
+        ``scc.cache.*`` metrics.  A cached PROVED claim is accepted
+        only after :func:`~repro.core.verifier.verify_proof` re-checks
+        it against rule systems built freshly from the *current*
+        program, so a stale or colliding cache entry can cost time,
+        never soundness.
+        """
+        from repro.core.fingerprint import scc_certificate_fingerprint
+        from repro.core.certcache import decode_scc_certificate
+        from repro.core.verifier import VerificationError, verify_proof
+
+        environment, _ = self._obtain_environment()
+        fingerprint, order = scc_certificate_fingerprint(
+            self.program, members, environment,
+            self._certificate_settings_key(),
+        )
+        payload = self.certificate_cache.get(fingerprint)
+        decoded = (
+            decode_scc_certificate(payload, order)
+            if payload is not None else None
+        )
+        if decoded is None:
+            event.cache_misses += 1
+            if METRICS.enabled:
+                METRICS.counter("scc.cache.miss").inc()
+            return None, fingerprint, order
+        if decoded["status"] != PROVED:
+            event.cache_hits += 1
+            if METRICS.enabled:
+                METRICS.counter("scc.cache.hit").inc()
+            return SCCResult(
+                members=members,
+                status=decoded["status"],
+                reason=decoded["reason"],
+                constraint_rows=decoded["rows"],
+                cache="hit",
+                fingerprint=fingerprint,
+            ), fingerprint, order
+        systems = []
+        for node in members:
+            for clause in self.program.clauses_for(node.indicator):
+                systems.extend(
+                    build_rule_systems(
+                        clause, node, members, environment, self.norm
+                    )
+                )
+        proof = SCCProof(
+            members=members,
+            norm=self.norm.name,
+            lambdas=decoded["lambdas"] or {},
+            thetas=decoded["thetas"] or {},
+            rule_systems=systems,
+        )
+        try:
+            verify_proof(proof)
+        except VerificationError:
+            # The soundness guard: never trust an unverifiable reused
+            # certificate — count the rejection and re-prove fresh.
+            event.cache_hits += 1
+            event.cache_misses += 1
+            if METRICS.enabled:
+                METRICS.counter("scc.cache.rejected").inc()
+            return None, fingerprint, order
+        event.cache_hits += 1
+        if METRICS.enabled:
+            METRICS.counter("scc.cache.hit").inc()
+        return SCCResult(
+            members=members,
+            status=PROVED,
+            proof=proof,
+            constraint_rows=decoded["rows"],
+            cache="hit",
+            fingerprint=fingerprint,
+        ), fingerprint, order
+
+    def _publish_certificate(self, result, fingerprint, order, cache_state):
+        """Record a freshly-solved SCC outcome in the cache (when one
+        is installed) and stamp the result's cache provenance."""
+        if self.certificate_cache is None or not fingerprint:
+            return result
+        from repro.core.certcache import encode_scc_certificate
+
+        result.cache = cache_state or "miss"
+        result.fingerprint = fingerprint
+        self.certificate_cache.put(
+            fingerprint, encode_scc_certificate(result, order), kind="cert"
+        )
+        if METRICS.enabled:
+            METRICS.counter("scc.cache.puts").inc()
+        return result
 
     def _stage_rule_systems(self, state, event):
         """Assemble the Eq. 1 systems for every rule × recursive subgoal."""

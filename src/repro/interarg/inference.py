@@ -61,13 +61,22 @@ class InferenceSettings:
 
 
 def infer_interargument_constraints(
-    program, norm="structural", settings=None, external=None
+    program, norm="structural", settings=None, external=None, cache=None
 ):
     """Infer a :class:`SizeEnvironment` for every predicate of *program*.
 
     *external* may carry a pre-populated :class:`SizeEnvironment` whose
     entries are trusted verbatim (the paper's externally supplied
     constraints); predicates present there are not re-analyzed.
+
+    *cache* may carry a certificate cache (anything with ``get``/
+    ``put``, see :mod:`repro.core.certcache`): each dependency-graph
+    SCC's solved polyhedra are then stored under the SCC's canonical
+    fingerprint and recalled on later runs — the incremental-analysis
+    fast path, since this fixpoint dominates analysis wall time.  A
+    fingerprint only matches when the SCC's clauses *and* the contents
+    of every callee polyhedron it imports are unchanged, so a recalled
+    entry is exactly what re-solving would produce.
     """
     norm = get_norm(norm)
     settings = settings or InferenceSettings()
@@ -83,8 +92,66 @@ def infer_interargument_constraints(
         ]
         if not members:
             continue
+        if cache is not None and _recall_component(
+            program, members, env, norm, settings, cache
+        ):
+            continue
         _solve_component(program, graph, members, env, norm, settings)
+        if cache is not None:
+            _publish_component(program, members, env, norm, settings, cache)
     return env
+
+
+def _component_fingerprint(program, members, env, norm, settings):
+    from repro.core.fingerprint import env_scc_fingerprint
+
+    inference_key = (
+        settings.widen_after,
+        settings.max_iterations,
+        settings.narrowing_passes,
+        settings.max_rows,
+        settings.join_strategy,
+    )
+    return env_scc_fingerprint(
+        program, members, env, norm.name, inference_key
+    )
+
+
+def _recall_component(program, members, env, norm, settings, cache):
+    """Install one SCC's polyhedra from the cache; False on a miss."""
+    from repro.core.certcache import decode_env_entries
+    from repro.obs import METRICS
+
+    key, order = _component_fingerprint(
+        program, members, env, norm, settings
+    )
+    payload = cache.get(key)
+    decoded = (
+        decode_env_entries(payload, order) if payload is not None else None
+    )
+    if decoded is None:
+        if METRICS.enabled:
+            METRICS.counter("scc.cache.env.miss").inc()
+        return False
+    for indicator, polyhedron in decoded.items():
+        env.set(indicator, polyhedron)
+    if METRICS.enabled:
+        METRICS.counter("scc.cache.env.hit").inc()
+    return True
+
+
+def _publish_component(program, members, env, norm, settings, cache):
+    """Store one freshly-solved SCC's polyhedra under its fingerprint."""
+    from repro.core.certcache import encode_env_entries
+
+    # Re-fingerprint after the solve: the key reads only *callee*
+    # polyhedra (lower SCCs, solved before this one), so the key is
+    # identical to the pre-solve one — recomputing just avoids
+    # threading it through _solve_component.
+    key, order = _component_fingerprint(
+        program, members, env, norm, settings
+    )
+    cache.put(key, encode_env_entries(env, order), kind="env")
 
 
 def _solve_component(program, graph, members, env, norm, settings):

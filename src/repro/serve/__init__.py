@@ -33,7 +33,11 @@ from repro.serve.protocol import (
     request_key,
     settings_fingerprint,
 )
-from repro.serve.store import SCHEMA_VERSION, ResultStore
+from repro.serve.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreCertificateCache,
+)
 from repro.serve.pool import SolverPool, deadline, solve_wire
 from repro.serve.app import ServeApp, serve_forever
 from repro.serve.client import ServeAnswer, ServeClient
@@ -50,6 +54,7 @@ __all__ = [
     "settings_fingerprint",
     "SCHEMA_VERSION",
     "ResultStore",
+    "StoreCertificateCache",
     "SolverPool",
     "deadline",
     "solve_wire",

@@ -19,7 +19,11 @@ Endpoints::
 Response headers carry what the body must not (the body is
 byte-identical for identical requests): ``X-Repro-Key`` is the
 request's content address — also its trace id — and ``X-Repro-Cache``
-says ``hit`` or ``miss``.
+says ``hit`` or ``miss``.  A request carrying ``"incremental": true``
+additionally reuses per-SCC certificates from the store while
+solving; on a miss the response then adds ``X-Repro-SCC-Reused`` and
+``X-Repro-SCC-Reproved`` counts (the body stays byte-identical with
+or without the flag).
 
 Admission control: at most ``max_inflight`` requests may be queued or
 solving; request ``max_inflight + 1`` is refused immediately with 429
@@ -299,37 +303,49 @@ class ServeApp:
         self.inflight += 1
         self._idle.clear()
         try:
-            status, payload_bytes = await self._solve(request, key)
+            status, payload_bytes, scc = await self._solve(request, key)
         finally:
             self.inflight -= 1
             if self.inflight == 0:
                 self._idle.set()
         await self._finish(writer, started, status, payload_bytes,
-                           key, "miss")
+                           key, "miss", scc=scc)
 
-    async def _finish(self, writer, started, status, body, key, cache):
+    async def _finish(self, writer, started, status, body, key, cache,
+                      scc=None):
         if METRICS.enabled:
             METRICS.histogram(
                 "serve.request_ms", _LATENCY_BUCKETS
             ).observe((perf_counter() - started) * 1000)
+        headers = [("X-Repro-Key", key), ("X-Repro-Cache", cache)]
+        if scc is not None:
+            headers.append(
+                ("X-Repro-SCC-Reused", str(scc.get("reused", 0)))
+            )
+            headers.append(
+                ("X-Repro-SCC-Reproved", str(scc.get("reproved", 0)))
+            )
         await self._respond(
-            writer, status, body,
-            extra_headers=(
-                ("X-Repro-Key", key), ("X-Repro-Cache", cache),
-            ),
+            writer, status, body, extra_headers=tuple(headers)
         )
 
     async def _solve(self, request, key):
-        """Run one admitted solve; returns (status, body bytes)."""
+        """Run one admitted solve; returns (status, body bytes, scc
+        reuse stats or None)."""
         tracer = Tracer()
+        cache_dir = self.store.root if request.incremental else None
+        scc = None
         try:
             with tracer.span("serve.request", key=key,
                              root="%s/%d" % request.root,
                              mode=request.mode,
+                             incremental=request.incremental,
                              lane=self.pool.lane) as serve_span:
-                future = self.pool.submit(request, self.request_timeout)
+                future = self.pool.submit(
+                    request, self.request_timeout, cache_dir
+                )
                 try:
-                    payload, roots, delta = await asyncio.wait_for(
+                    payload, roots, delta, scc = await asyncio.wait_for(
                         asyncio.wrap_future(future),
                         timeout=self.request_timeout,
                     )
@@ -338,39 +354,42 @@ class ServeApp:
                     # failure); degrade to the in-process serial lane
                     # and retry this request there.
                     serve_span.set(lane="serial", degraded=True)
-                    payload, roots, delta = await asyncio.wait_for(
+                    payload, roots, delta, scc = await asyncio.wait_for(
                         asyncio.wrap_future(
                             self.pool.submit_serial(
-                                request, self.request_timeout
+                                request, self.request_timeout, cache_dir
                             )
                         ),
                         timeout=self.request_timeout,
                     )
                 serve_span.set(status=payload.get("status", ""))
+                if request.incremental:
+                    serve_span.set(sccs_reused=scc["reused"],
+                                   sccs_reproved=scc["reproved"])
         except (asyncio.TimeoutError, AnalysisTimeout):
             if METRICS.enabled:
                 METRICS.counter("serve.timeouts").inc()
             return 504, _json_bytes({
                 "error": "analysis exceeded the %.3gs request deadline"
                          % self.request_timeout,
-            })
+            }), None
         except ReproError as error:
             if METRICS.enabled:
                 METRICS.counter("serve.errors").inc()
-            return 400, _json_bytes({"error": str(error)})
+            return 400, _json_bytes({"error": str(error)}), None
         except Exception as error:  # noqa: BLE001 — the 500 boundary
             if METRICS.enabled:
                 METRICS.counter("serve.errors").inc()
             return 500, _json_bytes({
                 "error": "%s: %s" % (type(error).__name__, error),
-            })
+            }), None
         if METRICS.enabled:
             METRICS.merge_snapshot(delta)
         text = payload_text(payload)
         self.store.put(key, text,
                        root="%s/%d" % request.root, mode=request.mode)
         self._store_trace(key, tracer.roots, list(roots), delta)
-        return 200, text.encode()
+        return 200, text.encode(), (scc if request.incremental else None)
 
     def _store_trace(self, key, serve_roots, worker_roots, delta):
         """Persist the request's repro.trace/1 stream.

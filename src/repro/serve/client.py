@@ -33,13 +33,18 @@ class ServeAnswer:
     ``text`` is the raw response body — byte-identical across
     repeated identical requests; ``payload`` its decoded form;
     ``key`` the content address (also the trace id); ``cached``
-    whether the persistent store answered.
+    whether the persistent store answered.  ``sccs_reused`` /
+    ``sccs_reproved`` echo the server's per-SCC certificate reuse
+    headers (both 0 unless the request asked for ``incremental`` and
+    missed the verdict store).
     """
 
     payload: dict
     text: str
     key: str
     cached: bool
+    sccs_reused: int = 0
+    sccs_reproved: int = 0
 
     @property
     def status(self):
@@ -101,10 +106,12 @@ class ServeClient:
 
     # -- endpoints -------------------------------------------------------------
 
-    def analyze(self, source, root, mode, settings=None):
+    def analyze(self, source, root, mode, settings=None,
+                incremental=False):
         """POST one analysis request; returns a :class:`ServeAnswer`."""
         request = AnalyzeRequest(
             source=source, root=tuple(root), mode=str(mode),
+            incremental=bool(incremental),
             **({"settings": settings} if settings is not None else {}),
         )
         status, headers, text = self._request(
@@ -122,6 +129,8 @@ class ServeClient:
             text=text,
             key=headers.get("X-Repro-Key", ""),
             cached=headers.get("X-Repro-Cache") == "hit",
+            sccs_reused=int(headers.get("X-Repro-SCC-Reused", 0)),
+            sccs_reproved=int(headers.get("X-Repro-SCC-Reproved", 0)),
         )
 
     def health(self):

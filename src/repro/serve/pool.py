@@ -81,15 +81,23 @@ def deadline(seconds):
         signal.signal(signal.SIGALRM, previous_handler)
 
 
-def solve_wire(wire, timeout=None):
+def solve_wire(wire, timeout=None, cache_dir=None):
     """Worker body: solve one wire-format request.
 
-    Returns ``(payload, roots, metrics_delta)`` — the JSON-ready
-    verdict payload, the request's span forest, and what this solve
-    added to the worker's metrics registry (the server merges it, so
-    ``GET /v1/metrics`` aggregates over all workers).  Module-level
-    and argument-picklable on purpose: this is the function the
-    process pool imports by name.
+    Returns ``(payload, roots, metrics_delta, scc_stats)`` — the
+    JSON-ready verdict payload, the request's span forest, what this
+    solve added to the worker's metrics registry (the server merges
+    it, so ``GET /v1/metrics`` aggregates over all workers), and a
+    ``{"reused": n, "reproved": n}`` summary of per-SCC certificate
+    reuse (zeros when no cache is in play).  Module-level and
+    argument-picklable on purpose: this is the function the process
+    pool imports by name.
+
+    *cache_dir*, when set (the request asked for ``incremental`` and
+    the server has a store), opens the shared persistent store in the
+    worker and threads its certificate table through the analyzer.
+    The payload is byte-identical either way; only wall time and the
+    stats differ.
     """
     request = (
         wire if isinstance(wire, AnalyzeRequest)
@@ -97,13 +105,29 @@ def solve_wire(wire, timeout=None):
     )
     program = request.parse()
     before = METRICS.snapshot()
-    with deadline(timeout):
-        analyzer = TerminationAnalyzer(program, settings=request.settings)
-        result = analyzer.analyze(request.root, request.mode)
+    store = None
+    certificate_cache = None
+    if cache_dir is not None:
+        from repro.serve.store import ResultStore, StoreCertificateCache
+
+        store = ResultStore(cache_dir)
+        certificate_cache = StoreCertificateCache(store)
+    try:
+        with deadline(timeout):
+            analyzer = TerminationAnalyzer(
+                program,
+                settings=request.settings,
+                certificate_cache=certificate_cache,
+            )
+            result = analyzer.analyze(request.root, request.mode)
+    finally:
+        if store is not None:
+            store.close()
     return (
         payload_from_result(result),
         list(result.trace.roots),
         diff_snapshots(METRICS.snapshot(), before),
+        {"reused": result.sccs_reused, "reproved": result.sccs_reproved},
     )
 
 
@@ -139,20 +163,22 @@ class SolverPool:
             if METRICS.enabled:
                 METRICS.counter("serve.pool.degraded").inc()
 
-    def submit(self, wire, timeout=None):
+    def submit(self, wire, timeout=None, cache_dir=None):
         """A :class:`concurrent.futures.Future` for the solve."""
         if self.lane == "process":
             try:
-                return self._process.submit(solve_wire, wire, timeout)
+                return self._process.submit(
+                    solve_wire, wire, timeout, cache_dir
+                )
             except (OSError, RuntimeError):
                 self._note_degraded()
-        return self._serial.submit(solve_wire, wire, timeout)
+        return self._serial.submit(solve_wire, wire, timeout, cache_dir)
 
-    def submit_serial(self, wire, timeout=None):
+    def submit_serial(self, wire, timeout=None, cache_dir=None):
         """Force the serial lane (the retry path after a broken pool
         surfaced at result time rather than submit time)."""
         self._note_degraded()
-        return self._serial.submit(solve_wire, wire, timeout)
+        return self._serial.submit(solve_wire, wire, timeout, cache_dir)
 
     def shutdown(self):
         """Stop both lanes; running solves are not waited for."""

@@ -179,12 +179,21 @@ def _parse_root(value):
 
 @dataclass(frozen=True)
 class AnalyzeRequest:
-    """One validated analysis request, front-end independent."""
+    """One validated analysis request, front-end independent.
+
+    ``incremental`` asks the server to reuse per-SCC certificates from
+    its persistent store when solving.  It is an execution hint, not
+    part of the computation: verdict payloads are byte-identical with
+    or without it, so it is deliberately excluded from :meth:`key` —
+    an incremental request may be answered by a cached full solve and
+    vice versa.
+    """
 
     source: str
     root: tuple
     mode: str
     settings: AnalyzerSettings = field(default_factory=AnalyzerSettings)
+    incremental: bool = False
 
     @classmethod
     def from_wire(cls, data):
@@ -199,7 +208,8 @@ class AnalyzeRequest:
                 % type(data).__name__
             )
         unknown = sorted(
-            set(data) - {"source", "root", "mode", "settings"}
+            set(data) - {"source", "root", "mode", "settings",
+                         "incremental"}
         )
         if unknown:
             raise AnalysisError(
@@ -233,6 +243,7 @@ class AnalyzeRequest:
             root=_parse_root(data["root"]),
             mode=str(data["mode"]),
             settings=settings,
+            incremental=bool(data.get("incremental", False)),
         )
 
     def to_wire(self):
@@ -250,6 +261,8 @@ class AnalyzeRequest:
         }
         if overrides:
             body["settings"] = overrides
+        if self.incremental:
+            body["incremental"] = True
         return body
 
     def parse(self):

@@ -1,6 +1,6 @@
 """Content-addressed persistent result store (sqlite, stdlib-only).
 
-One directory holds one store: ``<dir>/results.sqlite`` with three
+One directory holds one store: ``<dir>/results.sqlite`` with four
 tables —
 
 ``meta(key TEXT PRIMARY KEY, value TEXT)``
@@ -16,6 +16,16 @@ created REAL, last_access INTEGER, hits INTEGER)``
     address; ``payload`` the canonical verdict text, returned byte
     for byte on every hit.
 
+``certificates(key TEXT PRIMARY KEY, payload TEXT, kind TEXT,
+created REAL, last_access INTEGER, hits INTEGER)``
+    Per-SCC incremental-analysis entries (schema v2): ``key`` is a
+    :mod:`repro.core.fingerprint` content address prefixed with the
+    :func:`~repro.serve.protocol.code_revision`, ``payload`` a
+    :mod:`repro.core.certcache` serialization, ``kind`` is ``env`` or
+    ``cert``.  Shared by ``repro-analyze --cache-dir``/``--diff`` and
+    the daemon's ``incremental`` requests through
+    :class:`StoreCertificateCache`.
+
 ``traces(key TEXT PRIMARY KEY, jsonl TEXT, last_access INTEGER)``
     The ``repro.trace/1`` JSONL telemetry of the request that
     *solved* ``key`` (hits don't re-trace), served by
@@ -24,8 +34,8 @@ created REAL, last_access INTEGER, hits INTEGER)``
 Writes run inside sqlite transactions under WAL journaling, so a
 process killed mid-``put`` leaves either the complete entry or none —
 never a half-written payload.  Eviction is LRU by the access counter,
-bounded by ``max_entries``/``max_traces``; both the daemon
-(``repro-serve --cache-dir``) and the offline CLI
+bounded by ``max_entries``/``max_certificates``/``max_traces``; both
+the daemon (``repro-serve --cache-dir``) and the offline CLI
 (``repro-analyze --cache-dir``) point at the same directory and see
 each other's entries.
 
@@ -43,21 +53,24 @@ import time
 
 from repro.obs import METRICS
 
-__all__ = ["SCHEMA_VERSION", "ResultStore"]
+__all__ = ["SCHEMA_VERSION", "ResultStore", "StoreCertificateCache"]
 
 #: Bump when the table layout changes; existing stores self-wipe.
-SCHEMA_VERSION = 1
+#: v2 added the ``certificates`` table for per-SCC incremental entries.
+SCHEMA_VERSION = 2
 
 
 class ResultStore:
     """A content-addressed verdict + trace store rooted at *root*."""
 
-    def __init__(self, root, max_entries=4096, max_traces=512):
-        if max_entries < 1 or max_traces < 1:
+    def __init__(self, root, max_entries=4096, max_traces=512,
+                 max_certificates=16384):
+        if max_entries < 1 or max_traces < 1 or max_certificates < 1:
             raise ValueError("store bounds must be >= 1")
         self.root = os.path.abspath(root)
         self.max_entries = max_entries
         self.max_traces = max_traces
+        self.max_certificates = max_certificates
         os.makedirs(self.root, exist_ok=True)
         self.path = os.path.join(self.root, "results.sqlite")
         self._lock = threading.Lock()
@@ -79,6 +92,7 @@ class ResultStore:
             ).fetchone()
             if row is not None and int(row[0]) != SCHEMA_VERSION:
                 self._db.execute("DROP TABLE IF EXISTS results")
+                self._db.execute("DROP TABLE IF EXISTS certificates")
                 self._db.execute("DROP TABLE IF EXISTS traces")
                 self._db.execute("DELETE FROM meta")
                 row = None
@@ -95,6 +109,12 @@ class ResultStore:
                 "CREATE TABLE IF NOT EXISTS results ("
                 "key TEXT PRIMARY KEY, payload TEXT NOT NULL, "
                 "root TEXT, mode TEXT, created REAL, "
+                "last_access INTEGER, hits INTEGER)"
+            )
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS certificates ("
+                "key TEXT PRIMARY KEY, payload TEXT NOT NULL, "
+                "kind TEXT, created REAL, "
                 "last_access INTEGER, hits INTEGER)"
             )
             self._db.execute(
@@ -152,6 +172,42 @@ class ResultStore:
         if METRICS.enabled:
             METRICS.counter("serve.store.puts").inc()
 
+    # -- certificates ----------------------------------------------------------
+
+    def get_certificate(self, key):
+        """The stored per-SCC payload for *key*, or None (recording
+        the hit/miss in the ``serve.store.cert.*`` metrics)."""
+        with self._lock, self._db:
+            row = self._db.execute(
+                "SELECT payload FROM certificates WHERE key=?", (key,)
+            ).fetchone()
+            if row is not None:
+                self._db.execute(
+                    "UPDATE certificates SET last_access=?, hits=hits+1 "
+                    "WHERE key=?",
+                    (self._tick(), key),
+                )
+        if METRICS.enabled:
+            kind = "hits" if row is not None else "misses"
+            METRICS.counter("serve.store.cert.%s" % kind).inc()
+        return row[0] if row is not None else None
+
+    def put_certificate(self, key, payload, kind=""):
+        """Store a per-SCC payload under its fingerprint *key*.
+
+        Fingerprints are content addresses too, so a concurrent
+        writer's payload for the same key is identical and the first
+        write wins.
+        """
+        with self._lock, self._db:
+            self._db.execute(
+                "INSERT OR IGNORE INTO certificates VALUES (?,?,?,?,?,0)",
+                (key, payload, kind, time.time(), self._tick()),
+            )
+            self._evict("certificates", self.max_certificates)
+        if METRICS.enabled:
+            METRICS.counter("serve.store.cert.puts").inc()
+
     # -- traces ----------------------------------------------------------------
 
     def put_trace(self, key, jsonl):
@@ -199,6 +255,9 @@ class ResultStore:
             entries, hits = self._db.execute(
                 "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM results"
             ).fetchone()
+            certificates = self._db.execute(
+                "SELECT COUNT(*) FROM certificates"
+            ).fetchone()[0]
             traces = self._db.execute(
                 "SELECT COUNT(*) FROM traces"
             ).fetchone()[0]
@@ -206,9 +265,11 @@ class ResultStore:
             "path": self.path,
             "schema_version": SCHEMA_VERSION,
             "entries": entries,
+            "certificates": certificates,
             "traces": traces,
             "hits": hits,
             "max_entries": self.max_entries,
+            "max_certificates": self.max_certificates,
             "max_traces": self.max_traces,
         }
 
@@ -232,3 +293,32 @@ class ResultStore:
 
     def __exit__(self, *exc_info):
         self.close()
+
+
+class StoreCertificateCache:
+    """Adapt a :class:`ResultStore` to the certificate-cache protocol.
+
+    :class:`~repro.core.pipeline.AnalysisPipeline` and the interarg
+    fixpoint expect ``get(key) -> str | None`` and
+    ``put(key, payload, kind="")``; this adapter backs them with the
+    store's ``certificates`` table, making SCC-granular reuse
+    persistent across processes.
+
+    Fingerprints are rename-invariant content addresses of the
+    *program text plus callee environment*, not of the analyzer's
+    behaviour — so every key is additionally prefixed with
+    :func:`~repro.serve.protocol.code_revision`.  Upgrading the
+    analyzer silently orphans old entries (evicted by LRU) instead of
+    replaying certificates a newer solver might not produce.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        from repro.serve.protocol import code_revision
+        self._prefix = code_revision() + ":"
+
+    def get(self, key):
+        return self.store.get_certificate(self._prefix + key)
+
+    def put(self, key, payload, kind=""):
+        self.store.put_certificate(self._prefix + key, payload, kind=kind)

@@ -1,0 +1,181 @@
+"""Tests for the per-SCC incremental-analysis layer.
+
+The contract under test: with a certificate cache attached, analysis
+is *observably identical* to a cold run — same verdicts, same export
+payload — while `SCCResult.cache` records where each SCC's proof came
+from (``miss``, ``hit``, or ``rejected`` when a cached certificate
+failed the independent verifier and was re-proved from scratch).
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    MemoryCertificateCache,
+    TerminationAnalyzer,
+    clear_caches,
+)
+from repro.core.certcache import (
+    decode_scc_certificate,
+    encode_env_entries,
+)
+from repro.core.export import result_to_dict
+from repro.lp import parse_program
+
+PERM = (
+    "perm([], []).\n"
+    "perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), "
+    "perm(P1, L).\n"
+    "append([], Ys, Ys).\n"
+    "append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n"
+)
+
+LOOP = "p(X) :- p(X).\n"
+
+
+def analyze(source, root, mode, cache):
+    clear_caches()
+    program = parse_program(source)
+    return TerminationAnalyzer(
+        program, certificate_cache=cache
+    ).analyze(root, mode)
+
+
+class TestCacheStates:
+    def test_cold_run_records_misses_and_publishes(self):
+        cache = MemoryCertificateCache()
+        result = analyze(PERM, ("perm", 2), "bf", cache)
+        assert result.proved
+        recursive = [s for s in result.scc_results
+                     if not s.proof.trivially_nonrecursive]
+        assert recursive
+        assert all(s.cache == "miss" for s in recursive)
+        assert all(s.fingerprint.startswith("scc1:") for s in recursive)
+        assert result.sccs_reused == 0
+        assert result.sccs_reproved == len(recursive)
+        kinds = {kind for _, kind in cache.entries.values()}
+        assert kinds == {"env", "cert"}
+
+    def test_warm_run_reuses_every_certificate(self):
+        cache = MemoryCertificateCache()
+        cold = analyze(PERM, ("perm", 2), "bf", cache)
+        warm = analyze(PERM, ("perm", 2), "bf", cache)
+        recursive = [s for s in warm.scc_results
+                     if not s.proof.trivially_nonrecursive]
+        assert all(s.cache == "hit" for s in recursive)
+        assert warm.sccs_reused == len(recursive)
+        assert warm.sccs_reproved == 0
+        # The reused proof is a real certificate, not a stub: same
+        # members, and it passes the independent verifier.
+        from repro.core import verify_proof
+
+        verify_proof(warm.proof)
+        assert result_to_dict(warm)["sccs"] == result_to_dict(cold)["sccs"]
+
+    def test_no_cache_leaves_cache_field_empty(self):
+        result = analyze(PERM, ("perm", 2), "bf", None)
+        assert all(s.cache == "" for s in result.scc_results)
+        assert result.sccs_reused == 0
+
+    def test_unknown_is_replayed_with_its_reason(self):
+        cache = MemoryCertificateCache()
+        cold = analyze(LOOP, ("p", 1), "b", cache)
+        warm = analyze(LOOP, ("p", 1), "b", cache)
+        assert cold.status == warm.status == "UNKNOWN"
+        assert warm.sccs_reused == 1
+        (cold_scc,) = cold.failing_sccs()
+        (warm_scc,) = warm.failing_sccs()
+        assert warm_scc.reason == cold_scc.reason
+
+
+class TestSoundnessGuard:
+    def _poison_lambdas(self, cache):
+        """Flip every cached lambda negative: still well-formed, but
+        no longer a valid certificate."""
+        poisoned = 0
+        for key, (payload, kind) in list(cache.entries.items()):
+            if kind != "cert":
+                continue
+            data = json.loads(payload)
+            if data.get("status") != "PROVED" or not data.get("lambdas"):
+                continue
+            data["lambdas"] = [
+                [idx, {pos: "-1" for pos in coeffs}]
+                for idx, coeffs in data["lambdas"]
+            ]
+            cache.entries[key] = (json.dumps(data), kind)
+            poisoned += 1
+        return poisoned
+
+    def test_poisoned_certificate_is_rejected_and_reproved(self):
+        cache = MemoryCertificateCache()
+        analyze(PERM, ("perm", 2), "bf", cache)
+        assert self._poison_lambdas(cache) > 0
+        warm = analyze(PERM, ("perm", 2), "bf", cache)
+        # The verifier refused the tampered certificates; analysis
+        # fell back to a fresh solve and still proved everything.
+        assert warm.proved
+        assert warm.sccs_reused == 0
+        assert warm.sccs_rejected > 0
+        rejected = [s for s in warm.scc_results if s.cache == "rejected"]
+        assert len(rejected) == warm.sccs_rejected
+        from repro.core import verify_proof
+
+        verify_proof(warm.proof)
+
+    def test_corrupt_payload_is_a_miss_not_an_error(self):
+        cache = MemoryCertificateCache()
+        analyze(PERM, ("perm", 2), "bf", cache)
+        for key, (payload, kind) in list(cache.entries.items()):
+            cache.entries[key] = ("{not json", kind)
+        warm = analyze(PERM, ("perm", 2), "bf", cache)
+        assert warm.proved
+        assert warm.sccs_reused == 0
+
+    def test_decode_rejects_malformed_shapes(self):
+        assert decode_scc_certificate("[]", []) is None
+        assert decode_scc_certificate(
+            json.dumps({"schema": "other", "kind": "cert"}), []
+        ) is None
+
+
+class TestExportStability:
+    def test_payload_is_byte_identical_cold_vs_warm(self):
+        from repro.serve.protocol import payload_from_result, payload_text
+
+        cache = MemoryCertificateCache()
+        cold = analyze(PERM, ("perm", 2), "bf", cache)
+        warm = analyze(PERM, ("perm", 2), "bf", cache)
+        assert payload_text(payload_from_result(warm)) == \
+            payload_text(payload_from_result(cold))
+
+    def test_cache_fields_never_reach_the_payload(self):
+        """The wire payload must stay a pure function of the request:
+        per-SCC cache provenance (hit/miss) and fingerprints may not
+        appear in it.  (The *trace* may mention the fingerprint stage —
+        it is stripped from the payload precisely because it varies.)"""
+        from repro.serve.protocol import payload_from_result, payload_text
+
+        cache = MemoryCertificateCache()
+        analyze(PERM, ("perm", 2), "bf", cache)
+        warm = analyze(PERM, ("perm", 2), "bf", cache)
+        text = payload_text(payload_from_result(warm))
+        assert "fingerprint" not in text
+        assert "scc1:" not in text
+        assert '"cache"' not in text
+        assert '"hit"' not in text
+
+
+class TestEnvEncoding:
+    def test_env_roundtrip_is_exact(self):
+        from repro.core.certcache import decode_env_entries
+        from repro.interarg import infer_interargument_constraints
+
+        program = parse_program(PERM)
+        env = infer_interargument_constraints(program)
+        order = [("append", 3), ("perm", 2)]
+        payload = encode_env_entries(env, order)
+        decoded = decode_env_entries(payload, order)
+        for indicator in order:
+            assert decoded[indicator].equivalent(env.get(indicator))

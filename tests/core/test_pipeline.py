@@ -39,6 +39,18 @@ class TestTraces:
         result = analyze_program(PERM, ("perm", 2), "bf")
         assert result.trace is not None
         ran = [s.stage for s in result.trace.stages()]
+        # The fingerprint stage only runs when a certificate cache is
+        # installed; everything else runs in pipeline order.
+        assert ran == [s for s in STAGES if s != "fingerprint"]
+
+    def test_a_certificate_cache_adds_the_fingerprint_stage(self):
+        from repro.core import MemoryCertificateCache
+
+        result = TerminationAnalyzer(
+            parse_program(PERM),
+            certificate_cache=MemoryCertificateCache(),
+        ).analyze(("perm", 2), "bf")
+        ran = [s.stage for s in result.trace.stages()]
         assert ran == list(STAGES)  # every stage ran, in pipeline order
 
     def test_stage_counters_populated(self):
@@ -77,6 +89,8 @@ class TestTraces:
         trace = analyze_program(PERM, ("perm", 2), "bf").trace
         text = trace.describe()
         for name in STAGES:
+            if name == "fingerprint":
+                continue  # only runs with a certificate cache
             assert name in text
         assert "total" in text
         assert "cache h/m" in text

@@ -243,3 +243,116 @@ class TestCacheDir:
         captured = capsys.readouterr()
         assert "served from store" not in captured.err
         assert "verified" in captured.out
+
+
+@pytest.fixture
+def chain_files(tmp_path):
+    """A two-SCC program (OLD) and a one-clause edit of it (NEW)."""
+    source = (
+        "leq(z, X).\n"
+        "leq(s(X), s(Y)) :- leq(X, Y).\n"
+        "count([], z).\n"
+        "count([H|T], s(N)) :- count(T, N), leq(N, N).\n"
+    )
+    old = tmp_path / "old.pl"
+    old.write_text(source)
+    new = tmp_path / "new.pl"
+    new.write_text(source + "count([z], s(z)).\n")
+    return str(old), str(new)
+
+
+class TestDiff:
+    def test_diff_reports_reuse_split(self, chain_files, capsys):
+        from repro.core import clear_caches
+
+        clear_caches()
+        old, new = chain_files
+        code = main([old, "--diff", new,
+                     "--root", "count/2", "--mode", "bf"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROVED -> PROVED" in out
+        # The edit touched count/2 only; leq/2's certificate survives.
+        assert "1 reused, 1 re-proved" in out
+
+    def test_diff_json_counts(self, chain_files, capsys):
+        import json
+
+        from repro.core import clear_caches
+
+        clear_caches()
+        old, new = chain_files
+        code = main([old, "--diff", new,
+                     "--root", "count/2", "--mode", "bf", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["new"]["status"] == "PROVED"
+        assert data["new"]["sccs_reused"] == 1
+        assert data["new"]["sccs_reproved"] == 1
+        assert data["new"]["sccs_rejected"] == 0
+
+    def test_diff_with_store_warms_across_runs(self, chain_files,
+                                               tmp_path, capsys):
+        from repro.core import clear_caches
+
+        old, new = chain_files
+        store = str(tmp_path / "store")
+        clear_caches()
+        main([old, "--diff", new, "--root", "count/2", "--mode", "bf",
+              "--cache-dir", store, "--json"])
+        capsys.readouterr()
+        clear_caches()
+        code = main([old, "--diff", new, "--root", "count/2",
+                     "--mode", "bf", "--cache-dir", store, "--json"])
+        assert code == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        # Second run: every certificate (both SCCs) comes from the
+        # persistent store.
+        assert data["new"]["sccs_reused"] == 2
+        assert data["new"]["sccs_reproved"] == 0
+
+    def test_diff_needs_root_and_mode(self, chain_files):
+        old, new = chain_files
+        with pytest.raises(SystemExit):
+            main([old, "--diff", new, "--all-modes"])
+
+    def test_diff_excludes_no_incremental(self, chain_files):
+        old, new = chain_files
+        with pytest.raises(SystemExit):
+            main([old, "--diff", new, "--root", "count/2",
+                  "--mode", "bf", "--no-incremental"])
+
+    def test_diff_missing_new_file_is_usage_error(self, chain_files,
+                                                  capsys):
+        old, _ = chain_files
+        code = main([old, "--diff", old + ".does-not-exist",
+                     "--root", "count/2", "--mode", "bf"])
+        assert code == 2
+
+
+class TestNoIncremental:
+    def test_no_incremental_reproves_under_warm_store(self, chain_files,
+                                                      tmp_path, capsys):
+        from repro.core import clear_caches
+
+        old, _ = chain_files
+        store = str(tmp_path / "store")
+        clear_caches()
+        assert main([old, "--root", "count/2", "--mode", "bf",
+                     "--cache-dir", store]) == 0
+        first = capsys.readouterr()
+        # Different mode so the verdict store misses but certificates
+        # would hit; --no-incremental must not consult them.
+        clear_caches()
+        assert main([old, "--root", "leq/2", "--mode", "bb",
+                     "--cache-dir", store, "--no-incremental"]) == 0
+        second = capsys.readouterr()
+        assert "reused" not in second.err
+
+    def test_incremental_flag_is_remote_only(self, chain_files):
+        old, _ = chain_files
+        with pytest.raises(SystemExit):
+            main([old, "--root", "count/2", "--mode", "bf",
+                  "--incremental"])

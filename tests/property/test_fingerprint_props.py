@@ -1,0 +1,143 @@
+"""Property tests for the canonical per-SCC fingerprints.
+
+The incremental layer is sound only if its fingerprints are exactly
+as discriminating as re-analysis: two SCCs with the same fingerprint
+must be the same analysis problem.  These tests pin the equivalences
+the canonicalization promises —
+
+- renaming every variable (fingerprints alpha-number variables per
+  clause, so names never enter the digest);
+- renaming every predicate (member references go through
+  Weisfeiler–Leman color tokens, callee references through
+  content-addressed polyhedron tokens — never through names);
+- reordering clauses (per-member clause renderings are sorted);
+
+— and the locality the invalidation story relies on: editing one
+SCC's clauses changes that SCC's certificate fingerprint and no
+other's (callees below it are untouched; independent SCCs never see
+it).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MemoryCertificateCache,
+    TerminationAnalyzer,
+    clear_caches,
+)
+from repro.lp import parse_program
+
+# One program, four dependency SCCs of distinct shapes: a direct
+# recursion (leq), a two-member mutual recursion (even/odd — exercises
+# the color-refinement tie-breaking), a recursion importing a lower
+# SCC (count calls leq), and a nonrecursive root composing them.
+TEMPLATE = "\n".join([
+    "{leq}(z, {A}).",
+    "{leq}(s({X}), s({Y})) :- {leq}({X}, {Y}).",
+    "{even}(z).",
+    "{even}(s({X})) :- {odd}({X}).",
+    "{odd}(s({X})) :- {even}({X}).",
+    "{count}([], z).",
+    "{count}([{H}|{T}], s({N})) :- {count}({T}, {N}), {leq}({N}, {N}).",
+    "{main}({L}, {N}) :- {count}({L}, {N}), {even}({N}).",
+])
+
+BASE_NAMES = {
+    "leq": "leq", "even": "even", "odd": "odd",
+    "count": "count", "main": "main",
+    "A": "A", "X": "X", "Y": "Y", "H": "H", "T": "T",
+    "N": "N", "L": "L",
+}
+
+VAR_POOL = ["X", "Y", "Z", "W", "U", "V", "Acc", "Out", "In1", "Tmp"]
+PRED_POOL = ["p", "q", "r", "aux", "loop", "walk", "step", "probe"]
+
+
+def fingerprint_sets(text, root_name):
+    """Analyze *text* with a fresh cache; return its (env keys, cert
+    keys) — the exact fingerprints the incremental layer would store."""
+    # The process-wide environment memo would otherwise satisfy a
+    # repeated program without running inference — and publish nothing.
+    clear_caches()
+    cache = MemoryCertificateCache()
+    program = parse_program(text)
+    result = TerminationAnalyzer(
+        program, certificate_cache=cache
+    ).analyze((root_name, 2), "bf")
+    assert result.status in ("PROVED", "UNKNOWN")
+    env_keys = {k for k, (_, kind) in cache.entries.items()
+                if kind == "env"}
+    cert_keys = {k for k, (_, kind) in cache.entries.items()
+                 if kind == "cert"}
+    assert cert_keys, "no recursive SCC produced a certificate"
+    return env_keys, cert_keys
+
+
+def render(names):
+    return TEMPLATE.format(**names)
+
+
+BASE_ENV, BASE_CERT = fingerprint_sets(render(BASE_NAMES), "main")
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.permutations(VAR_POOL))
+def test_variable_renaming_preserves_fingerprints(pool):
+    names = dict(BASE_NAMES)
+    for placeholder, fresh in zip(("A", "X", "Y", "H", "T", "N", "L"),
+                                  pool):
+        names[placeholder] = fresh
+    env_keys, cert_keys = fingerprint_sets(render(names), "main")
+    assert env_keys == BASE_ENV
+    assert cert_keys == BASE_CERT
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.permutations(PRED_POOL))
+def test_predicate_renaming_preserves_fingerprints(pool):
+    names = dict(BASE_NAMES)
+    for placeholder, fresh in zip(("leq", "even", "odd", "count",
+                                   "main"), pool):
+        names[placeholder] = fresh
+    env_keys, cert_keys = fingerprint_sets(render(names), names["main"])
+    assert env_keys == BASE_ENV
+    assert cert_keys == BASE_CERT
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.permutations(list(range(8))))
+def test_clause_reordering_preserves_fingerprints(order):
+    lines = render(BASE_NAMES).split("\n")
+    shuffled = "\n".join(lines[i] for i in order)
+    env_keys, cert_keys = fingerprint_sets(shuffled, "main")
+    assert env_keys == BASE_ENV
+    assert cert_keys == BASE_CERT
+
+
+def test_editing_one_scc_changes_only_its_certificate():
+    """Append a clause to the count SCC: count's certificate
+    fingerprint rotates; leq's and even/odd's — which count depends on
+    or ignores, but which never see count — survive verbatim."""
+    edited = render(BASE_NAMES) + "\ncount([z], s(z)).\n"
+    _, cert_keys = fingerprint_sets(edited, "main")
+    assert len(BASE_CERT) == 3  # leq, even+odd, count
+    assert len(cert_keys) == 3
+    # Exactly one certificate fingerprint differs (count's: one key
+    # dropped, one key added).
+    assert len(BASE_CERT ^ cert_keys) == 2
+
+
+def test_editing_a_leaf_invalidates_dependents_via_content():
+    """Editing leq so its *proved relation* changes must rotate the
+    fingerprints of SCCs importing it (count embeds leq's polyhedron
+    token), not just leq's own — the firewall is content-addressed,
+    not name-addressed."""
+    weakened = render(BASE_NAMES).replace(
+        "leq(z, A).", "leq(z, A).\nleq(s(z), z).\n"
+    )
+    _, cert_keys = fingerprint_sets(weakened, "main")
+    # leq's own fingerprint changed (clauses differ) and count's
+    # changed too (its imported leq polyhedron differs); even/odd is
+    # independent and survives.
+    assert len(BASE_CERT & cert_keys) == 1

@@ -182,3 +182,39 @@ class TestPayload:
         first = payload_text(payload_from_result(self.result()))
         second = payload_text(payload_from_result(self.result()))
         assert first == second
+
+
+class TestIncrementalFlag:
+    def test_from_wire_default_false(self):
+        request = AnalyzeRequest.from_wire(
+            {"source": APPEND, "root": "append/3", "mode": "bbf"}
+        )
+        assert request.incremental is False
+
+    def test_wire_round_trip(self):
+        request = AnalyzeRequest.from_wire({
+            "source": APPEND, "root": "append/3", "mode": "bbf",
+            "incremental": True,
+        })
+        assert request.incremental is True
+        wire = request.to_wire()
+        assert wire["incremental"] is True
+        assert AnalyzeRequest.from_wire(wire) == request
+
+    def test_to_wire_omits_default(self):
+        request = AnalyzeRequest(
+            source=APPEND, root=("append", 3), mode="bbf"
+        )
+        assert "incremental" not in request.to_wire()
+
+    def test_excluded_from_content_address(self):
+        """An execution hint, not an input: incremental and full
+        solves of the same request share one verdict-store key."""
+        plain = AnalyzeRequest(
+            source=APPEND, root=("append", 3), mode="bbf"
+        )
+        hinted = AnalyzeRequest(
+            source=APPEND, root=("append", 3), mode="bbf",
+            incremental=True,
+        )
+        assert plain.key() == hinted.key()

@@ -40,10 +40,10 @@ class SlowPool(SolverPool):
         super().__init__(jobs=1)
         self.delay = delay
 
-    def submit(self, wire, timeout=None):
+    def submit(self, wire, timeout=None, cache_dir=None):
         def stalled():
             time.sleep(self.delay)
-            return solve_wire(wire, timeout)
+            return solve_wire(wire, timeout, cache_dir)
 
         return self._serial.submit(stalled)
 
@@ -324,3 +324,56 @@ class TestRemoteCli:
                 "--mode", "bbf", "--remote", "http://127.0.0.1:1",
                 "--jobs", "2",
             ])
+
+
+GCD = None
+
+
+def _gcd_sources():
+    """The multi-SCC corpus program and a one-clause edit of it."""
+    global GCD
+    if GCD is None:
+        from repro.corpus import get_program
+
+        entry = get_program("gcd_euclid")
+        GCD = (entry.source, entry.source + "\ngcd(zzz, zzz, zzz).\n")
+    return GCD
+
+
+class TestIncremental:
+    def test_incremental_request_populates_and_reuses(self, tmp_path):
+        old, new = _gcd_sources()
+        with serve(tmp_path) as (app, client):
+            cold = client.analyze(old, ("gcd", 3), "bbf",
+                                  incremental=True)
+            assert cold.proved and not cold.cached
+            assert cold.sccs_reused == 0
+            assert cold.sccs_reproved > 1
+            assert client.health()["store"]["certificates"] > 0
+            # The edited program misses the verdict store but reuses
+            # every untouched SCC's certificate.
+            warm = client.analyze(new, ("gcd", 3), "bbf",
+                                  incremental=True)
+            assert warm.proved and not warm.cached
+            assert warm.sccs_reused == cold.sccs_reproved - 1
+            assert warm.sccs_reproved == 1
+
+    def test_incremental_body_matches_full_solve(self, tmp_path):
+        old, _ = _gcd_sources()
+        with serve(tmp_path) as (app, client):
+            incremental = client.analyze(old, ("gcd", 3), "bbf",
+                                         incremental=True)
+            assert incremental.text == local_payload_text(
+                old, ("gcd", 3), "bbf"
+            )
+            # Same content address: the full-solve replay is a store
+            # hit on the incremental run's verdict.
+            replay = client.analyze(old, ("gcd", 3), "bbf")
+            assert replay.cached
+            assert replay.text == incremental.text
+
+    def test_plain_request_reports_no_scc_counts(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            answer = client.analyze(APPEND, ("append", 3), "bbf")
+            assert answer.sccs_reused == 0
+            assert answer.sccs_reproved == 0

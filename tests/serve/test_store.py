@@ -133,3 +133,91 @@ class TestSchemaVersioning:
         ).fetchone()
         db.close()
         assert int(row[0]) == store_module.SCHEMA_VERSION
+
+
+class TestCertificates:
+    def test_certificate_roundtrip(self, store):
+        assert store.get_certificate("scc1:abc") is None
+        store.put_certificate("scc1:abc", '{"kind":"cert"}', kind="cert")
+        assert store.get_certificate("scc1:abc") == '{"kind":"cert"}'
+
+    def test_certificates_survive_reopen(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with ResultStore(root) as store:
+            store.put_certificate("env1:k", "payload", kind="env")
+        with ResultStore(root) as store:
+            assert store.get_certificate("env1:k") == "payload"
+
+    def test_certificate_eviction_independent(self, tmp_path):
+        with ResultStore(str(tmp_path / "c"), max_certificates=3) as s:
+            s.put("verdict", "stays")
+            for i in range(5):
+                s.put_certificate("k%d" % i, "p%d" % i)
+            stats = s.stats()
+            assert stats["certificates"] == 3
+            # Verdicts and certificates evict on separate bounds.
+            assert s.get("verdict") == "stays"
+            assert s.get_certificate("k4") == "p4"
+            assert s.get_certificate("k0") is None
+
+    def test_stats_reports_certificates(self, store):
+        store.put_certificate("k", "p", kind="cert")
+        stats = store.stats()
+        assert stats["certificates"] == 1
+        assert stats["max_certificates"] == store.max_certificates
+
+    def test_v1_store_self_wipes_to_v2(self, tmp_path):
+        """Opening a store written under schema v1 (no certificates
+        table) must rebuild cleanly rather than error."""
+        root = tmp_path / "cache"
+        root.mkdir()
+        db = sqlite3.connect(str(root / "results.sqlite"))
+        with db:
+            db.execute(
+                "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            db.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+            db.execute("INSERT INTO meta VALUES ('clock', '7')")
+            db.execute(
+                "CREATE TABLE results (key TEXT PRIMARY KEY, "
+                "payload TEXT NOT NULL, root TEXT, mode TEXT, "
+                "created REAL, last_access INTEGER, hits INTEGER)"
+            )
+            db.execute(
+                "INSERT INTO results VALUES ('k', 'v1-era', '', '', "
+                "0.0, 1, 0)"
+            )
+            db.execute(
+                "CREATE TABLE traces (key TEXT PRIMARY KEY, "
+                "jsonl TEXT NOT NULL, last_access INTEGER)"
+            )
+        db.close()
+        with ResultStore(str(root)) as store:
+            assert store.get("k") is None  # v1 verdicts wiped
+            store.put_certificate("c", "p")  # v2 table exists
+            assert store.get_certificate("c") == "p"
+            assert store.stats()["schema_version"] == (
+                store_module.SCHEMA_VERSION
+            )
+
+
+class TestStoreCertificateCache:
+    def test_adapts_store_to_cache_protocol(self, store):
+        from repro.serve.store import StoreCertificateCache
+
+        cache = StoreCertificateCache(store)
+        assert cache.get("scc1:deadbeef") is None
+        cache.put("scc1:deadbeef", "payload", kind="cert")
+        assert cache.get("scc1:deadbeef") == "payload"
+
+    def test_keys_are_revision_prefixed(self, store):
+        from repro.serve.protocol import code_revision
+        from repro.serve.store import StoreCertificateCache
+
+        cache = StoreCertificateCache(store)
+        cache.put("scc1:k", "p")
+        assert store.get_certificate(
+            code_revision() + ":scc1:k"
+        ) == "p"
+        # A different revision's entries are invisible.
+        assert store.get_certificate("scc1:k") is None
