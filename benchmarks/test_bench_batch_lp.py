@@ -1,0 +1,232 @@
+"""Experiment F11: the vectorized array kernels and batched LP solves.
+
+Three claims to regenerate (all gated on numpy — the array kernel is
+the optional ``repro[perf]`` accelerator):
+
+- the numpy array kernel beats the integer row kernel by >= 2x on the
+  FM-heavy hull(4) projection of experiment F8, with byte-identical
+  projections;
+- ``feasible_point_batch`` dispatching same-shape tableaus as one
+  lockstep multi-tableau solve beats the serial ``solve_lp`` loop,
+  with byte-identical witnesses and pivot counts;
+- an end-to-end corpus sweep under ``fm_kernel="array"`` (batched
+  per-SCC dispatch included) beats the ``"int"`` sweep with identical
+  verdicts.
+
+Each test folds its measurements into the repo-level ``BENCH_F11.json``
+so the headline numbers are quotable without re-running pytest.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.linalg.array_kernel import numpy_available
+from repro.linalg.constraints import Constraint, ConstraintSystem
+from repro.linalg.fourier_motzkin import eliminate_all_tracked
+from repro.linalg.linexpr import LinearExpr
+from repro.linalg.simplex import OPTIMAL, feasible_point_batch, solve_lp
+
+from benchmarks.conftest import emit
+from benchmarks.test_bench_kernel import best_of, hull_lift_workload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADLINE_PATH = os.path.join(REPO_ROOT, "BENCH_F11.json")
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="experiment F11 measures the numpy array kernel",
+)
+
+
+def _update_headline(key, value):
+    """Merge one section into the repo-level BENCH_F11.json artifact."""
+    payload = {}
+    if os.path.exists(HEADLINE_PATH):
+        with open(HEADLINE_PATH) as handle:
+            payload = json.load(handle)
+    payload[key] = value
+    with open(HEADLINE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# -- FM array kernel on the F8 hull workload ----------------------------------
+
+
+def test_fm_array_speedup(benchmark):
+    rows = []
+    records = []
+    hull4_ratio = 0.0
+    for nd in (3, 4):
+        lifted, to_eliminate = hull_lift_workload(nd)
+        int_time, int_result = best_of(
+            5, lambda: eliminate_all_tracked(lifted, to_eliminate,
+                                             kernel="int")
+        )
+        array_time, array_result = best_of(
+            5, lambda: eliminate_all_tracked(lifted, to_eliminate,
+                                             kernel="array")
+        )
+        assert (list(array_result.constraints)
+                == list(int_result.constraints))
+        ratio = int_time / array_time
+        if nd == 4:
+            hull4_ratio = ratio
+        rows.append(
+            "hull(%d)   int=%7.4fs   array=%7.4fs   %5.2fx   rows_out=%d"
+            % (nd, int_time, array_time, ratio, len(int_result))
+        )
+        records.append({
+            "workload": "hull(%d)" % nd,
+            "int_seconds": int_time,
+            "array_seconds": array_time,
+            "speedup": ratio,
+            "rows_out": len(int_result),
+        })
+
+    lifted, to_eliminate = hull_lift_workload(4)
+    benchmark.pedantic(
+        lambda: eliminate_all_tracked(lifted, to_eliminate,
+                                      kernel="array"),
+        rounds=3, iterations=1,
+    )
+    emit(
+        "F11_fm_array",
+        "Numpy array kernel vs integer row kernel\n"
+        "(tracked FM projection of lifted hull systems; projections\n"
+        "byte-identical by assertion)\n" + "\n".join(rows) + "\n",
+        data=records,
+    )
+    _update_headline("fm_array", records)
+    # The acceptance target: >= 2x over the integer kernel on the
+    # elimination-bound hull(4) workload.
+    assert hull4_ratio >= 2.0, rows
+
+
+# -- batched lockstep simplex -------------------------------------------------
+
+
+def batch_lp_workload(count, nv=6):
+    """*count* same-shape feasibility systems with varied constants —
+    the shape profile of per-SCC lambda solves, which the batch layer
+    groups into one lockstep multi-tableau dispatch."""
+    systems = []
+    for k in range(count):
+        dims = ["v%d" % i for i in range(nv)]
+        rows = [
+            Constraint.ge(LinearExpr.of(d) - (1 + (k + i) % 5))
+            for i, d in enumerate(dims)
+        ]
+        rows += [
+            Constraint.ge(
+                (20 + 3 * (k % 7))
+                - LinearExpr.of(dims[i]) - LinearExpr.of(dims[(i + 1) % nv])
+            )
+            for i in range(nv)
+        ]
+        rows.append(
+            Constraint.ge(
+                sum((LinearExpr.of(d) for d in dims),
+                    LinearExpr.constant(0))
+                - (8 + k % 11)
+            )
+        )
+        systems.append(ConstraintSystem(rows))
+    return systems
+
+
+def test_batched_lp_speedup(benchmark):
+    count = 48
+    systems = batch_lp_workload(count)
+    zero = LinearExpr.constant(0)
+
+    def serial():
+        results = []
+        for system in systems:
+            result = solve_lp(zero, system, kernel="array")
+            results.append(
+                result.assignment if result.status == OPTIMAL else None
+            )
+        return results
+
+    serial_time, serial_results = best_of(5, serial)
+    batch_time, batch_results = best_of(
+        5, lambda: feasible_point_batch(systems, kernel="array")
+    )
+    assert batch_results == serial_results
+    ratio = serial_time / batch_time
+    feasible = sum(1 for r in batch_results if r is not None)
+
+    benchmark.pedantic(
+        lambda: feasible_point_batch(systems, kernel="array"),
+        rounds=3, iterations=1,
+    )
+    lines = [
+        "%d same-shape feasibility systems (%d feasible)"
+        % (count, feasible),
+        "serial solve_lp loop:    %7.4fs" % serial_time,
+        "lockstep batched solve:  %7.4fs" % batch_time,
+        "speedup:                 %5.2fx" % ratio,
+        "witnesses identical: True",
+    ]
+    record = {
+        "systems": count,
+        "feasible": feasible,
+        "serial_seconds": serial_time,
+        "batched_seconds": batch_time,
+        "speedup": ratio,
+        "witnesses_identical": True,
+    }
+    emit("F11_batch_lp", "\n".join(lines) + "\n", data=record)
+    _update_headline("batch_lp", record)
+    assert ratio >= 1.2, lines
+
+
+# -- end-to-end corpus sweep --------------------------------------------------
+
+
+def test_corpus_kernel_sweep(benchmark):
+    from repro.batch import analyze_many
+    from repro.core import AnalyzerSettings, clear_caches
+    from repro.corpus import all_programs
+
+    entries = all_programs()
+
+    def sweep(kernel):
+        clear_caches()
+        return analyze_many(
+            entries, jobs=1, settings=AnalyzerSettings(fm_kernel=kernel)
+        )
+
+    int_report = sweep("int")
+    array_report = sweep("array")
+    assert (
+        [(r.name, r.mode, r.status, r.reasons)
+         for r in array_report.results]
+        == [(r.name, r.mode, r.status, r.reasons)
+            for r in int_report.results]
+    )
+    ratio = int_report.wall_time / array_report.wall_time
+
+    benchmark.pedantic(lambda: sweep("array"), rounds=1, iterations=1)
+    lines = [
+        "corpus sweep over %d programs, serial (jobs=1)" % len(entries),
+        "fm_kernel=int:    %6.2fs" % int_report.wall_time,
+        "fm_kernel=array:  %6.2fs" % array_report.wall_time,
+        "speedup:          %5.2fx" % ratio,
+        "verdicts identical: True",
+    ]
+    record = {
+        "programs": len(entries),
+        "int_seconds": int_report.wall_time,
+        "array_seconds": array_report.wall_time,
+        "speedup": ratio,
+        "verdicts_identical": True,
+    }
+    emit("F11_corpus_sweep", "\n".join(lines) + "\n", data=record)
+    _update_headline("corpus_sweep", record)
+    # End-to-end the sweep is not purely FM/LP-bound (parsing, graph
+    # work); the array kernel must still win clearly.
+    assert ratio >= 1.3, lines

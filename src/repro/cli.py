@@ -80,6 +80,15 @@ def build_parser():
         help="disable inter-argument constraint inference",
     )
     parser.add_argument(
+        "--kernel", default="int",
+        choices=("int", "array", "reference"),
+        help="Fourier–Motzkin/simplex kernel: 'int' (default) is the "
+        "dense integer row kernel, 'array' the vectorized numpy "
+        "kernel with batched per-SCC LP solves (falls back to 'int' "
+        "without numpy), 'reference' the original object pipeline; "
+        "all three give byte-identical results",
+    )
+    parser.add_argument(
         "--negative-theta", action="store_true",
         help="use the Appendix C negative-weight search",
     )
@@ -207,6 +216,7 @@ def main(argv=None):
         norm=args.norm,
         use_interarg=not args.no_interarg,
         allow_negative_theta=args.negative_theta,
+        fm_kernel=args.kernel,
     )
 
     if args.incremental and not args.remote:

@@ -127,8 +127,12 @@ class AnalyzerSettings:
     validated — when the analyzer is constructed.
     ``prune_fm`` — redundancy pruning inside Fourier–Motzkin.
     ``fm_kernel`` — ``"int"`` (default) runs Fourier–Motzkin solves on
-    the dense integer row kernel; ``"reference"`` keeps the original
-    object pipeline (differential testing / ablation).
+    the dense integer row kernel; ``"array"`` runs the vectorized
+    numpy kernel (batched per-SCC LP dispatch included), degrading to
+    ``"int"`` when numpy is missing or int64 would overflow;
+    ``"reference"`` keeps the original object pipeline (differential
+    testing / ablation).  All three produce byte-identical verdicts
+    and witnesses.
     ``eliminate_w`` — True (default) runs the paper's practical route:
     Fourier–Motzkin eliminates the undistinguished dual multipliers per
     rule-subgoal pair ("in practice, Fourier-Motzkin elimination is

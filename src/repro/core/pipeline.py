@@ -41,15 +41,17 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
+from time import perf_counter
 
 from repro.errors import AnalysisError
 from repro.obs import METRICS, Tracer, span
 from repro.lp.program import Program
 from repro.lp.terms import Struct, Var
 from repro.linalg.constraints import ConstraintSystem
+from repro.linalg.fourier_motzkin import KERNELS, use_kernel
 from repro.graph.scc import is_recursive_component, strongly_connected_components
 from repro.sizes.norms import get_norm
-from repro.solve import get_backend
+from repro.solve import BatchLPBackend, get_backend
 from repro.interarg import (
     SizeEnvironment,
     infer_interargument_constraints,
@@ -567,10 +569,11 @@ def resolve_settings(settings):
     except ValueError as error:
         raise AnalysisError("invalid analyzer settings: %s" % error) from None
     fm_kernel = getattr(settings, "fm_kernel", "int")
-    if fm_kernel not in ("int", "reference"):
+    if fm_kernel not in KERNELS:
         raise AnalysisError(
             "invalid analyzer settings: unknown fm_kernel %r "
-            "(choose 'int' or 'reference')" % (fm_kernel,)
+            "(choose one of %s)"
+            % (fm_kernel, ", ".join(repr(k) for k in KERNELS))
         )
     backend = get_backend(
         settings.feasibility, prune=settings.prune_fm, kernel=fm_kernel
@@ -597,6 +600,23 @@ class _SCCState:
     outcome: object = None
 
 
+@dataclass
+class _PreparedSCC:
+    """One SCC run through its pre-solve stages (batched dispatch).
+
+    ``result`` is set when the SCC finished early — a certificate
+    cache hit or a pre-solve verdict — otherwise ``state.final``
+    holds the assembled lambda system awaiting the batched solve.
+    """
+
+    state: _SCCState
+    result: object = None
+    fingerprint: str = ""
+    order: object = None
+    cache_state: str = ""
+    assembly_time: float = 0.0
+
+
 class AnalysisPipeline:
     """Staged execution engine bound to one program + settings.
 
@@ -613,6 +633,7 @@ class AnalysisPipeline:
         self.program = program
         self.settings = settings
         self.norm, self.backend = resolve_settings(settings)
+        self.fm_kernel = getattr(settings, "fm_kernel", "int")
         self.certificate_cache = certificate_cache
         self._environment = None
         self._environment_key = None
@@ -690,7 +711,8 @@ class AnalysisPipeline:
             mode=str(root_mode),
             norm=self.norm.name,
             backend=self.backend.name,
-        ):
+            kernel=self.fm_kernel,
+        ), use_kernel(self.fm_kernel):
             return self._run_traced(root_indicator, root_mode, trace)
 
     def _run_traced(self, root_indicator, root_mode, trace):
@@ -712,15 +734,25 @@ class AnalysisPipeline:
             )
 
         defined = self.program.defined_indicators()
-        scc_results = []
-        overall = PROVED
+        worklist = []
         for component in components:
             members = tuple(
                 node for node in component if node.indicator in defined
             )
             if not members:
                 continue  # EDB leaves: finite relations, nothing to prove
-            if not is_recursive_component(graph, component):
+            worklist.append(
+                (members, is_recursive_component(graph, component))
+            )
+        batched = (
+            isinstance(self.backend, BatchLPBackend)
+            and sum(1 for _, recursive in worklist if recursive) >= 2
+        )
+        scc_results = []
+        pending = []  # (result slot index, _PreparedSCC) awaiting solve
+        overall = PROVED
+        for members, recursive in worklist:
+            if not recursive:
                 with trace.timed("certify"):
                     scc_results.append(
                         SCCResult(
@@ -736,8 +768,16 @@ class AnalysisPipeline:
                         )
                     )
                 continue
-            result = self.analyze_scc(members, trace=trace)
-            scc_results.append(result)
+            if batched:
+                prepared = self._prepare_scc(members, trace)
+                if prepared.result is None:
+                    pending.append((len(scc_results), prepared))
+                scc_results.append(prepared.result)
+                continue
+            scc_results.append(self.analyze_scc(members, trace=trace))
+        if pending:
+            self._solve_scc_batch(pending, scc_results, trace)
+        for result in scc_results:
             if not result.proved:
                 overall = UNKNOWN
         return AnalysisResult(
@@ -769,7 +809,7 @@ class AnalysisPipeline:
         state = _SCCState(members=tuple(members))
         with trace.span(
             "scc", members=", ".join(str(m) for m in state.members)
-        ) as scc_span:
+        ) as scc_span, use_kernel(self.fm_kernel):
             fingerprint = ""
             order = None
             cache_state = ""
@@ -795,6 +835,83 @@ class AnalysisPipeline:
                         result, fingerprint, order, cache_state
                     )
         raise AnalysisError("certify stage returned no result")  # unreachable
+
+    def _prepare_scc(self, members, trace):
+        """Run one SCC's pre-solve stages (batched dispatch mode).
+
+        Mirrors :meth:`analyze_scc` up to the point the final lambda
+        system exists, then defers the feasibility solve: the caller
+        collects every prepared SCC and dispatches them through one
+        :meth:`~repro.solve.LPBackend.feasible_points` call.  Early
+        finishes (certificate reuse, a pre-solve verdict) come back
+        with ``.result`` already set.
+        """
+        state = _SCCState(members=tuple(members))
+        prepared = _PreparedSCC(state=state)
+        with trace.span(
+            "scc", members=", ".join(str(m) for m in state.members)
+        ) as scc_span, use_kernel(self.fm_kernel):
+            if self.certificate_cache is not None:
+                with trace.timed("fingerprint") as event:
+                    reused, prepared.fingerprint, prepared.order = (
+                        self._reuse_certificate(state.members, event)
+                    )
+                if reused is not None:
+                    scc_span.set(cache="hit")
+                    prepared.result = reused
+                    return prepared
+                prepared.cache_state = (
+                    "rejected" if event.cache_misses and event.cache_hits
+                    else "miss"
+                )
+                scc_span.set(cache=prepared.cache_state)
+            for name in self.SCC_STAGES[:-2]:
+                stage = getattr(self, "_stage_%s" % name)
+                with trace.timed(name) as event:
+                    result = stage(state, event)
+                if result is not None:
+                    prepared.result = self._publish_certificate(
+                        result, prepared.fingerprint, prepared.order,
+                        prepared.cache_state,
+                    )
+                    return prepared
+            started = perf_counter()
+            self._assemble_final(state)
+            prepared.assembly_time = perf_counter() - started
+        return prepared
+
+    def _solve_scc_batch(self, pending, scc_results, trace):
+        """Dispatch the deferred solves as one batched backend call.
+
+        Fills each pending ``(slot, prepared)`` entry of *scc_results*
+        in place.  Stage accounting matches the serial path: one
+        ``solve`` record per SCC (an even share of the batch wall time
+        plus that SCC's assembly time), then the ordinary ``certify``
+        stage; outcomes are byte-identical to serial solves by the
+        :class:`~repro.solve.BatchLPBackend` contract.
+        """
+        with use_kernel(self.fm_kernel):
+            finals = [prepared.state.final for _, prepared in pending]
+            with trace.span("solve.batch", sccs=len(finals)):
+                started = perf_counter()
+                outcomes = self.backend.feasible_points(finals)
+                share = (perf_counter() - started) / len(finals)
+            for (slot, prepared), outcome in zip(pending, outcomes):
+                state = prepared.state
+                state.outcome = outcome
+                event = StageTrace(
+                    stage="solve", calls=1,
+                    wall_time=share + prepared.assembly_time,
+                )
+                result = self._solve_verdict(state, event)
+                trace.add(event)
+                if result is None:
+                    with trace.timed("certify") as cevent:
+                        result = self._stage_certify(state, cevent)
+                scc_results[slot] = self._publish_certificate(
+                    result, prepared.fingerprint, prepared.order,
+                    prepared.cache_state,
+                )
 
     def _reuse_certificate(self, members, event):
         """Try the certificate cache for one SCC.
@@ -970,8 +1087,8 @@ class AnalysisPipeline:
             )
         return None
 
-    def _stage_solve(self, state, event):
-        """Final lambda feasibility through the configured backend."""
+    def _assemble_final(self, state):
+        """Build (and remember) the final lambda feasibility system."""
         if self.settings.allow_negative_theta:
             final = ConstraintSystem(state.combined)
             final.extend(state.lambda_system)
@@ -980,9 +1097,13 @@ class AnalysisPipeline:
             final = substitute_thetas(state.combined, state.thetas)
             final.extend(state.lambda_system)
         state.final = final
-        state.outcome = self.backend.feasible_point(final)
+        return final
+
+    def _solve_verdict(self, state, event):
+        """Fold ``state.outcome`` into the solve *event*; an UNKNOWN
+        :class:`SCCResult` on infeasibility, None to continue."""
         stats = state.outcome.stats
-        event.rows_in = len(final)
+        event.rows_in = len(state.final)
         event.rows_out = stats.rows_out
         event.pivots = stats.pivots
         event.eliminations = stats.eliminations
@@ -996,9 +1117,15 @@ class AnalysisPipeline:
                 members=state.members,
                 status=UNKNOWN,
                 reason=reason,
-                constraint_rows=len(final),
+                constraint_rows=len(state.final),
             )
         return None
+
+    def _stage_solve(self, state, event):
+        """Final lambda feasibility through the configured backend."""
+        final = self._assemble_final(state)
+        state.outcome = self.backend.feasible_point(final)
+        return self._solve_verdict(state, event)
 
     def _stage_certify(self, state, event):
         """Extract the lambda (and, in Appendix C mode, theta) witness."""

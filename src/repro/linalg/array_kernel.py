@@ -1,0 +1,746 @@
+"""Vectorized (numpy) array kernel for Fourier–Motzkin elimination.
+
+The integer row kernel of :mod:`repro.linalg.rows` already runs FM in
+machine ints, but still combines rows one positive×negative pair at a
+time in Python.  This module compiles the same loops into batched
+int64 matrix operations, the way TensorLog compiles logic-program
+inference into matrix algebra:
+
+- a workspace is a dense ``(rows, vars)`` int64 coefficient matrix
+  plus an int64 constant column;
+- one elimination step materializes *every* positive×negative
+  combination with a single broadcast multiply-add, gcd-normalizes the
+  whole block with ``np.gcd.reduce``, and applies Chernikov ancestor
+  pruning through a ``(rows, chunks)`` uint64 bitmask matrix and
+  ``np.bitwise_count``;
+- de-duplication and dominance pruning run as lexicographic
+  ``np.unique`` group-bys that reproduce the row kernel's
+  first-occurrence insertion order exactly.
+
+The contract is byte-identity with the integer row kernel (and hence
+with the reference object pipeline): same rows, same canonical form,
+same order.  Machine arithmetic is guarded — interning raises
+:class:`ArrayKernelUnavailable` when a coefficient does not fit int64,
+and every combination step prechecks a worst-case magnitude bound
+before multiplying, so a potential overflow *falls back to the exact
+integer path* instead of wrapping silently.  Callers catch the
+exception and rerun on the int kernel; the ``fm.array.*`` metrics
+count those falls.
+
+numpy is imported lazily: with numpy absent the kernel reports
+unavailable and the stdlib-only configuration keeps working.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import FMBlowupError
+from repro.linalg.constraints import ConstraintSystem
+from repro.linalg.rows import (
+    constraint_of_row,
+    intern_variables,
+    row_of_constraint,
+)
+from repro.obs import METRICS
+
+__all__ = [
+    "ArrayKernelUnavailable",
+    "ArrayStagedEliminator",
+    "numpy_available",
+    "require_numpy",
+    "tracked_project_array",
+    "eliminate_all_array",
+]
+
+#: Largest intermediate magnitude the combination step may produce
+#: before the kernel refuses and falls back to exact integers.  One
+#: bit of headroom under int64 so the gcd/normalize stages can never
+#: wrap either.
+_INT64_GUARD = 1 << 62
+
+_numpy = None
+_numpy_checked = False
+
+
+class ArrayKernelUnavailable(Exception):
+    """The array kernel cannot (or must not) run this projection.
+
+    Raised when numpy is missing, when input coefficients exceed
+    int64, or when a combination step could overflow.  Callers fall
+    back to the exact integer row kernel — never an error surface,
+    always a routing signal.
+    """
+
+    def __init__(self, reason, message):
+        super().__init__(message)
+        self.reason = reason  # "unavailable" | "overflow"
+
+
+def _load_numpy():
+    global _numpy, _numpy_checked
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy
+        except ImportError:
+            _numpy = None
+        else:
+            # np.bitwise_count (numpy >= 2.0) carries the Chernikov
+            # bitmask popcounts; without it the vectorized tracked
+            # path cannot run and the whole kernel reports missing.
+            _numpy = numpy if hasattr(numpy, "bitwise_count") else None
+    return _numpy
+
+
+def numpy_available():
+    """True when the array kernel can run in this process."""
+    return _load_numpy() is not None
+
+
+def require_numpy():
+    """The numpy module, or an ``unavailable`` fallback signal."""
+    np = _load_numpy()
+    if np is None:
+        if METRICS.enabled:
+            METRICS.counter("fm.array.fallbacks.unavailable").inc()
+        raise ArrayKernelUnavailable(
+            "unavailable",
+            "numpy (>= 2.0) is not importable; install repro[perf]",
+        )
+    return np
+
+
+def _overflow(message):
+    if METRICS.enabled:
+        METRICS.counter("fm.array.fallbacks.overflow").inc()
+    return ArrayKernelUnavailable("overflow", message)
+
+
+def _intern_matrix(np, rows, width):
+    """Rows (``(coeffs, const)`` int tuples) as int64 arrays, or the
+    overflow signal when any coefficient does not fit."""
+    try:
+        coeffs = np.array(
+            [row[0] for row in rows], dtype=np.int64
+        ).reshape(len(rows), width)
+        consts = np.array([row[1] for row in rows], dtype=np.int64)
+    except OverflowError:
+        raise _overflow("input coefficients exceed int64") from None
+    return coeffs, consts
+
+
+def _normalize_block(np, coeffs, consts):
+    """Batched gcd normalization + trivial-row mask.
+
+    Divides every row by the gcd of all its entries (constant
+    included) and returns the boolean mask of rows to *keep* —
+    ``normalize_row`` drops rows that reduce to ``c >= 0``.
+    """
+    if coeffs.shape[1]:
+        g = np.gcd(np.gcd.reduce(np.abs(coeffs), axis=1), np.abs(consts))
+    else:
+        g = np.abs(consts)
+    g = np.where(g > 1, g, 1)
+    coeffs = coeffs // g[:, None]
+    consts = consts // g
+    nonzero = (
+        (coeffs != 0).any(axis=1)
+        if coeffs.shape[1]
+        else np.zeros(len(consts), dtype=bool)
+    )
+    keep = nonzero | (consts < 0)
+    return coeffs, consts, keep
+
+
+def _record_view(np, matrix):
+    """The rows of an int64 matrix as fixed-width byte keys.
+
+    ``np.unique(axis=0)`` pays a large structured-dtype setup cost per
+    call; hashing raw row bytes into Python dicts is both faster at
+    these sizes and *exactly* mirrors the insertion-ordered dict/set
+    logic of the integer row kernel.
+    """
+    data = np.ascontiguousarray(matrix).tobytes()
+    width = matrix.shape[1] * matrix.itemsize
+    return [
+        data[i * width:(i + 1) * width] for i in range(len(matrix))
+    ]
+
+
+def _first_occurrence_mask(np, coeffs, consts, protect=0):
+    """Mask keeping the first occurrence of each distinct row.
+
+    The first *protect* rows are kept unconditionally (the tracked
+    eliminator retains duplicate pass-through rows; only combined rows
+    are checked against ``seen``) — but they still count as seen, so a
+    later combined row equal to any of them is dropped.
+    """
+    n = len(consts)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    keys = _record_view(
+        np, np.concatenate([coeffs, consts[:, None]], axis=1)
+    )
+    seen = set()
+    add = seen.add
+    flags = [False] * n
+    for i, key in enumerate(keys):
+        if i < protect:
+            flags[i] = True
+            add(key)
+        elif key not in seen:
+            flags[i] = True
+            add(key)
+    return np.array(flags, dtype=bool)
+
+
+def _dominance_select(np, coeffs, consts):
+    """Indices realizing the row kernel's dominance prune.
+
+    Groups rows by linear part; each group contributes one output row
+    — the first row attaining the group's minimal constant — and the
+    groups are emitted in first-occurrence order, exactly matching the
+    insertion-ordered ``best`` dict of ``RowKernel._dominance``.
+    """
+    if len(consts) == 0:
+        return np.zeros(0, dtype=np.int64)
+    keys = _record_view(np, coeffs)
+    values = consts.tolist()
+    best = {}
+    get = best.get
+    for i, key in enumerate(keys):
+        current = get(key)
+        if current is None or values[i] < values[current]:
+            best[key] = i
+    return np.fromiter(best.values(), dtype=np.int64, count=len(best))
+
+
+def _combination_bound(np, pos_c, pos_k, neg_c, neg_k, a, b):
+    """Worst-case magnitude of one combination block, in Python ints
+    (so the bound itself cannot wrap)."""
+
+    def peak(matrix, column):
+        top = int(np.abs(matrix).max()) if matrix.size else 0
+        return max(top, int(np.abs(column).max()) if column.size else 0)
+
+    return int(b.max()) * peak(pos_c, pos_k) + int(a.max()) * peak(
+        neg_c, neg_k
+    )
+
+
+class _ArrayWorkspace:
+    """The vectorized twin of :class:`repro.linalg.rows.RowKernel`.
+
+    ``histories`` is a ``(rows, chunks)`` uint64 bitmask matrix when
+    Chernikov tracking is on, else None.
+    """
+
+    __slots__ = ("np", "variables", "index", "reprs", "coeffs", "consts",
+                 "histories")
+
+    def __init__(self, np, system, track=False):
+        self.np = np
+        self.variables = intern_variables(system)
+        self.index = {var: i for i, var in enumerate(self.variables)}
+        self.reprs = [repr(var) for var in self.variables]
+        rows = [
+            row_of_constraint(constraint, self.variables)
+            for constraint in system.inequalities()
+        ]
+        self.coeffs, self.consts = _intern_matrix(
+            np, rows, len(self.variables)
+        )
+        if track:
+            count = len(rows)
+            chunks = max(1, -(-count // 64))
+            histories = np.zeros((count, chunks), dtype=np.uint64)
+            positions = np.arange(count)
+            histories[positions, positions // 64] = np.uint64(1) << (
+                positions % 64
+            ).astype(np.uint64)
+            self.histories = histories
+        else:
+            self.histories = None
+
+    def __len__(self):
+        return len(self.consts)
+
+    def choose(self, remaining):
+        """Cheapest present variable (min positives×negatives, ties by
+        ``repr``) — the same greedy heuristic, on vectorized counts."""
+        np = self.np
+        pos = (self.coeffs > 0).sum(axis=0)
+        neg = (self.coeffs < 0).sum(axis=0)
+        best_key = None
+        best_index = None
+        for j in remaining:
+            occurrences = int(pos[j]) + int(neg[j])
+            if not occurrences:
+                continue
+            key = (int(pos[j]) * int(neg[j]), self.reprs[j])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = j
+        return best_index
+
+    def eliminate(self, j, chernikov_limit=None, prune=True):
+        """One whole elimination step as array algebra."""
+        np = self.np
+        track = self.histories is not None
+        column = self.coeffs[:, j]
+        positive = column > 0
+        negative = column < 0
+        passthrough = ~(positive | negative)
+
+        kept_c = self.coeffs[passthrough]
+        kept_k = self.consts[passthrough]
+        kept_h = self.histories[passthrough] if track else None
+
+        pos_c = self.coeffs[positive]
+        pos_k = self.consts[positive]
+        neg_c = self.coeffs[negative]
+        neg_k = self.consts[negative]
+        pairs = len(pos_k) * len(neg_k)
+        chernikov_pruned = 0
+        if pairs:
+            if track:
+                merged = np.bitwise_or(
+                    self.histories[positive][:, None, :],
+                    self.histories[negative][None, :, :],
+                )
+                admissible = (
+                    np.bitwise_count(merged).sum(axis=2)
+                    <= chernikov_limit
+                ).reshape(-1)
+                chernikov_pruned = pairs - int(admissible.sum())
+            a = column[positive]
+            b = -column[negative]
+            if (
+                _combination_bound(np, pos_c, pos_k, neg_c, neg_k, a, b)
+                >= _INT64_GUARD
+            ):
+                raise _overflow("combination step would exceed int64")
+            comb_c = (
+                b[None, :, None] * pos_c[:, None, :]
+                + a[:, None, None] * neg_c[None, :, :]
+            ).reshape(pairs, self.coeffs.shape[1])
+            comb_k = (
+                b[None, :] * pos_k[:, None] + a[:, None] * neg_k[None, :]
+            ).reshape(pairs)
+            if track:
+                comb_h = merged.reshape(pairs, -1)[admissible]
+                comb_c = comb_c[admissible]
+                comb_k = comb_k[admissible]
+            comb_c, comb_k, survived = _normalize_block(np, comb_c, comb_k)
+            comb_c = comb_c[survived]
+            comb_k = comb_k[survived]
+            if track:
+                comb_h = comb_h[survived]
+        else:
+            comb_c = kept_c[:0]
+            comb_k = kept_k[:0]
+            comb_h = kept_h[:0] if track else None
+
+        all_c = np.concatenate([kept_c, comb_c])
+        all_k = np.concatenate([kept_k, comb_k])
+        # Untracked pass-through rows dedup among themselves too (the
+        # object path's ConstraintSystem.add semantics); tracked ones
+        # are retained verbatim for the dominance filter to collapse.
+        protect = len(kept_k) if track else 0
+        fresh = _first_occurrence_mask(np, all_c, all_k, protect=protect)
+        all_c = all_c[fresh]
+        all_k = all_k[fresh]
+        generated = int(fresh[len(kept_k):].sum())
+        if track:
+            all_h = np.concatenate([kept_h, comb_h])[fresh]
+
+        dominance_pruned = 0
+        if prune:
+            before = len(all_k)
+            # The chosen row *is* the minimal-constant row of its
+            # group, so gathering by index carries both pieces.
+            selected = _dominance_select(np, all_c, all_k)
+            all_c = all_c[selected]
+            all_k = all_k[selected]
+            if track:
+                all_h = all_h[selected]
+            dominance_pruned = before - len(all_k)
+        self.coeffs = all_c
+        self.consts = all_k
+        self.histories = all_h if track else None
+        if METRICS.enabled:
+            METRICS.counter("fm.array.rows.generated").inc(generated)
+            if chernikov_pruned:
+                METRICS.counter("fm.array.rows.pruned.chernikov").inc(
+                    chernikov_pruned
+                )
+            if dominance_pruned:
+                METRICS.counter("fm.array.rows.pruned.dominance").inc(
+                    dominance_pruned
+                )
+
+    def dominance_prune(self):
+        """The cheap pass of ``prune_redundant``, in array space.
+
+        Tracked rows are all ``>=`` and gcd-canonical, so grouping by
+        coefficient tuple is exactly grouping by linear part: the first
+        row attaining each group's minimal constant survives, groups in
+        first-occurrence order.
+        """
+        selected = _dominance_select(self.np, self.coeffs, self.consts)
+        self.coeffs = self.coeffs[selected]
+        self.consts = self.consts[selected]
+        if self.histories is not None:
+            self.histories = self.histories[selected]
+
+    def to_system(self, assume_unique=False):
+        """Materialize the surviving rows as canonical constraints.
+
+        *assume_unique* (set after :meth:`dominance_prune`, whose
+        output has one row per linear part) skips the add-time dedup
+        hashing — the result is byte-identical either way.
+        """
+        coeff_rows = self.coeffs.tolist()
+        const_values = self.consts.tolist()
+        rows = (
+            constraint_of_row((tuple(row), const), self.variables)
+            for row, const in zip(coeff_rows, const_values)
+        )
+        if assume_unique:
+            return ConstraintSystem._from_canonical_unique(rows)
+        return ConstraintSystem(rows)
+
+
+def tracked_project_array(system, variables, max_rows=600,
+                          prune_final=False):
+    """Array-kernel twin of :func:`repro.linalg.rows.tracked_project`.
+
+    Byte-identical projections; raises :class:`FMBlowupError` at the
+    same row budget and :class:`ArrayKernelUnavailable` when machine
+    arithmetic cannot be trusted (the caller reruns exactly).
+
+    With *prune_final* the cheap dominance pass of
+    ``prune_redundant`` is applied in array space before the rows are
+    materialized — the caller must then skip the object-level cheap
+    pass (tracked rows are all ``>=`` and gcd-canonical, so grouping
+    by coefficient tuple is exactly grouping by linear part).
+    """
+    np = require_numpy()
+    workspace = _ArrayWorkspace(np, system, track=True)
+    if METRICS.enabled:
+        METRICS.counter("fm.array.projections").inc()
+    remaining = {
+        workspace.index[var] for var in variables
+        if var in workspace.index
+    }
+    eliminated = 0
+    while remaining:
+        j = workspace.choose(remaining)
+        if j is None:
+            break
+        remaining.discard(j)
+        eliminated += 1
+        workspace.eliminate(j, chernikov_limit=eliminated + 1)
+        if max_rows is not None and len(workspace) > max_rows:
+            raise FMBlowupError(
+                "tracked elimination exceeded %d rows" % max_rows
+            )
+    if prune_final:
+        workspace.dominance_prune()
+    return workspace.to_system(assume_unique=prune_final)
+
+
+def eliminate_all_array(system, remaining, prune, lp_prune_threshold):
+    """Array-kernel twin of the row kernel's combination-only
+    ``eliminate_all`` tail (no equality mentions a remaining
+    variable)."""
+    from repro.linalg.fourier_motzkin import prune_redundant
+
+    np = require_numpy()
+    workspace = _ArrayWorkspace(np, system)
+    indices = {
+        workspace.index[var] for var in remaining
+        if var in workspace.index
+    }
+    while indices:
+        j = workspace.choose(indices)
+        if j is None:
+            break
+        workspace.eliminate(j, prune=prune)
+        indices.discard(j)
+        if (
+            lp_prune_threshold is not None
+            and len(workspace) > lp_prune_threshold
+        ):
+            pruned = prune_redundant(workspace.to_system(), use_lp=True)
+            workspace = _ArrayWorkspace(np, pruned)
+            indices = {
+                workspace.index[var] for var in remaining
+                if var in workspace.index
+            }
+    return workspace.to_system()
+
+
+def eliminate_one_array(system, var, prune=True):
+    """Array-kernel twin of one pure-combination elimination step."""
+    np = require_numpy()
+    workspace = _ArrayWorkspace(np, system)
+    j = workspace.index.get(var)
+    if j is None:
+        from repro.linalg.fourier_motzkin import prune_redundant
+
+        result = workspace.to_system()
+        return prune_redundant(result) if prune else result
+    workspace.eliminate(j, prune=prune)
+    return workspace.to_system()
+
+
+class ArrayStagedEliminator:
+    """Vectorized twin of :class:`repro.linalg.rows.StagedEliminator`.
+
+    Used by the ``fm`` feasibility backend under ``kernel="array"``:
+    every variable is eliminated in ``repr`` order with whole-block
+    array updates — integer Gaussian substitution while an equality
+    mentions the variable, batched positive×negative combination after
+    — keeping one snapshot per stage so the witness comes back by the
+    same reverse back-substitution, over exact Fractions.
+    """
+
+    __slots__ = ("np", "variables", "stages")
+
+    def __init__(self, system):
+        np = require_numpy()
+        self.np = np
+        self.variables = intern_variables(system)
+        rows = []
+        flags = []
+        for constraint in system:
+            rows.append(row_of_constraint(constraint, self.variables))
+            flags.append(constraint.is_equality())
+        coeffs, consts = _intern_matrix(np, rows, len(self.variables))
+        self.stages = [
+            (np.array(flags, dtype=bool), coeffs, consts)
+        ]
+
+    def run(self, prune=True):
+        """Eliminate every variable; returns the final stage."""
+        for j in range(len(self.variables)):
+            self.stages.append(self._stage(self.stages[-1], j, prune))
+        return self.stages[-1]
+
+    def _stage(self, stage, j, prune):
+        np = self.np
+        flags, coeffs, consts = stage
+        pivots = np.flatnonzero(flags & (coeffs[:, j] != 0))
+        if len(pivots):
+            return self._substitute(stage, j, int(pivots[0]))
+        return self._combine(stage, j, prune)
+
+    def _substitute(self, stage, j, eq_position):
+        """Vectorized integer Gaussian substitution: every row with a
+        nonzero coefficient becomes ``|c|*row - d*sign(c)*eq_row``."""
+        np = self.np
+        flags, coeffs, consts = stage
+        ecoeffs = coeffs[eq_position]
+        econst = consts[eq_position]
+        c = int(ecoeffs[j])
+        m = abs(c)
+        s = 1 if c > 0 else -1
+        keep = np.ones(len(consts), dtype=bool)
+        keep[eq_position] = False
+        flags = flags[keep]
+        coeffs = coeffs[keep]
+        consts = consts[keep]
+        d = coeffs[:, j]
+        touched = d != 0
+        scale = int(np.abs(d).max()) if touched.any() else 0
+        bound = m * max(
+            int(np.abs(coeffs).max()) if coeffs.size else 0,
+            int(np.abs(consts).max()) if consts.size else 0,
+        ) + scale * max(int(np.abs(ecoeffs).max(initial=0)), abs(int(econst)))
+        if bound >= _INT64_GUARD:
+            raise _overflow("substitution step would exceed int64")
+        ds = d * s
+        new_coeffs = np.where(
+            touched[:, None],
+            m * coeffs - ds[:, None] * ecoeffs[None, :],
+            coeffs,
+        )
+        new_consts = np.where(touched, m * consts - ds * econst, consts)
+        flags, new_coeffs, new_consts, keep = self._canonical_block(
+            flags, new_coeffs, new_consts, touched
+        )
+        flags = flags[keep]
+        new_coeffs = new_coeffs[keep]
+        new_consts = new_consts[keep]
+        # Dedup across *all* surviving rows (touched or not), first
+        # occurrence wins — StagedEliminator._substitute's ``seen``.
+        fresh = _first_occurrence_mask(
+            np,
+            np.concatenate([new_coeffs, flags[:, None].astype(np.int64)],
+                           axis=1),
+            new_consts,
+        )
+        return flags[fresh], new_coeffs[fresh], new_consts[fresh]
+
+    def _canonical_block(self, flags, coeffs, consts, touched):
+        """Vectorized ``StagedEliminator._canonical`` over the touched
+        rows: gcd-normalize, sign-normalize equalities, and mask away
+        trivial rows.  Untouched rows pass through unchanged."""
+        np = self.np
+        if coeffs.shape[1]:
+            g = np.gcd(np.gcd.reduce(np.abs(coeffs), axis=1),
+                       np.abs(consts))
+        else:
+            g = np.abs(consts)
+        g = np.where((g > 1) & touched, g, 1)
+        coeffs = coeffs // g[:, None]
+        consts = consts // g
+        nonzero = coeffs != 0
+        has_leading = (
+            nonzero.any(axis=1)
+            if coeffs.shape[1]
+            else np.zeros(len(consts), dtype=bool)
+        )
+        if coeffs.shape[1]:
+            lead_idx = np.argmax(nonzero, axis=1)
+            leading = coeffs[np.arange(len(consts)), lead_idx]
+        else:
+            leading = np.zeros(len(consts), dtype=np.int64)
+        flip = touched & flags & has_leading & (leading < 0)
+        coeffs = np.where(flip[:, None], -coeffs, coeffs)
+        consts = np.where(flip, -consts, consts)
+        # Equality contradiction rows sign-normalize their constant.
+        contra = touched & flags & ~has_leading & (consts < 0)
+        consts = np.where(contra, -consts, consts)
+        trivial_eq = touched & flags & ~has_leading & (consts == 0)
+        trivial_ge = touched & ~flags & ~has_leading & (consts >= 0)
+        keep = ~(trivial_eq | trivial_ge)
+        return flags, coeffs, consts, keep
+
+    def _combine(self, stage, j, prune):
+        """Batched pairwise combination over the inequality splits."""
+        np = self.np
+        flags, coeffs, consts = stage
+        if flags.any():
+            # Equalities split into +/- inequality pairs, in row order.
+            parts_c = []
+            parts_k = []
+            for i in range(len(consts)):
+                parts_c.append(coeffs[i])
+                parts_k.append(consts[i])
+                if flags[i]:
+                    parts_c.append(-coeffs[i])
+                    parts_k.append(-consts[i])
+            coeffs = np.stack(parts_c) if parts_c else coeffs
+            consts = np.array(parts_k, dtype=np.int64)
+        column = (
+            coeffs[:, j] if coeffs.shape[1] else
+            np.zeros(len(consts), dtype=np.int64)
+        )
+        positive = column > 0
+        negative = column < 0
+        passthrough = ~(positive | negative)
+        kept_c = coeffs[passthrough]
+        kept_k = consts[passthrough]
+        # Pass-through rows dedup on insertion.
+        fresh = _first_occurrence_mask(np, kept_c, kept_k)
+        kept_c = kept_c[fresh]
+        kept_k = kept_k[fresh]
+        pos_c = coeffs[positive]
+        pos_k = consts[positive]
+        neg_c = coeffs[negative]
+        neg_k = consts[negative]
+        pairs = len(pos_k) * len(neg_k)
+        if pairs:
+            a = column[positive]
+            b = -column[negative]
+            if (
+                _combination_bound(np, pos_c, pos_k, neg_c, neg_k, a, b)
+                >= _INT64_GUARD
+            ):
+                raise _overflow("combination step would exceed int64")
+            comb_c = (
+                b[None, :, None] * pos_c[:, None, :]
+                + a[:, None, None] * neg_c[None, :, :]
+            ).reshape(pairs, coeffs.shape[1])
+            comb_k = (
+                b[None, :] * pos_k[:, None] + a[:, None] * neg_k[None, :]
+            ).reshape(pairs)
+            comb_c, comb_k, survived = _normalize_block(np, comb_c, comb_k)
+            comb_c = comb_c[survived]
+            comb_k = comb_k[survived]
+            all_c = np.concatenate([kept_c, comb_c])
+            all_k = np.concatenate([kept_k, comb_k])
+            fresh = _first_occurrence_mask(
+                np, all_c, all_k, protect=len(kept_k)
+            )
+            all_c = all_c[fresh]
+            all_k = all_k[fresh]
+        else:
+            all_c = kept_c
+            all_k = kept_k
+        if prune and len(all_k):
+            selected = _dominance_select(np, all_c, all_k)
+            all_c = all_c[selected]
+            all_k = all_k[selected]
+        return (
+            np.zeros(len(all_k), dtype=bool),
+            all_c,
+            all_k,
+        )
+
+    # -- verdict and witness ------------------------------------------------
+
+    def has_contradiction(self):
+        """A constant-false row in the fully eliminated system?"""
+        np = self.np
+        flags, coeffs, consts = self.stages[-1]
+        constant = (
+            ~(coeffs != 0).any(axis=1)
+            if coeffs.shape[1]
+            else np.ones(len(consts), dtype=bool)
+        )
+        eq_bad = (flags & constant & (consts != 0)).any()
+        ge_bad = (~flags & constant & (consts < 0)).any()
+        return bool(eq_bad or ge_bad)
+
+    def witness(self):
+        """A satisfying assignment, identical to the integer staged
+        eliminator's — same stages, same interval midpoints."""
+        point = [None] * len(self.variables)
+        for j in range(len(self.variables) - 1, -1, -1):
+            point[j] = self._pick_value(self.stages[j], j, point)
+        return {
+            var: value for var, value in zip(self.variables, point)
+        }
+
+    def _pick_value(self, stage, j, point):
+        flags, coeffs, consts = stage
+        lower = None
+        upper = None
+        for i in range(len(consts)):
+            c = int(coeffs[i, j])
+            if c == 0:
+                continue
+            rest = Fraction(int(consts[i]))
+            row = coeffs[i]
+            for k in range(len(point)):
+                coefficient = int(row[k])
+                if coefficient and k != j:
+                    rest += coefficient * point[k]
+            bound = -rest / c
+            if flags[i]:
+                return bound
+            if c > 0:
+                lower = bound if lower is None else max(lower, bound)
+            else:
+                upper = bound if upper is None else min(upper, bound)
+        if lower is not None and upper is not None:
+            return (lower + upper) / 2
+        if lower is not None:
+            return lower
+        if upper is not None:
+            return upper
+        return Fraction(0)

@@ -165,14 +165,40 @@ class ConstraintSystem:
         for constraint in constraints:
             self.add(constraint)
 
+    @classmethod
+    def _from_canonical_unique(cls, constraints):
+        """Trusted boundary: wrap rows known to be canonical,
+        non-trivial, and pairwise distinct without re-hashing them.
+
+        The dedup set is built lazily on the first membership test or
+        ``add`` — kernels materializing large projections never pay
+        the (Fraction-heavy) constraint hashing unless a caller
+        actually mutates or probes the system.
+        """
+        self = cls.__new__(cls)
+        self._constraints = list(constraints)
+        self._seen = None
+        variables = set()
+        for constraint in self._constraints:
+            variables |= constraint.variables()
+        self._variables = variables
+        return self
+
+    def _dedup_index(self):
+        seen = self._seen
+        if seen is None:
+            seen = self._seen = set(self._constraints)
+        return seen
+
     def add(self, constraint):
         """Add one constraint (normalized, de-duplicated)."""
         if not isinstance(constraint, Constraint):
             raise TypeError("expected Constraint, got %r" % (constraint,))
         if constraint.is_trivial():
             return
-        if constraint not in self._seen:
-            self._seen.add(constraint)
+        seen = self._dedup_index()
+        if constraint not in seen:
+            seen.add(constraint)
             self._constraints.append(constraint)
             self._variables |= constraint.variables()
 
@@ -189,10 +215,10 @@ class ConstraintSystem:
     def constraint_set(self):
         """The constraints as a set (rows are canonically normalized,
         so set equality means syntactic system equality)."""
-        return frozenset(self._seen)
+        return frozenset(self._dedup_index())
 
     def __contains__(self, constraint):
-        return constraint in self._seen
+        return constraint in self._dedup_index()
 
     def variables(self):
         """The variables occurring in this object.

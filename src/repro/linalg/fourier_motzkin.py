@@ -28,6 +28,8 @@ optional exact LP-based pass (used by the ablation benchmarks).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from fractions import Fraction
 
 from repro.errors import FMBlowupError, LinAlgError
@@ -37,36 +39,67 @@ from repro.linalg.rows import RowKernel, tracked_project
 
 __all__ = [
     "FMBlowupError",
+    "KERNEL_ARRAY",
     "KERNEL_INT",
     "KERNEL_REFERENCE",
+    "KERNELS",
+    "default_kernel",
     "eliminate",
     "eliminate_all",
     "eliminate_all_tracked",
     "project_onto",
     "prune_redundant",
+    "use_kernel",
 ]
 
-#: The integer row kernel (default) and the original object path.
+#: The integer row kernel (default), the vectorized numpy kernel, and
+#: the original object path.
 KERNEL_INT = "int"
+KERNEL_ARRAY = "array"
 KERNEL_REFERENCE = "reference"
+KERNELS = (KERNEL_INT, KERNEL_ARRAY, KERNEL_REFERENCE)
+
+#: The process-default kernel: public entry points accept
+#: ``kernel=None`` and fall back to this, so callers that never pass a
+#: kernel (the polyhedron domain's hull/projection operations) follow
+#: the analyzer's configured choice.  A :class:`ContextVar` keeps
+#: concurrent analyses with different settings independent.
+_DEFAULT_KERNEL = ContextVar("repro_fm_kernel", default=KERNEL_INT)
+
+
+def default_kernel():
+    """The kernel used when a call site does not name one."""
+    return _DEFAULT_KERNEL.get()
+
+
+@contextmanager
+def use_kernel(kernel):
+    """Scope the process-default FM kernel to a ``with`` block."""
+    token = _DEFAULT_KERNEL.set(_validate_kernel(kernel))
+    try:
+        yield
+    finally:
+        _DEFAULT_KERNEL.reset(token)
 
 
 def _validate_kernel(kernel):
-    if kernel not in (KERNEL_INT, KERNEL_REFERENCE):
+    if kernel is None:
+        return _DEFAULT_KERNEL.get()
+    if kernel not in KERNELS:
         raise LinAlgError(
-            "unknown FM kernel %r; choose %r or %r"
-            % (kernel, KERNEL_INT, KERNEL_REFERENCE)
+            "unknown FM kernel %r; choose one of %s"
+            % (kernel, ", ".join(repr(k) for k in KERNELS))
         )
     return kernel
 
 
-def eliminate(system, var, prune=True, kernel=KERNEL_INT):
+def eliminate(system, var, prune=True, kernel=None):
     """Eliminate *var* from *system*; the result has no occurrence of it.
 
     Returns a new :class:`ConstraintSystem` over the remaining
     variables whose solution set is exactly the projection.
     """
-    _validate_kernel(kernel)
+    kernel = _validate_kernel(kernel)
     relevant_eq = None
     for constraint in system:
         if constraint.is_equality() and var in constraint.variables():
@@ -77,6 +110,16 @@ def eliminate(system, var, prune=True, kernel=KERNEL_INT):
         return _eliminate_by_substitution(system, var, relevant_eq)
     if kernel == KERNEL_REFERENCE:
         return _eliminate_by_combination(system, var, prune=prune)
+    if kernel == KERNEL_ARRAY:
+        from repro.linalg.array_kernel import (
+            ArrayKernelUnavailable,
+            eliminate_one_array,
+        )
+
+        try:
+            return eliminate_one_array(system, var, prune=prune)
+        except ArrayKernelUnavailable:
+            pass  # machine arithmetic refused: exact path below
     return _kernel_combination(system, var, prune=prune)
 
 
@@ -135,7 +178,7 @@ def _eliminate_by_combination(system, var, prune=True):
 
 
 def eliminate_all(system, variables, prune=True, lp_prune_threshold=None,
-                  kernel=KERNEL_INT):
+                  kernel=None):
     """Eliminate every variable in *variables*, cheapest-first.
 
     The next variable to eliminate is chosen greedily to minimize the
@@ -151,7 +194,7 @@ def eliminate_all(system, variables, prune=True, lp_prune_threshold=None,
     many rows.  This is the practical move that keeps repeated convex
     hulls (inter-argument inference) tractable.
     """
-    _validate_kernel(kernel)
+    kernel = _validate_kernel(kernel)
     remaining = set(variables)
     current = system
     while remaining:
@@ -159,10 +202,23 @@ def eliminate_all(system, variables, prune=True, lp_prune_threshold=None,
         if not costs:
             break
         var = min(costs, key=lambda v: costs[v])
-        if costs[var][0] >= 0 and kernel == KERNEL_INT:
+        if costs[var][0] >= 0 and kernel != KERNEL_REFERENCE:
             # No equality mentions any remaining variable: every step
             # from here on is pure combination — run them all in the
-            # row kernel and materialize once.
+            # row kernel (or its vectorized array twin) and
+            # materialize once.
+            if kernel == KERNEL_ARRAY:
+                from repro.linalg.array_kernel import (
+                    ArrayKernelUnavailable,
+                    eliminate_all_array,
+                )
+
+                try:
+                    return eliminate_all_array(
+                        current, remaining, prune, lp_prune_threshold
+                    )
+                except ArrayKernelUnavailable:
+                    pass  # machine arithmetic refused: exact path below
             return _kernel_eliminate_all(
                 current, remaining, prune, lp_prune_threshold
             )
@@ -237,7 +293,7 @@ def _elimination_costs(system, remaining):
 
 
 def project_onto(system, keep, prune=True, lp_prune_threshold=None,
-                 kernel=KERNEL_INT):
+                 kernel=None):
     """Project the solution set onto the variables in *keep*."""
     keep = set(keep)
     to_eliminate = system.variables() - keep
@@ -249,7 +305,7 @@ def project_onto(system, keep, prune=True, lp_prune_threshold=None,
 
 def eliminate_all_tracked(
     system, variables, final_lp_prune=True, max_rows=600,
-    kernel=KERNEL_INT,
+    kernel=None,
 ):
     """Projection by pure-inequality FM with Chernikov ancestor pruning.
 
@@ -265,8 +321,29 @@ def eliminate_all_tracked(
     instead.  A final exact LP prune (small by then) yields a tidy
     result.
     """
-    _validate_kernel(kernel)
-    if kernel == KERNEL_INT:
+    kernel = _validate_kernel(kernel)
+    pre_pruned = False
+    if kernel == KERNEL_ARRAY:
+        from repro.linalg.array_kernel import (
+            ArrayKernelUnavailable,
+            tracked_project_array,
+        )
+
+        try:
+            # The array path applies prune_redundant's cheap dominance
+            # pass in array space, before row materialization — the
+            # object-level cheap pass below would be an identity.
+            result = tracked_project_array(
+                system, variables, max_rows=max_rows, prune_final=True
+            )
+            pre_pruned = True
+        except ArrayKernelUnavailable:
+            # numpy missing or machine arithmetic refused: rerun the
+            # whole projection on the exact integer path (both are
+            # deterministic, so the output is the one the array path
+            # would have produced).
+            result = tracked_project(system, variables, max_rows=max_rows)
+    elif kernel == KERNEL_INT:
         result = tracked_project(system, variables, max_rows=max_rows)
     else:
         result = _reference_tracked(system, variables, max_rows)
@@ -274,8 +351,11 @@ def eliminate_all_tracked(
     # results that are already small (the quadratic pass on a big
     # system would dominate everything else).
     if final_lp_prune and 1 < len(result) <= 60:
-        result = prune_redundant(result, use_lp=True)
-    else:
+        result = (
+            _prune_with_lp(result) if pre_pruned
+            else prune_redundant(result, use_lp=True)
+        )
+    elif not pre_pruned:
         result = prune_redundant(result)
     return result
 

@@ -12,6 +12,7 @@ Importing this package registers both built-in backends.
 """
 
 from repro.solve.backend import (
+    BatchLPBackend,
     LPBackend,
     SolveOutcome,
     SolveStats,
@@ -23,6 +24,7 @@ from repro.solve.simplex_backend import SimplexBackend
 from repro.solve.fm_backend import FourierMotzkinBackend
 
 __all__ = [
+    "BatchLPBackend",
     "LPBackend",
     "SolveOutcome",
     "SolveStats",

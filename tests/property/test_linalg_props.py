@@ -16,6 +16,7 @@ from fractions import Fraction
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import FMBlowupError
 from repro.linalg.constraints import Constraint, ConstraintSystem
 from repro.linalg.fourier_motzkin import (
     eliminate,
@@ -137,7 +138,13 @@ def test_weak_join_above_exact_join(first, second):
     left, right = _poly(first), _poly(second)
     if left.is_empty() or right.is_empty():
         return
-    exact = left.join_exact(right)
+    try:
+        exact = left.join_exact(right)
+    except FMBlowupError:
+        # The row-budget guard firing is a documented outcome of
+        # join_exact on adversarial inputs (Polyhedron.join then falls
+        # back to the weak join) — nothing to compare on this example.
+        return
     weak = left.join_weak(right)
     assert exact.entails(weak)
 
