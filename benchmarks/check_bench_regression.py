@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Compare fresh BENCH_*.json artifacts against checked-in baselines.
+
+The headline artifacts mix three kinds of fields, and the checker
+treats them differently:
+
+- **invariants** — booleans (``verdicts_identical``,
+  ``byte_identical``) and structural counts (``rows_out``,
+  ``programs``, ``systems``, ``sccs_reused`` …).  These describe
+  *correctness*, not the machine: they must match the baseline
+  exactly.
+- **quality ratios** — ``speedup``, ``*_speedup*``,
+  ``cold_over_warm``, ``median_speedup``.  Dimensionless
+  better-is-bigger numbers that survive a machine change but wobble
+  with load: a fresh value may not fall below
+  ``baseline * (1 - tolerance)``.  Improvements always pass.
+- **absolute timings** — ``*_seconds``, ``*_ms``,
+  ``*_per_second``, plus environment fields (``cores``, ``kernel``,
+  ``host`` …).  Machine-dependent; ignored.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH
+    python benchmarks/check_bench_regression.py baseline_dir fresh_dir \
+        --tolerance 0.5
+
+File arguments compare one pair; directory arguments compare every
+``BENCH_*.json`` present in both (missing fresh twins are reported).
+Exit 0 when nothing regressed, 1 otherwise, one problem per line.
+Stdlib only — CI runs this in the bench-smoke job after regenerating
+the artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Leaf keys compared exactly (correctness facts).
+INVARIANT_KEYS = {
+    "verdicts_identical", "witnesses_identical", "byte_identical",
+    "rows_out", "programs", "systems", "feasible",
+    "sccs_reused", "sccs_reproved", "sccs_rejected", "repeats", "jobs",
+    "workload", "program", "status", "verdict",
+}
+
+#: Leaf-key suffixes treated as better-is-bigger quality ratios.
+RATIO_SUFFIXES = ("speedup", "cold_over_warm")
+
+#: Leaf-key suffixes that are machine-dependent and ignored.
+IGNORED_SUFFIXES = (
+    "_seconds", "_ms", "_per_second", "timestamp", "revision",
+    "cores", "host", "kernel", "scaling_measured",
+)
+
+
+def classify(key):
+    """``invariant`` / ``ratio`` / ``ignored`` for one leaf key."""
+    if key in INVARIANT_KEYS:
+        return "invariant"
+    if any(key == s or key.endswith(s) for s in RATIO_SUFFIXES) \
+            or "speedup" in key:
+        return "ratio"
+    if any(key.endswith(s) or key == s.lstrip("_")
+           for s in IGNORED_SUFFIXES):
+        return "ignored"
+    return "invariant"
+
+
+def _leaves(obj, path=""):
+    """Yield ``(path, leaf_key, value)`` for every scalar leaf."""
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            yield from _leaves(obj[key], "%s.%s" % (path, key))
+    elif isinstance(obj, list):
+        for index, item in enumerate(obj):
+            yield from _leaves(item, "%s[%d]" % (path, index))
+    else:
+        yield path, path.rsplit(".", 1)[-1].split("[")[0], obj
+
+
+def compare_artifacts(baseline, fresh, tolerance, label=""):
+    """Problems between one baseline/fresh artifact pair."""
+    problems = []
+    fresh_leaves = {
+        path: (key, value) for path, key, value in _leaves(fresh)
+    }
+    for path, key, base_value in _leaves(baseline):
+        kind = classify(key)
+        if kind == "ignored":
+            continue
+        where = "%s%s" % (label, path)
+        if path not in fresh_leaves:
+            problems.append("%s: missing from fresh artifact" % where)
+            continue
+        fresh_value = fresh_leaves[path][1]
+        if kind == "invariant":
+            if fresh_value != base_value:
+                problems.append(
+                    "%s: invariant changed: baseline %r, fresh %r"
+                    % (where, base_value, fresh_value)
+                )
+        else:  # ratio
+            if not isinstance(base_value, (int, float)) \
+                    or isinstance(base_value, bool):
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if not isinstance(fresh_value, (int, float)) \
+                    or isinstance(fresh_value, bool):
+                problems.append(
+                    "%s: ratio is not numeric in fresh artifact (%r)"
+                    % (where, fresh_value)
+                )
+            elif fresh_value < floor:
+                problems.append(
+                    "%s: regressed: baseline %.4g, fresh %.4g "
+                    "(floor %.4g at tolerance %.0f%%)"
+                    % (where, base_value, fresh_value, floor,
+                       tolerance * 100)
+                )
+    return problems
+
+
+def _pairs(baseline, fresh):
+    """``(name, baseline_path, fresh_path_or_None)`` pairs to check."""
+    if os.path.isdir(baseline):
+        if not os.path.isdir(fresh):
+            raise SystemExit(
+                "baseline is a directory but fresh is not: %r" % fresh
+            )
+        pairs = []
+        for path in sorted(
+            glob.glob(os.path.join(baseline, "BENCH_*.json"))
+        ):
+            name = os.path.basename(path)
+            twin = os.path.join(fresh, name)
+            pairs.append(
+                (name, path, twin if os.path.exists(twin) else None)
+            )
+        if not pairs:
+            raise SystemExit(
+                "no BENCH_*.json artifacts under %r" % baseline
+            )
+        return pairs
+    return [(os.path.basename(baseline), baseline, fresh)]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Check fresh benchmark artifacts against "
+        "baselines: exact match on correctness invariants, bounded "
+        "regression on quality ratios, timings ignored.",
+    )
+    parser.add_argument("baseline", help="baseline JSON file or dir")
+    parser.add_argument("fresh", help="fresh JSON file or dir")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="FRACTION",
+        help="allowed relative drop in quality ratios (default 0.5: "
+        "a fresh speedup may be at most 50%% below baseline)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    problems = []
+    checked = 0
+    for name, baseline_path, fresh_path in _pairs(
+        args.baseline, args.fresh
+    ):
+        if fresh_path is None:
+            problems.append(
+                "%s: no fresh artifact was generated" % name
+            )
+            continue
+        try:
+            with open(baseline_path) as handle:
+                baseline = json.load(handle)
+            with open(fresh_path) as handle:
+                fresh = json.load(handle)
+        except (OSError, ValueError) as error:
+            problems.append("%s: unreadable artifact: %s" % (name, error))
+            continue
+        problems.extend(
+            compare_artifacts(
+                baseline, fresh, args.tolerance, label="%s:" % name
+            )
+        )
+        checked += 1
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print("FAIL: %d problem(s) across %d artifact(s)"
+              % (len(problems), checked), file=sys.stderr)
+        return 1
+    print("OK: %d artifact(s) within tolerance" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

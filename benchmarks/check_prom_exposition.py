@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Lint a Prometheus text exposition for spec conformance.
+
+Checks the invariants a real scraper relies on, against the text
+format spec (``text/plain; version=0.0.4``) rather than against our
+renderer's implementation:
+
+- metric and label names match the spec grammars;
+- every sample's family has a preceding ``# TYPE`` line, and samples
+  of one family are contiguous (no interleaving);
+- counter families follow the ``_total`` naming convention;
+- sample values parse as Prometheus numbers (int/float/NaN/+-Inf);
+- histogram families are complete and coherent: cumulative
+  non-decreasing ``_bucket`` series per label set, a terminal
+  ``le="+Inf"`` bucket equal to ``_count``, and ``_sum``/``_count``
+  present.
+
+Run against a file, stdin, or a live daemon::
+
+    python benchmarks/check_prom_exposition.py exposition.txt
+    repro-analyze ... | python benchmarks/check_prom_exposition.py -
+    python benchmarks/check_prom_exposition.py --url http://127.0.0.1:8421
+
+The ``--url`` mode performs the scrape itself (GET /v1/metrics with
+``Accept: text/plain``) and additionally checks the Content-Type
+header.  Exit code 0 on a clean exposition, 1 with one problem per
+line otherwise.  Stdlib only — CI runs this in the serve-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+SAMPLE = re.compile(
+    r"^(?P<name>[^\s{]+)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([^=,]+)="((?:[^"\\]|\\.)*)"')
+VALUE = re.compile(
+    r"^(?:[+-]?Inf|NaN|[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)$"
+)
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name, types):
+    """The declared family a sample belongs to (histogram samples use
+    suffixed names), or None if undeclared."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def _parse_labels(text):
+    """``(pairs, problems)`` for one sample's label body text."""
+    problems = []
+    pairs = []
+    if not text:
+        return pairs, problems
+    consumed = 0
+    for match in LABEL_PAIR.finditer(text):
+        name, value = match.group(1), match.group(2)
+        name = name.lstrip(",")
+        if not LABEL_NAME.match(name):
+            problems.append("bad label name %r" % name)
+        pairs.append((name, value))
+        consumed = match.end()
+    remainder = text[consumed:].strip(", ")
+    if remainder:
+        problems.append("unparseable label text %r" % remainder)
+    return pairs, problems
+
+
+def lint_exposition(text):
+    """Problems with one exposition text (empty list = conformant)."""
+    problems = []
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+
+    types = {}            # family -> declared type
+    finished = set()      # families whose sample block has ended
+    current_family = None
+    # histogram state: (family, label_subset) -> list of (le, value)
+    buckets = {}
+    sums = set()
+    counts = {}
+
+    for line_number, line in enumerate(text.splitlines(), 1):
+        where = "line %d" % line_number
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) < 2 or fields[1] not in ("TYPE", "HELP"):
+                continue  # arbitrary comments are legal
+            if len(fields) < 3:
+                problems.append("%s: bare # %s line" % (where, fields[1]))
+                continue
+            family = fields[2]
+            if fields[1] == "TYPE":
+                if len(fields) < 4 or fields[3].split()[0] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    problems.append(
+                        "%s: TYPE %s needs a valid type" % (where, family)
+                    )
+                    continue
+                if family in types:
+                    problems.append(
+                        "%s: duplicate TYPE for %s" % (where, family)
+                    )
+                kind = fields[3].split()[0]
+                types[family] = kind
+                if not METRIC_NAME.match(family):
+                    problems.append(
+                        "%s: illegal family name %r" % (where, family)
+                    )
+                if kind == "counter" and not family.endswith("_total"):
+                    problems.append(
+                        "%s: counter %s should follow the _total "
+                        "naming convention" % (where, family)
+                    )
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            problems.append("%s: unparseable sample %r" % (where, line))
+            continue
+        name, label_text, value = (
+            match.group("name"), match.group("labels"),
+            match.group("value"),
+        )
+        if not METRIC_NAME.match(name):
+            problems.append("%s: illegal metric name %r" % (where, name))
+        if not VALUE.match(value):
+            problems.append("%s: bad sample value %r" % (where, value))
+        pairs, label_problems = _parse_labels(label_text or "")
+        problems.extend("%s: %s" % (where, p) for p in label_problems)
+
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(
+                "%s: sample %s has no preceding # TYPE" % (where, name)
+            )
+            continue
+        if family != current_family:
+            if family in finished:
+                problems.append(
+                    "%s: family %s samples are not contiguous"
+                    % (where, family)
+                )
+            if current_family is not None:
+                finished.add(current_family)
+            current_family = family
+
+        if types[family] != "histogram":
+            continue
+        others = tuple(sorted(
+            (k, v) for k, v in pairs if k != "le"
+        ))
+        if name.endswith("_bucket"):
+            le = dict(pairs).get("le")
+            if le is None:
+                problems.append(
+                    "%s: %s bucket without an le label" % (where, name)
+                )
+                continue
+            buckets.setdefault((family, others), []).append(
+                (le, float(value))
+            )
+        elif name.endswith("_sum"):
+            sums.add((family, others))
+        elif name.endswith("_count"):
+            counts[(family, others)] = float(value)
+
+    histogram_families = {
+        family for family, kind in types.items() if kind == "histogram"
+    }
+    seen_histograms = {key[0] for key in buckets}
+    for family in sorted(histogram_families - seen_histograms):
+        problems.append("histogram %s declared but has no buckets"
+                        % family)
+    for (family, others), series in sorted(buckets.items()):
+        label = family + (
+            "{%s}" % ",".join("%s=%s" % p for p in others)
+            if others else ""
+        )
+        values = [value for _, value in series]
+        if values != sorted(values):
+            problems.append(
+                "histogram %s buckets are not cumulative "
+                "non-decreasing" % label
+            )
+        if series[-1][0] != "+Inf":
+            problems.append(
+                "histogram %s must end with an le=\"+Inf\" bucket"
+                % label
+            )
+        if (family, others) not in sums:
+            problems.append("histogram %s is missing _sum" % label)
+        if (family, others) not in counts:
+            problems.append("histogram %s is missing _count" % label)
+        elif series[-1][0] == "+Inf" and \
+                counts[(family, others)] != series[-1][1]:
+            problems.append(
+                "histogram %s: le=\"+Inf\" bucket (%g) != _count (%g)"
+                % (label, series[-1][1], counts[(family, others)])
+            )
+    return problems
+
+
+def scrape(url, timeout=10.0):
+    """GET ``{url}/v1/metrics`` with ``Accept: text/plain``; returns
+    ``(content_type, body_text)``."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else "http://" + url)
+    connection = http.client.HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 8421,
+        timeout=timeout,
+    )
+    try:
+        connection.request(
+            "GET", "/v1/metrics", headers={"Accept": "text/plain"}
+        )
+        response = connection.getresponse()
+        if response.status != 200:
+            raise SystemExit(
+                "scrape failed: HTTP %d from %s" % (response.status, url)
+            )
+        return (
+            response.getheader("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+    finally:
+        connection.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Lint a Prometheus text exposition "
+        "(file, stdin, or a live repro-serve scrape).",
+    )
+    parser.add_argument(
+        "source", nargs="?", default=None,
+        help="exposition file to lint ('-' = stdin)",
+    )
+    parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="scrape a live daemon's /v1/metrics instead of reading "
+        "a file (also checks the Content-Type header)",
+    )
+    args = parser.parse_args(argv)
+    problems = []
+    if args.url:
+        content_type, text = scrape(args.url)
+        if not content_type.startswith("text/plain"):
+            problems.append(
+                "scrape Content-Type %r is not text/plain" % content_type
+            )
+        elif "version=0.0.4" not in content_type:
+            problems.append(
+                "scrape Content-Type %r lacks version=0.0.4"
+                % content_type
+            )
+    elif args.source in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            text = handle.read()
+    problems.extend(lint_exposition(text))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print("FAIL: %d problem(s) in the exposition" % len(problems),
+              file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print("OK: exposition conformant (%d samples)" % samples)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -162,6 +162,11 @@ def build_parser():
         help="send the request to a running repro-serve daemon "
         "(e.g. http://127.0.0.1:8421) instead of solving locally",
     )
+    parser.add_argument(
+        "--profile-out", metavar="PATH",
+        help="sample the interpreter while the command runs and write "
+        "collapsed stacks (flamegraph.pl / speedscope input) to PATH",
+    )
     return parser
 
 
@@ -177,6 +182,29 @@ def parse_root(text):
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if not args.profile_out:
+        return _run_cli(args)
+    from repro.obs.profiler import SamplingProfiler
+
+    profiler = SamplingProfiler()
+    profiler.start()
+    try:
+        return _run_cli(args)
+    finally:
+        profiler.stop()
+        try:
+            stacks = profiler.write(args.profile_out)
+        except OSError as error:
+            print("cannot write profile: %s" % error, file=sys.stderr)
+        else:
+            print("wrote %d collapsed stack(s) (%d samples) to %s"
+                  % (stacks, profiler.samples, args.profile_out),
+                  file=sys.stderr)
+
+
+def _run_cli(args):
+    """The parsed-args body of ``main`` (split out so --profile-out
+    can bracket every exit path with one try/finally)."""
     if args.all_modes:
         if args.root or args.mode:
             raise SystemExit("--all-modes excludes --root/--mode")

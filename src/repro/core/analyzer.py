@@ -189,9 +189,15 @@ class TerminationAnalyzer:
 
     # -- analysis -----------------------------------------------------------------
 
-    def analyze(self, root_indicator, root_mode):
-        """Analyze termination of the *root_mode* query on the root."""
-        return self.pipeline.run(root_indicator, root_mode)
+    def analyze(self, root_indicator, root_mode, request_id=None):
+        """Analyze termination of the *root_mode* query on the root.
+
+        *request_id* threads an external correlation id onto the root
+        span (see :meth:`AnalysisPipeline.run`).
+        """
+        return self.pipeline.run(
+            root_indicator, root_mode, request_id=request_id
+        )
 
     def analyze_scc(self, members, trace=None):
         """Run Sections 3–6 for one recursive SCC of adorned nodes."""

@@ -701,18 +701,26 @@ class AnalysisPipeline:
 
     # -- program-level stages -------------------------------------------------
 
-    def run(self, root_indicator, root_mode):
-        """Full analysis of the *root_mode* query on the root."""
+    def run(self, root_indicator, root_mode, request_id=None):
+        """Full analysis of the *root_mode* query on the root.
+
+        *request_id*, when given (the serve layer always passes one),
+        is stamped onto the root ``analyze`` span — the join key
+        between a trace, the daemon's access-log line, and the
+        ``X-Repro-Request-Id`` a client saw.
+        """
         root_indicator = tuple(root_indicator)
         trace = AnalysisTrace()
-        with trace.span(
-            "analyze",
+        attrs = dict(
             root="%s/%d" % root_indicator,
             mode=str(root_mode),
             norm=self.norm.name,
             backend=self.backend.name,
             kernel=self.fm_kernel,
-        ), use_kernel(self.fm_kernel):
+        )
+        if request_id is not None:
+            attrs["request_id"] = str(request_id)
+        with trace.span("analyze", **attrs), use_kernel(self.fm_kernel):
             return self._run_traced(root_indicator, root_mode, trace)
 
     def _run_traced(self, root_indicator, root_mode, trace):

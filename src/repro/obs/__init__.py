@@ -12,7 +12,13 @@ package answers *where the time and work went*:
   (``repro.trace/1``), file and in-memory sinks, and the
   write/read round trip behind ``--trace-out`` and ``repro-trace``;
 - :mod:`repro.obs.render` — text rendering: the flamegraph-style
-  time tree and the ``--metrics`` table.
+  time tree and the ``--metrics`` table;
+- :mod:`repro.obs.ops` — the operational layer (Prometheus text
+  exposition, structured access logs, rolling SLO windows) the serve
+  daemon exposes;
+- :mod:`repro.obs.profiler` — the stdlib sampling profiler behind
+  ``repro-analyze --profile-out`` and the daemon's SIGUSR2 toggle;
+- :mod:`repro.obs.top` — the ``repro-top`` live terminal dashboard.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and the recipe for
 adding a new counter or span.
@@ -26,7 +32,10 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     diff_snapshots,
+    histogram_quantile,
+    labeled,
     merge_snapshots,
+    split_labels,
 )
 from repro.obs.render import render_metrics, render_tree
 from repro.obs.sinks import (
@@ -49,7 +58,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "diff_snapshots",
+    "histogram_quantile",
+    "labeled",
     "merge_snapshots",
+    "split_labels",
     "render_metrics",
     "render_tree",
     "SCHEMA",

@@ -44,6 +44,9 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "merge_snapshots",
     "diff_snapshots",
+    "labeled",
+    "split_labels",
+    "histogram_quantile",
 ]
 
 #: Default histogram bucket upper bounds (roughly log-spaced).
@@ -251,6 +254,78 @@ def diff_snapshots(after, before):
                 "count": data["count"] - base["count"],
             }
     return delta
+
+
+def labeled(name, **labels):
+    """Attach Prometheus-style labels to an instrument name.
+
+    The registry stays a flat name-keyed map — a labeled series is
+    just a name carrying a deterministic ``{key="value",...}`` suffix
+    (keys sorted, values escaped), so snapshot merge/diff algebra is
+    untouched and ``repro.obs.ops.prometheus`` can split the suffix
+    back out at exposition time::
+
+        METRICS.counter(labeled("serve.responses", status=200)).inc()
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        '%s="%s"' % (
+            key,
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"),
+        )
+        for key, value in sorted(labels.items())
+    )
+    return "%s{%s}" % (name, inner)
+
+
+def split_labels(name):
+    """Split a :func:`labeled` name into ``(base, label_suffix)``.
+
+    *label_suffix* is the raw ``key="value",...`` text (empty for an
+    unlabeled name); it is already valid Prometheus label syntax, so
+    renderers can reuse it verbatim.
+    """
+    base, brace, rest = name.partition("{")
+    if brace and rest.endswith("}"):
+        return base, rest[:-1]
+    return name, ""
+
+
+def histogram_quantile(buckets, counts, quantile):
+    """Estimate a quantile from fixed-bucket counts by linear
+    interpolation within the owning bucket (the ``histogram_quantile``
+    rule Prometheus uses).
+
+    *buckets* are the upper bounds, *counts* the per-bucket counts
+    with the trailing overflow slot.  The first bucket interpolates
+    from 0 (observations here are non-negative sizes and durations);
+    a quantile landing in the overflow bucket reports the largest
+    finite bound — the honest answer fixed buckets can give.  Returns
+    ``None`` for an empty histogram.
+    """
+    if not 0 <= quantile <= 1:
+        raise ValueError("quantile must be in [0, 1], got %r" % quantile)
+    total = sum(counts)
+    if not total:
+        return None
+    rank = quantile * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        if cumulative + count >= rank:
+            if index >= len(buckets):
+                return float(buckets[-1])
+            upper = buckets[index]
+            lower = buckets[index - 1] if index else min(0, upper)
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * fraction
+        cumulative += count
+    return float(buckets[-1])
 
 
 #: The process-wide registry every instrumented module records into.

@@ -1,0 +1,37 @@
+"""Operational observability on top of the span/metrics machinery.
+
+``repro.obs`` records what happened; this subpackage makes a running
+service *operable*:
+
+- :mod:`repro.obs.ops.prometheus` — spec-compliant text exposition of
+  a metrics-registry snapshot, behind
+  ``GET /v1/metrics?format=prometheus``;
+- :mod:`repro.obs.ops.accesslog` — the bounded, non-blocking JSONL
+  access-log writer (schema ``repro.access/1``) that drops-with-a-
+  counter instead of stalling the event loop;
+- :mod:`repro.obs.ops.slo` — ring-buffer rolling windows (1m/5m) for
+  live p50/p95/p99 and error rate, surfaced by ``GET /v1/status``.
+
+The sampling profiler lives one level up (:mod:`repro.obs.profiler`)
+because it profiles any workload, not just the daemon; the terminal
+dashboard consuming all of this is :mod:`repro.obs.top`.
+"""
+
+from repro.obs.ops.accesslog import (
+    ACCESS_SCHEMA,
+    AccessLogWriter,
+    validate_access_record,
+)
+from repro.obs.ops.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.ops.slo import DEFAULT_WINDOWS, RollingWindow, SloTracker
+
+__all__ = [
+    "ACCESS_SCHEMA",
+    "AccessLogWriter",
+    "validate_access_record",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "DEFAULT_WINDOWS",
+    "RollingWindow",
+    "SloTracker",
+]

@@ -1,0 +1,174 @@
+"""Structured access logs: one JSON line per served request.
+
+The daemon must never trade latency for logging: a slow or wedged log
+destination (full disk, blocking pipe) cannot be allowed to stall the
+asyncio event loop.  :class:`AccessLogWriter` therefore decouples the
+two with a bounded handoff queue and a daemon writer thread — the
+request path does a non-blocking ``put``; when the queue is full the
+record is *dropped and counted* (``serve.accesslog.dropped``) instead
+of queued into a latency cliff.  Losing a log line under overload is
+an explicit, observable degradation; blocking the server is not.
+
+Record schema (:data:`ACCESS_SCHEMA`, one JSON object per line)::
+
+    {"schema": "repro.access/1", "ts": float, "request_id": str,
+     "method": str, "path": str, "status": int, "bytes": int,
+     "total_ms": float, ...}
+
+Analysis requests additionally carry ``key`` (content address),
+``verdict``, ``cache`` (``store-hit`` / ``cert-reuse`` / ``fresh``),
+``sccs_reused``/``sccs_reproved``/``sccs_rejected``, and the latency
+breakdown ``queue_ms``/``solve_ms``/``serialize_ms``.
+:func:`validate_access_record` is the normative checker the tests and
+the CI smoke job run against emitted lines.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import queue
+import threading
+
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "ACCESS_SCHEMA",
+    "AccessLogWriter",
+    "validate_access_record",
+]
+
+#: Schema identifier stamped into every access-log record.
+ACCESS_SCHEMA = "repro.access/1"
+
+#: (field, predicate, description) for the required record keys.
+_REQUIRED = (
+    ("schema", lambda v: v == ACCESS_SCHEMA, "the literal %r" % ACCESS_SCHEMA),
+    ("ts", lambda v: _is_num(v) and v >= 0, "non-negative number"),
+    ("request_id", lambda v: isinstance(v, str) and v, "non-empty string"),
+    ("method", lambda v: isinstance(v, str), "string"),
+    ("path", lambda v: isinstance(v, str), "string"),
+    ("status", lambda v: isinstance(v, int) and not isinstance(v, bool)
+     and 100 <= v <= 599, "HTTP status int"),
+    ("bytes", lambda v: isinstance(v, int) and not isinstance(v, bool)
+     and v >= 0, "non-negative int"),
+    ("total_ms", lambda v: _is_num(v) and v >= 0, "non-negative number"),
+)
+
+_CACHE_TIERS = ("store-hit", "cert-reuse", "fresh")
+
+_OPTIONAL = {
+    "key": lambda v: isinstance(v, str),
+    "verdict": lambda v: isinstance(v, str),
+    "cache": lambda v: v in _CACHE_TIERS,
+    "sccs_reused": lambda v: isinstance(v, int) and v >= 0,
+    "sccs_reproved": lambda v: isinstance(v, int) and v >= 0,
+    "sccs_rejected": lambda v: isinstance(v, int) and v >= 0,
+    "queue_ms": lambda v: _is_num(v) and v >= 0,
+    "solve_ms": lambda v: _is_num(v) and v >= 0,
+    "serialize_ms": lambda v: _is_num(v) and v >= 0,
+    "root": lambda v: isinstance(v, str),
+    "mode": lambda v: isinstance(v, str),
+    "error": lambda v: isinstance(v, str),
+}
+
+
+def _is_num(value):
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def validate_access_record(record):
+    """Problems with one decoded access-log record (empty = valid)."""
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    problems = []
+    for field, predicate, description in _REQUIRED:
+        if field not in record:
+            problems.append("missing required field %r" % field)
+        elif not predicate(record[field]):
+            problems.append(
+                "field %r must be %s, got %r"
+                % (field, description, record[field])
+            )
+    for field, value in record.items():
+        checker = _OPTIONAL.get(field)
+        if checker is not None and not checker(value):
+            problems.append("field %r has bad value %r" % (field, value))
+    return problems
+
+
+class AccessLogWriter:
+    """Bounded, non-blocking JSONL writer on a daemon thread.
+
+    *destination* is a path (opened append) or an open text handle
+    (kept open — stderr works).  *max_pending* bounds the handoff
+    queue; :meth:`log` never blocks the caller.  ``dropped`` counts
+    records lost to a full queue (also mirrored into the
+    ``serve.accesslog.dropped`` counter so the loss is scrape-visible).
+    """
+
+    def __init__(self, destination, max_pending=1024):
+        if hasattr(destination, "write"):
+            self._handle = destination
+            self._owns = False
+        else:
+            self._handle = open(destination, "a")
+            self._owns = True
+        self._queue = queue.Queue(maxsize=max_pending)
+        self.dropped = 0
+        self.written = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-access-log", daemon=True
+        )
+        self._thread.start()
+
+    def log(self, record):
+        """Enqueue one record dict; drop (and count) when full."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(record)
+            return True
+        except queue.Full:
+            self.dropped += 1
+            if METRICS.enabled:
+                METRICS.counter("serve.accesslog.dropped").inc()
+            return False
+
+    def _drain(self):
+        while True:
+            record = self._queue.get()
+            if record is None:
+                return
+            try:
+                self._handle.write(
+                    json.dumps(record, sort_keys=True, default=str) + "\n"
+                )
+                self._handle.flush()
+                self.written += 1
+            except (OSError, ValueError):
+                # A dead destination must not kill the writer thread;
+                # the record is lost and counted like a queue drop.
+                self.dropped += 1
+                if METRICS.enabled:
+                    METRICS.counter("serve.accesslog.dropped").inc()
+
+    def close(self, timeout=5.0):
+        """Stop accepting records, flush the queue, join the thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # sentinel; unbounded block is fine here
+        self._thread.join(timeout)
+        if self._owns:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

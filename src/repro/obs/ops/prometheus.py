@@ -1,0 +1,138 @@
+"""Prometheus text exposition for a metrics-registry snapshot.
+
+:func:`render_prometheus` turns the JSON snapshot shape of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` into the Prometheus
+text format (``text/plain; version=0.0.4``) that real scrapers
+ingest:
+
+- dotted instrument names are sanitized to ``[a-zA-Z0-9_:]`` metric
+  families (``serve.request_ms`` → ``serve_request_ms``);
+- counters follow the ``_total`` naming convention;
+- a :func:`repro.obs.metrics.labeled` suffix on the registry name
+  (``serve.responses{status="200"}``) becomes real sample labels, and
+  every series of a family is grouped under one ``# TYPE`` line;
+- histograms render the full conformant family: cumulative
+  ``_bucket`` series with ``le`` labels ending in ``le="+Inf"``, plus
+  ``_sum`` and ``_count``.
+
+The module is presentation-only: it never touches the registry's
+internals, so rendering a snapshot is safe from any thread and from
+outside the process (``repro-top`` renders the daemon's JSON snapshot
+the same way the daemon itself does).
+
+``benchmarks/check_prom_exposition.py`` lints this output in CI — the
+renderer and the linter are written against the same spec, not against
+each other.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import split_labels
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The content type a conforming scrape endpoint must answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _family_name(dotted):
+    """A spec-legal metric family name for a dotted registry name."""
+    name = _SANITIZE.sub("_", dotted)
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _format_value(value):
+    """Prometheus sample value text (floats keep full precision)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _sample(family, labels, value):
+    if labels:
+        return "%s{%s} %s" % (family, labels, _format_value(value))
+    return "%s %s" % (family, _format_value(value))
+
+
+def _group_series(named_values):
+    """Group ``{registry_name: value}`` into
+    ``{(family, dotted_base): [(label_suffix, value), ...]}`` so every
+    family renders contiguously under one TYPE line."""
+    families = {}
+    for name in sorted(named_values):
+        base, labels = split_labels(name)
+        key = (_family_name(base), base)
+        families.setdefault(key, []).append((labels, named_values[name]))
+    return families
+
+
+def _merge_labels(existing, extra):
+    return "%s,%s" % (existing, extra) if existing else extra
+
+
+def render_prometheus(snapshot, help_prefix="repro"):
+    """Render a registry snapshot as Prometheus exposition text.
+
+    Counters gain the conventional ``_total`` suffix; gauges with
+    non-numeric values (a gauge may legitimately hold a string in the
+    JSON view) are skipped — the JSON endpoint remains the lossless
+    form.  Returns text ending in exactly one newline.
+    """
+    lines = []
+
+    for (family, base), series in sorted(
+        _group_series(snapshot.get("counters", {})).items()
+    ):
+        total = family if family.endswith("_total") else family + "_total"
+        lines.append("# HELP %s %s counter %s" % (total, help_prefix, base))
+        lines.append("# TYPE %s counter" % total)
+        for labels, value in series:
+            lines.append(_sample(total, labels, value))
+
+    numeric_gauges = {
+        name: value
+        for name, value in snapshot.get("gauges", {}).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    for (family, base), series in sorted(
+        _group_series(numeric_gauges).items()
+    ):
+        lines.append("# HELP %s %s gauge %s" % (family, help_prefix, base))
+        lines.append("# TYPE %s gauge" % family)
+        for labels, value in series:
+            lines.append(_sample(family, labels, value))
+
+    for (family, base), series in sorted(
+        _group_series(snapshot.get("histograms", {})).items()
+    ):
+        lines.append(
+            "# HELP %s %s histogram %s" % (family, help_prefix, base)
+        )
+        lines.append("# TYPE %s histogram" % family)
+        for labels, data in series:
+            cumulative = 0
+            for bound, count in zip(data["buckets"], data["counts"]):
+                cumulative += count
+                lines.append(_sample(
+                    family + "_bucket",
+                    _merge_labels(labels, 'le="%s"' % _format_value(bound)),
+                    cumulative,
+                ))
+            lines.append(_sample(
+                family + "_bucket",
+                _merge_labels(labels, 'le="+Inf"'),
+                data["count"],
+            ))
+            lines.append(_sample(family + "_sum", labels, data["sum"]))
+            lines.append(_sample(family + "_count", labels, data["count"]))
+
+    return "\n".join(lines) + "\n" if lines else "\n"

@@ -1,0 +1,134 @@
+"""Rolling-window SLO estimators: latency quantiles and error rate.
+
+The metrics registry's histograms are *process-lifetime* totals — good
+for Prometheus (the scraper does the windowing), useless for "what is
+p99 right now".  :class:`RollingWindow` keeps the raw ``(timestamp,
+latency_ms, error)`` samples of the last *N* seconds in a ring buffer
+and answers order-statistic quantiles over exactly that window;
+:class:`SloTracker` maintains the standard 1m/5m pair and publishes
+them as gauges so both ``GET /v1/status`` and the Prometheus scrape
+see the same numbers.
+
+Memory is bounded twice: by time (samples older than the window are
+evicted on every observe/summary) and by count (the deque's ``maxlen``
+drops the oldest sample under pathological request rates — a shrunken
+window beats an unbounded buffer).  All entry points take a lock, so
+the asyncio request path and a scraping thread can share one tracker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic
+
+from repro.obs.metrics import labeled
+
+__all__ = ["RollingWindow", "SloTracker", "DEFAULT_WINDOWS"]
+
+#: The standard window pair: (label, seconds).
+DEFAULT_WINDOWS = (("1m", 60.0), ("5m", 300.0))
+
+#: Quantiles every summary reports.
+_QUANTILES = ((0.50, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms"))
+
+
+def _quantile(ordered, q):
+    """Linear interpolation between order statistics (NumPy's default
+    method, on an already-sorted list)."""
+    if not ordered:
+        return None
+    position = q * (len(ordered) - 1)
+    below = int(position)
+    above = min(below + 1, len(ordered) - 1)
+    fraction = position - below
+    return ordered[below] * (1 - fraction) + ordered[above] * fraction
+
+
+class RollingWindow:
+    """Ring-buffered samples of the trailing *seconds* of traffic."""
+
+    def __init__(self, seconds, max_samples=65536):
+        if seconds <= 0:
+            raise ValueError("window must be positive, got %r" % seconds)
+        self.seconds = float(seconds)
+        self._samples = deque(maxlen=max_samples)
+
+    def observe(self, latency_ms, error=False, now=None):
+        """Record one request's latency and error flag."""
+        when = monotonic() if now is None else now
+        self._evict(when)
+        self._samples.append((when, float(latency_ms), bool(error)))
+
+    def _evict(self, now):
+        horizon = now - self.seconds
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    def __len__(self):
+        return len(self._samples)
+
+    def summary(self, now=None):
+        """The window's live numbers as a JSON-ready dict.
+
+        ``count``/``error_count`` are totals inside the window,
+        ``error_rate`` their ratio, ``throughput_rps`` count over the
+        window length, and the ``p*_ms`` keys interpolated latency
+        quantiles (None while the window is empty).
+        """
+        when = monotonic() if now is None else now
+        self._evict(when)
+        latencies = sorted(sample[1] for sample in self._samples)
+        errors = sum(1 for sample in self._samples if sample[2])
+        count = len(latencies)
+        summary = {
+            "count": count,
+            "error_count": errors,
+            "error_rate": (errors / count) if count else 0.0,
+            "throughput_rps": count / self.seconds,
+        }
+        for q, key in _QUANTILES:
+            summary[key] = _quantile(latencies, q)
+        return summary
+
+
+class SloTracker:
+    """The serve-side window set (1m/5m by default), lock-guarded."""
+
+    def __init__(self, windows=DEFAULT_WINDOWS, max_samples=65536):
+        self._lock = threading.Lock()
+        self.windows = {
+            label: RollingWindow(seconds, max_samples=max_samples)
+            for label, seconds in windows
+        }
+
+    def observe(self, latency_ms, error=False, now=None):
+        """Record one request into every window."""
+        with self._lock:
+            for window in self.windows.values():
+                window.observe(latency_ms, error=error, now=now)
+
+    def summary(self, now=None):
+        """``{window_label: RollingWindow.summary()}`` for all windows."""
+        with self._lock:
+            return {
+                label: window.summary(now=now)
+                for label, window in self.windows.items()
+            }
+
+    def publish(self, registry, prefix="serve.slo", now=None):
+        """Export every window's summary as gauges on *registry*
+        (``serve.slo.p95_ms{window="1m"}`` …), so the same numbers
+        surface in JSON snapshots and the Prometheus scrape.  Returns
+        the summary it published.
+        """
+        summaries = self.summary(now=now)
+        for label, summary in summaries.items():
+            for key, value in summary.items():
+                if value is None:
+                    continue
+                registry.gauge(
+                    labeled("%s.%s" % (prefix, key), window=label)
+                ).set(value)
+        return summaries

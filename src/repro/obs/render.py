@@ -10,6 +10,8 @@ snapshot.
 
 from __future__ import annotations
 
+from repro.obs.metrics import histogram_quantile
+
 __all__ = ["render_tree", "render_metrics"]
 
 
@@ -123,6 +125,20 @@ def render_metrics(snapshot):
                     name, count, data["sum"], mean
                 )
             )
+            if count:
+                estimates = " ".join(
+                    "p%d~%.3g" % (
+                        percentile,
+                        histogram_quantile(
+                            data["buckets"], data["counts"],
+                            percentile / 100,
+                        ),
+                    )
+                    for percentile in (50, 95, 99)
+                )
+                lines.append(
+                    "    %s  (interpolated within buckets)" % estimates
+                )
             labels = ["<=%s" % bound for bound in data["buckets"]] + ["+inf"]
             peak = max(data["counts"]) or 1
             for label, bucket_count in zip(labels, data["counts"]):

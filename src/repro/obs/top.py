@@ -1,0 +1,239 @@
+"""``repro-top``: a live terminal dashboard for a repro-serve daemon.
+
+Polls ``GET /v1/metrics`` (the JSON snapshot) and ``GET /v1/status``
+(the ops summary) on an interval and renders the numbers an operator
+watches during a load test or an incident: request throughput (from
+the delta between consecutive snapshots), rolling-window latency
+percentiles and error rate, lifetime ``serve.request_ms`` percentiles
+interpolated from the histogram, store/certificate cache hit rates,
+pool lane and utilization, and backpressure/drop counters.
+
+Rendering is a pure function (:func:`render_dashboard`) over the two
+fetched dicts plus the previous snapshot — the tests drive it with
+canned data, the CLI loop (:func:`main`, installed as ``repro-top``
+and runnable as ``python -m repro.obs.top``) just fetches, diffs,
+clears the screen, and repeats.  Stdlib only, like the daemon itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.obs.metrics import diff_snapshots, histogram_quantile
+
+__all__ = ["render_dashboard", "main"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _counter(snapshot, name):
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+def _rate(numerator, denominator):
+    return numerator / denominator if denominator else 0.0
+
+
+def _fmt_ms(value):
+    if value is None:
+        return "-"
+    if value >= 100:
+        return "%.0fms" % value
+    return "%.1fms" % value
+
+
+def _fmt_pct(fraction):
+    return "%.1f%%" % (100.0 * fraction)
+
+
+def _histogram_percentiles(snapshot, name):
+    data = snapshot.get("histograms", {}).get(name)
+    if not data or not data.get("count"):
+        return None
+    return {
+        "count": data["count"],
+        "p50": histogram_quantile(data["buckets"], data["counts"], 0.50),
+        "p95": histogram_quantile(data["buckets"], data["counts"], 0.95),
+        "p99": histogram_quantile(data["buckets"], data["counts"], 0.99),
+    }
+
+
+def _slo_line(label, window):
+    return (
+        "  %-3s  p50 %-8s p95 %-8s p99 %-8s err %-6s  %5.1f req/s"
+        " (n=%d)"
+        % (
+            label,
+            _fmt_ms(window.get("p50_ms")),
+            _fmt_ms(window.get("p95_ms")),
+            _fmt_ms(window.get("p99_ms")),
+            _fmt_pct(window.get("error_rate") or 0.0),
+            window.get("throughput_rps") or 0.0,
+            window.get("count") or 0,
+        )
+    )
+
+
+def render_dashboard(url, status, snapshot, previous=None, elapsed=None):
+    """Render one dashboard frame as text.
+
+    *status* is the ``/v1/status`` dict, *snapshot* the current
+    ``/v1/metrics`` JSON snapshot, *previous* the snapshot from the
+    prior poll (None on the first frame) and *elapsed* the seconds
+    between the two — throughput and interval percentiles come from
+    their difference.
+    """
+    lines = []
+    pool = status.get("pool", {})
+    state = status.get("status", "?")
+    lines.append(
+        "repro-top %s   state %s   lane %s (jobs %s%s)   inflight %s/%s"
+        % (
+            url, state, pool.get("lane", "?"), pool.get("jobs", "?"),
+            ", degraded" if pool.get("degraded") else "",
+            status.get("inflight", "?"), status.get("max_inflight", "?"),
+        )
+    )
+
+    # -- throughput from the snapshot delta ------------------------------------
+    if previous is not None and elapsed:
+        delta = diff_snapshots(snapshot, previous)
+        requests = _counter(delta, "serve.requests")
+        lines.append(
+            "throughput  %6.1f req/s over last %.1fs  (%d requests)"
+            % (requests / elapsed, elapsed, requests)
+        )
+        interval = _histogram_percentiles(delta, "serve.request_ms")
+        if interval:
+            lines.append(
+                "interval    p50 %-8s p95 %-8s p99 %-8s (n=%d)"
+                % (_fmt_ms(interval["p50"]), _fmt_ms(interval["p95"]),
+                   _fmt_ms(interval["p99"]), interval["count"])
+            )
+
+    # -- rolling SLO windows ---------------------------------------------------
+    slo = status.get("slo") or {}
+    if slo:
+        lines.append("slo windows")
+        for label in sorted(slo, key=lambda l: slo[l].get("count", 0)):
+            lines.append(_slo_line(label, slo[label]))
+
+    # -- lifetime latency ------------------------------------------------------
+    lifetime = _histogram_percentiles(snapshot, "serve.request_ms")
+    if lifetime:
+        lines.append(
+            "lifetime    p50 %-8s p95 %-8s p99 %-8s (n=%d)"
+            % (_fmt_ms(lifetime["p50"]), _fmt_ms(lifetime["p95"]),
+               _fmt_ms(lifetime["p99"]), lifetime["count"])
+        )
+
+    # -- caches ----------------------------------------------------------------
+    store_hits = _counter(snapshot, "serve.store.hits")
+    store_misses = _counter(snapshot, "serve.store.misses")
+    cert_hits = _counter(snapshot, "serve.store.cert.hits")
+    cert_misses = _counter(snapshot, "serve.store.cert.misses")
+    lines.append(
+        "caches      verdict %s (%d/%d)   certificates %s (%d/%d)"
+        % (
+            _fmt_pct(_rate(store_hits, store_hits + store_misses)),
+            store_hits, store_hits + store_misses,
+            _fmt_pct(_rate(cert_hits, cert_hits + cert_misses)),
+            cert_hits, cert_hits + cert_misses,
+        )
+    )
+
+    # -- pressure & losses -----------------------------------------------------
+    accesslog = status.get("accesslog") or {}
+    lines.append(
+        "pressure    rejected(429) %d   timeouts(504) %d   errors %d   "
+        "log drops %d"
+        % (
+            _counter(snapshot, "serve.rejected"),
+            _counter(snapshot, "serve.timeouts"),
+            _counter(snapshot, "serve.errors"),
+            accesslog.get("dropped", 0),
+        )
+    )
+    store = status.get("store") or {}
+    if store:
+        lines.append(
+            "store       entries %s   certificates %s   traces %s"
+            % (store.get("entries", "?"), store.get("certificates", "?"),
+               store.get("traces", "?"))
+        )
+    profiler = status.get("profiler") or {}
+    if profiler.get("active"):
+        lines.append("profiler    ACTIVE (%d samples so far)"
+                     % profiler.get("samples", 0))
+    return "\n".join(lines)
+
+
+def build_top_parser():
+    """Construct the argparse parser for ``repro-top``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live operational dashboard for a running "
+        "repro-serve daemon: throughput, latency percentiles, "
+        "cache hit rates, pool utilization.",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8421",
+        help="daemon base URL (default http://127.0.0.1:8421)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval (default 2.0)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N frames (default 0: run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen "
+        "(for logs and CI)",
+    )
+    return parser
+
+
+def main(argv=None):
+    """``repro-top`` entry point; returns the process exit code."""
+    args = build_top_parser().parse_args(argv)
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url, timeout=max(5.0, args.interval * 2))
+    previous = None
+    fetched_at = None
+    frame = 0
+    try:
+        while True:
+            try:
+                status = client.status()
+                snapshot = client.metrics()
+            except ServeError as error:
+                print("repro-top: %s" % error, file=sys.stderr)
+                return 2
+            now = time.monotonic()
+            elapsed = (now - fetched_at) if fetched_at is not None else None
+            text = render_dashboard(
+                args.url, status, snapshot, previous, elapsed
+            )
+            if args.no_clear:
+                print(text)
+                print()
+            else:
+                print(_CLEAR + text, flush=True)
+            previous, fetched_at = snapshot, now
+            frame += 1
+            if args.iterations and frame >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,17 +13,35 @@ Endpoints::
                           "mode": "bf", "settings": {...}}
     GET  /v1/health      liveness + store/pool/queue stats
     GET  /v1/metrics     repro.obs.METRICS snapshot (all workers merged)
+                         — JSON by default; ``?format=prometheus`` or
+                         ``Accept: text/plain`` answers the Prometheus
+                         text exposition real scrapers ingest
+    GET  /v1/status      ops summary: overload/backpressure state,
+                         rolling 1m/5m SLO windows (p50/p95/p99,
+                         error rate), access-log drops, profiler state
     GET  /v1/trace/{id}  repro.trace/1 JSONL telemetry of request {id}
 
 ``POST /v1/analyze`` answers 200 with the canonical verdict payload.
 Response headers carry what the body must not (the body is
 byte-identical for identical requests): ``X-Repro-Key`` is the
-request's content address — also its trace id — and ``X-Repro-Cache``
-says ``hit`` or ``miss``.  A request carrying ``"incremental": true``
-additionally reuses per-SCC certificates from the store while
-solving; on a miss the response then adds ``X-Repro-SCC-Reused`` and
-``X-Repro-SCC-Reproved`` counts (the body stays byte-identical with
-or without the flag).
+request's content address — also its trace id — ``X-Repro-Cache``
+says ``hit`` or ``miss``, and ``X-Repro-Request-Id`` is this
+*request's* unique id, the join key between the access-log line, the
+stored trace's root span, and whatever the client logs.  A request
+carrying ``"incremental": true`` additionally reuses per-SCC
+certificates from the store while solving; on a miss the response
+then adds ``X-Repro-SCC-Reused`` and ``X-Repro-SCC-Reproved`` counts
+(the body stays byte-identical with or without the flag).
+
+Operational channels (all optional, all off the hot path):
+``--access-log`` emits one ``repro.access/1`` JSON line per request
+through the bounded non-blocking writer of
+:mod:`repro.obs.ops.accesslog`; the in-process
+:class:`~repro.obs.ops.slo.SloTracker` keeps rolling latency/error
+windows over ``/v1/analyze`` traffic; SIGUSR2 toggles the sampling
+profiler (:mod:`repro.obs.profiler`) and dumps collapsed stacks to
+``--profile-out`` on the second signal; ``repro-top`` renders all of
+it live.
 
 Admission control: at most ``max_inflight`` requests may be queued or
 solving; request ``max_inflight + 1`` is refused immediately with 429
@@ -41,13 +59,23 @@ import argparse
 import asyncio
 import io
 import json
+import os
 import signal
 import sys
+import uuid
 from concurrent.futures.process import BrokenProcessPool
-from time import perf_counter
+from time import perf_counter, time
+from urllib.parse import parse_qs
 
 from repro.errors import AnalysisTimeout, ReproError
-from repro.obs import METRICS, Span, Tracer
+from repro.obs import METRICS, Span, Tracer, labeled
+from repro.obs.ops import (
+    ACCESS_SCHEMA,
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    SloTracker,
+    render_prometheus,
+)
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.sinks import JsonlSink, write_trace
 from repro.serve.protocol import (
     AnalyzeRequest,
@@ -87,11 +115,76 @@ _REASONS = {
 }
 
 
+def new_request_id():
+    """A fresh request id: 16 hex chars, unique enough to join logs,
+    traces, and client reports on."""
+    return uuid.uuid4().hex[:16]
+
+
+class _RequestContext:
+    """Per-request state threaded from accept to access-log emit."""
+
+    __slots__ = (
+        "request_id", "started", "method", "path", "status", "bytes",
+        "key", "verdict", "cache", "scc", "queue_ms", "solve_ms",
+        "serialize_ms", "error", "root", "mode",
+    )
+
+    def __init__(self):
+        self.request_id = new_request_id()
+        self.started = perf_counter()
+        self.method = ""
+        self.path = ""
+        self.status = None
+        self.bytes = 0
+        self.key = None
+        self.verdict = None
+        self.cache = None
+        self.scc = None
+        self.queue_ms = None
+        self.solve_ms = None
+        self.serialize_ms = None
+        self.error = None
+        self.root = None
+        self.mode = None
+
+    @property
+    def total_ms(self):
+        return (perf_counter() - self.started) * 1000
+
+    def access_record(self):
+        """The ``repro.access/1`` record for this finished request."""
+        record = {
+            "schema": ACCESS_SCHEMA,
+            "ts": time(),
+            "request_id": self.request_id,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "bytes": self.bytes,
+            "total_ms": round(self.total_ms, 3),
+        }
+        for field in ("key", "verdict", "cache", "error", "root", "mode"):
+            value = getattr(self, field)
+            if value is not None:
+                record[field] = value
+        for field in ("queue_ms", "solve_ms", "serialize_ms"):
+            value = getattr(self, field)
+            if value is not None:
+                record[field] = round(value, 3)
+        if self.scc is not None:
+            record["sccs_reused"] = self.scc.get("reused", 0)
+            record["sccs_reproved"] = self.scc.get("reproved", 0)
+            record["sccs_rejected"] = self.scc.get("rejected", 0)
+        return record
+
+
 class ServeApp:
     """The daemon: routing, admission control, drain-then-exit."""
 
     def __init__(self, store, pool, *, max_inflight=None,
-                 request_timeout=None):
+                 request_timeout=None, access_log=None, slo=None,
+                 profile_out=None):
         self.store = store
         self.pool = pool
         self.max_inflight = (
@@ -101,6 +194,10 @@ class ServeApp:
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self.request_timeout = request_timeout
+        self.access_log = access_log
+        self.slo = slo if slo is not None else SloTracker()
+        self.profile_out = profile_out
+        self.profiler = None
         self.draining = False
         self.inflight = 0
         self._idle = asyncio.Event()
@@ -129,25 +226,58 @@ class ServeApp:
         await self._idle.wait()
         self.pool.shutdown()
         self.store.close()
+        if self.profiler is not None and self.profiler.active:
+            self.toggle_profiler()
+        if self.access_log is not None:
+            self.access_log.close()
+
+    def toggle_profiler(self):
+        """SIGUSR2 handler body: start the sampling profiler, or stop
+        it and dump collapsed stacks to ``profile_out``.  Returns a
+        human-readable status line (the caller logs it)."""
+        if self.profiler is None or not self.profiler.active:
+            self.profiler = SamplingProfiler()
+            self.profiler.start()
+            if METRICS.enabled:
+                METRICS.gauge("serve.profiler.active").set(1)
+            return "profiler started (%.3gms sampling interval)" % (
+                self.profiler.interval * 1000
+            )
+        self.profiler.stop()
+        if METRICS.enabled:
+            METRICS.gauge("serve.profiler.active").set(0)
+        path = self.profile_out or "repro-profile-%d.collapsed" % os.getpid()
+        try:
+            stacks = self.profiler.write(path)
+        except OSError as error:
+            return "profiler stopped; cannot write %s: %s" % (path, error)
+        return "profiler stopped; %d stacks (%d samples) -> %s" % (
+            stacks, self.profiler.samples, path
+        )
 
     # -- connection handling ---------------------------------------------------
 
     async def _handle_connection(self, reader, writer):
+        ctx = _RequestContext()
         try:
             try:
                 method, path = await self._read_request_line(reader)
+                ctx.method, ctx.path = method, path.partition("?")[0]
                 headers = await self._read_headers(reader)
                 body = await self._read_body(reader, headers)
             except _HttpError as error:
+                ctx.error = error.message
                 await self._respond(
-                    writer, error.status,
+                    ctx, writer, error.status,
                     _json_bytes({"error": error.message}),
                 )
                 return
-            await self._dispatch(writer, method, path, body)
+            await self._dispatch(ctx, writer, method, path, body, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         finally:
+            if self.access_log is not None and ctx.status is not None:
+                self.access_log.log(ctx.access_record())
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -184,14 +314,25 @@ class ServeApp:
             return b""
         return await reader.readexactly(length)
 
-    async def _respond(self, writer, status, body, content_type=None,
+    async def _respond(self, ctx, writer, status, body, content_type=None,
                        extra_headers=()):
+        first_response = ctx.status is None
+        ctx.status = status
+        ctx.bytes = len(body)
+        if first_response:
+            if METRICS.enabled:
+                METRICS.counter(
+                    labeled("serve.responses", status=status)
+                ).inc()
+            if ctx.path.startswith("/v1/analyze"):
+                self.slo.observe(ctx.total_ms, error=status >= 500)
         reason = _REASONS.get(status, "Unknown")
         head = [
             "HTTP/1.1 %d %s" % (status, reason),
             "Content-Type: %s" % (content_type or "application/json"),
             "Content-Length: %d" % len(body),
             "Connection: close",
+            "X-Repro-Request-Id: %s" % ctx.request_id,
         ]
         head.extend("%s: %s" % pair for pair in extra_headers)
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
@@ -200,45 +341,50 @@ class ServeApp:
 
     # -- routing ---------------------------------------------------------------
 
-    async def _dispatch(self, writer, method, path, body):
+    async def _dispatch(self, ctx, writer, method, path, body, headers):
         if METRICS.enabled:
             METRICS.counter("serve.requests").inc()
+        path, _, query_text = path.partition("?")
+        query = parse_qs(query_text) if query_text else {}
         if self.draining:
             await self._respond(
-                writer, 503, _json_bytes({"error": "draining"})
+                ctx, writer, 503, _json_bytes({"error": "draining"})
             )
             return
         if path == "/v1/health":
-            await self._require(writer, method, "GET") and \
-                await self._health(writer)
+            await self._require(ctx, writer, method, "GET") and \
+                await self._health(ctx, writer)
         elif path == "/v1/metrics":
-            await self._require(writer, method, "GET") and \
-                await self._metrics(writer)
+            await self._require(ctx, writer, method, "GET") and \
+                await self._metrics(ctx, writer, query, headers)
+        elif path == "/v1/status":
+            await self._require(ctx, writer, method, "GET") and \
+                await self._status(ctx, writer)
         elif path.startswith("/v1/trace/"):
-            await self._require(writer, method, "GET") and \
-                await self._trace(writer, path[len("/v1/trace/"):])
+            await self._require(ctx, writer, method, "GET") and \
+                await self._trace(ctx, writer, path[len("/v1/trace/"):])
         elif path == "/v1/analyze":
-            await self._require(writer, method, "POST") and \
-                await self._analyze(writer, body)
+            await self._require(ctx, writer, method, "POST") and \
+                await self._analyze(ctx, writer, body)
         else:
             await self._respond(
-                writer, 404,
+                ctx, writer, 404,
                 _json_bytes({"error": "no route %s" % path}),
             )
 
-    async def _require(self, writer, method, expected):
+    async def _require(self, ctx, writer, method, expected):
         if method == expected:
             return True
         await self._respond(
-            writer, 405,
+            ctx, writer, 405,
             _json_bytes({"error": "%s required" % expected}),
         )
         return False
 
     # -- endpoints -------------------------------------------------------------
 
-    async def _health(self, writer):
-        await self._respond(writer, 200, _json_bytes({
+    async def _health(self, ctx, writer):
+        await self._respond(ctx, writer, 200, _json_bytes({
             "status": "ok",
             "revision": code_revision(),
             "inflight": self.inflight,
@@ -247,31 +393,83 @@ class ServeApp:
             "store": self.store.stats(),
         }))
 
-    async def _metrics(self, writer):
-        await self._respond(
-            writer, 200, _json_bytes(METRICS.snapshot())
-        )
+    def _wants_prometheus(self, query, headers):
+        formats = query.get("format", [])
+        if formats:
+            return formats[-1] == "prometheus"
+        accept = headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
 
-    async def _trace(self, writer, key):
+    async def _metrics(self, ctx, writer, query, headers):
+        if METRICS.enabled:
+            self.slo.publish(METRICS)
+            METRICS.gauge("serve.inflight").set(self.inflight)
+        snapshot = METRICS.snapshot()
+        if self._wants_prometheus(query, headers):
+            await self._respond(
+                ctx, writer, 200,
+                render_prometheus(snapshot).encode(),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+            return
+        await self._respond(ctx, writer, 200, _json_bytes(snapshot))
+
+    async def _status(self, ctx, writer):
+        overloaded = self.inflight >= self.max_inflight
+        if self.draining:
+            state = "draining"
+        elif overloaded:
+            state = "overloaded"
+        else:
+            state = "ok"
+        await self._respond(ctx, writer, 200, _json_bytes({
+            "status": state,
+            "revision": code_revision(),
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "draining": self.draining,
+            "overloaded": overloaded,
+            "pool": {
+                "jobs": self.pool.jobs,
+                "lane": self.pool.lane,
+                "degraded": self.pool.degraded,
+            },
+            "slo": self.slo.summary(),
+            "accesslog": {
+                "enabled": self.access_log is not None,
+                "dropped": (
+                    self.access_log.dropped
+                    if self.access_log is not None else 0
+                ),
+            },
+            "profiler": {
+                "active": bool(self.profiler and self.profiler.active),
+                "samples": self.profiler.samples if self.profiler else 0,
+            },
+            "store": self.store.stats(),
+        }))
+
+    async def _trace(self, ctx, writer, key):
         jsonl = self.store.get_trace(key)
         if jsonl is None:
             await self._respond(
-                writer, 404,
+                ctx, writer, 404,
                 _json_bytes({"error": "no trace for %r" % key}),
             )
             return
         await self._respond(
-            writer, 200, jsonl.encode(),
+            ctx, writer, 200, jsonl.encode(),
             content_type="application/x-ndjson",
         )
 
-    async def _analyze(self, writer, body):
+    async def _analyze(self, ctx, writer, body):
         started = perf_counter()
         try:
             wire = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
+            ctx.error = "body is not valid JSON"
             await self._respond(
-                writer, 400,
+                ctx, writer, 400,
                 _json_bytes({"error": "body is not valid JSON"}),
             )
             return
@@ -279,21 +477,30 @@ class ServeApp:
             request = AnalyzeRequest.from_wire(wire)
             request.parse()
         except ReproError as error:
+            ctx.error = str(error)
             await self._respond(
-                writer, 400, _json_bytes({"error": str(error)})
+                ctx, writer, 400, _json_bytes({"error": str(error)})
             )
             return
+        ctx.root = "%s/%d" % request.root
+        ctx.mode = request.mode
         key = request.key()
+        ctx.key = key
         cached = self.store.get(key)
         if cached is not None:
-            await self._finish(writer, started, 200, cached.encode(),
-                               key, "hit")
+            ctx.cache = "store-hit"
+            try:
+                ctx.verdict = json.loads(cached).get("status")
+            except ValueError:
+                pass
+            await self._finish(ctx, writer, started, 200,
+                               cached.encode(), key, "hit")
             return
         if self.inflight >= self.max_inflight:
             if METRICS.enabled:
                 METRICS.counter("serve.rejected").inc()
             await self._respond(
-                writer, 429, _json_bytes({
+                ctx, writer, 429, _json_bytes({
                     "error": "at capacity (%d in flight); retry later"
                              % self.inflight,
                 }),
@@ -303,16 +510,18 @@ class ServeApp:
         self.inflight += 1
         self._idle.clear()
         try:
-            status, payload_bytes, scc = await self._solve(request, key)
+            status, payload_bytes, scc = await self._solve(
+                ctx, request, key
+            )
         finally:
             self.inflight -= 1
             if self.inflight == 0:
                 self._idle.set()
-        await self._finish(writer, started, status, payload_bytes,
+        await self._finish(ctx, writer, started, status, payload_bytes,
                            key, "miss", scc=scc)
 
-    async def _finish(self, writer, started, status, body, key, cache,
-                      scc=None):
+    async def _finish(self, ctx, writer, started, status, body, key,
+                      cache, scc=None):
         if METRICS.enabled:
             METRICS.histogram(
                 "serve.request_ms", _LATENCY_BUCKETS
@@ -326,41 +535,49 @@ class ServeApp:
                 ("X-Repro-SCC-Reproved", str(scc.get("reproved", 0)))
             )
         await self._respond(
-            writer, status, body, extra_headers=tuple(headers)
+            ctx, writer, status, body, extra_headers=tuple(headers)
         )
 
-    async def _solve(self, request, key):
+    async def _solve(self, ctx, request, key):
         """Run one admitted solve; returns (status, body bytes, scc
         reuse stats or None)."""
         tracer = Tracer()
         cache_dir = self.store.root if request.incremental else None
         scc = None
+        solve_started = perf_counter()
         try:
             with tracer.span("serve.request", key=key,
+                             request_id=ctx.request_id,
                              root="%s/%d" % request.root,
                              mode=request.mode,
                              incremental=request.incremental,
                              lane=self.pool.lane) as serve_span:
                 future = self.pool.submit(
-                    request, self.request_timeout, cache_dir
+                    request, self.request_timeout, cache_dir,
+                    ctx.request_id,
                 )
                 try:
-                    payload, roots, delta, scc = await asyncio.wait_for(
-                        asyncio.wrap_future(future),
-                        timeout=self.request_timeout,
+                    payload, roots, delta, scc, timings = (
+                        await asyncio.wait_for(
+                            asyncio.wrap_future(future),
+                            timeout=self.request_timeout,
+                        )
                     )
                 except BrokenProcessPool:
                     # The pool died under us (worker OOM-killed, fork
                     # failure); degrade to the in-process serial lane
                     # and retry this request there.
                     serve_span.set(lane="serial", degraded=True)
-                    payload, roots, delta, scc = await asyncio.wait_for(
-                        asyncio.wrap_future(
-                            self.pool.submit_serial(
-                                request, self.request_timeout, cache_dir
-                            )
-                        ),
-                        timeout=self.request_timeout,
+                    payload, roots, delta, scc, timings = (
+                        await asyncio.wait_for(
+                            asyncio.wrap_future(
+                                self.pool.submit_serial(
+                                    request, self.request_timeout,
+                                    cache_dir, ctx.request_id,
+                                )
+                            ),
+                            timeout=self.request_timeout,
+                        )
                     )
                 serve_span.set(status=payload.get("status", ""))
                 if request.incremental:
@@ -369,6 +586,7 @@ class ServeApp:
         except (asyncio.TimeoutError, AnalysisTimeout):
             if METRICS.enabled:
                 METRICS.counter("serve.timeouts").inc()
+            ctx.error = "timeout"
             return 504, _json_bytes({
                 "error": "analysis exceeded the %.3gs request deadline"
                          % self.request_timeout,
@@ -376,22 +594,39 @@ class ServeApp:
         except ReproError as error:
             if METRICS.enabled:
                 METRICS.counter("serve.errors").inc()
+            ctx.error = str(error)
             return 400, _json_bytes({"error": str(error)}), None
         except Exception as error:  # noqa: BLE001 — the 500 boundary
             if METRICS.enabled:
                 METRICS.counter("serve.errors").inc()
+            ctx.error = "%s: %s" % (type(error).__name__, error)
             return 500, _json_bytes({
                 "error": "%s: %s" % (type(error).__name__, error),
             }), None
+        solved = perf_counter()
         if METRICS.enabled:
             METRICS.merge_snapshot(delta)
         text = payload_text(payload)
         self.store.put(key, text,
                        root="%s/%d" % request.root, mode=request.mode)
-        self._store_trace(key, tracer.roots, list(roots), delta)
+        self._store_trace(key, tracer.roots, list(roots), delta,
+                          request_id=ctx.request_id)
+        ctx.verdict = payload.get("status")
+        ctx.scc = scc
+        ctx.cache = (
+            "cert-reuse" if scc and scc.get("reused", 0) > 0 else "fresh"
+        )
+        ctx.solve_ms = timings.get("solve_ms")
+        ctx.serialize_ms = (perf_counter() - solved) * 1000
+        elapsed_ms = (perf_counter() - solve_started) * 1000
+        ctx.queue_ms = max(
+            0.0,
+            elapsed_ms - (ctx.solve_ms or 0.0) - ctx.serialize_ms,
+        )
         return 200, text.encode(), (scc if request.incremental else None)
 
-    def _store_trace(self, key, serve_roots, worker_roots, delta):
+    def _store_trace(self, key, serve_roots, worker_roots, delta,
+                     request_id=None):
         """Persist the request's repro.trace/1 stream.
 
         Server-side spans and worker spans stay separate roots: their
@@ -399,6 +634,9 @@ class ServeApp:
         nesting one under the other would fabricate offsets.
         """
         buffer = io.StringIO()
+        meta = {"request": key}
+        if request_id is not None:
+            meta["request_id"] = request_id
         write_trace(
             JsonlSink(buffer),
             list(serve_roots) + [
@@ -406,7 +644,7 @@ class ServeApp:
                 for root in worker_roots
             ],
             delta,
-            meta={"request": key},
+            meta=meta,
         )
         self.store.put_trace(key, buffer.getvalue())
 
@@ -421,6 +659,14 @@ async def serve_forever(app, host, port, ready=None):
             loop.add_signal_handler(signum, stop.set)
         except (NotImplementedError, RuntimeError):
             pass  # non-Unix event loop; Ctrl-C still raises
+    if hasattr(signal, "SIGUSR2"):
+        def _toggle():
+            print("repro-serve: %s" % app.toggle_profiler(),
+                  file=sys.stderr, flush=True)
+        try:
+            loop.add_signal_handler(signal.SIGUSR2, _toggle)
+        except (NotImplementedError, RuntimeError):
+            pass
     print("repro-serve listening on %s:%d (jobs=%d, queue=%d, "
           "store=%s)" % (host, app.port, app.pool.jobs,
                          app.max_inflight, app.store.path),
@@ -472,6 +718,17 @@ def build_serve_parser():
         "--max-entries", type=int, default=4096, metavar="N",
         help="verdict store bound before LRU eviction (default 4096)",
     )
+    parser.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one repro.access/1 JSON line per request to PATH "
+        "('-' = stderr); bounded and non-blocking — overflow drops "
+        "lines and counts them in serve.accesslog.dropped",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="collapsed-stack output path for the SIGUSR2-toggled "
+        "sampling profiler (default repro-profile-<pid>.collapsed)",
+    )
     return parser
 
 
@@ -484,11 +741,26 @@ def main(argv=None):
     except OSError as error:
         print("cannot open store: %s" % error, file=sys.stderr)
         return 2
+    access_log = None
+    if args.access_log is not None:
+        from repro.obs.ops import AccessLogWriter
+
+        destination = (
+            sys.stderr if args.access_log == "-" else args.access_log
+        )
+        try:
+            access_log = AccessLogWriter(destination)
+        except OSError as error:
+            print("cannot open access log: %s" % error, file=sys.stderr)
+            store.close()
+            return 2
     app = ServeApp(
         store,
         SolverPool(jobs=args.jobs),
         max_inflight=args.queue,
         request_timeout=args.timeout,
+        access_log=access_log,
+        profile_out=args.profile_out,
     )
     try:
         asyncio.run(serve_forever(app, args.host, args.port))

@@ -36,7 +36,9 @@ class ServeAnswer:
     whether the persistent store answered.  ``sccs_reused`` /
     ``sccs_reproved`` echo the server's per-SCC certificate reuse
     headers (both 0 unless the request asked for ``incremental`` and
-    missed the verdict store).
+    missed the verdict store).  ``request_id`` echoes the server's
+    ``X-Repro-Request-Id`` header — the join key into the daemon's
+    access log and the stored trace's root span.
     """
 
     payload: dict
@@ -45,6 +47,7 @@ class ServeAnswer:
     cached: bool
     sccs_reused: int = 0
     sccs_reproved: int = 0
+    request_id: str = ""
 
     @property
     def status(self):
@@ -131,14 +134,36 @@ class ServeClient:
             cached=headers.get("X-Repro-Cache") == "hit",
             sccs_reused=int(headers.get("X-Repro-SCC-Reused", 0)),
             sccs_reproved=int(headers.get("X-Repro-SCC-Reproved", 0)),
+            request_id=headers.get("X-Repro-Request-Id", ""),
         )
 
     def health(self):
         """GET /v1/health as a dict."""
         return self._get_json("/v1/health")
 
-    def metrics(self):
-        """GET /v1/metrics as a registry snapshot dict."""
+    def status(self):
+        """GET /v1/status: the ops summary dict (SLO windows,
+        overload/backpressure state, access-log drops, profiler)."""
+        return self._get_json("/v1/status")
+
+    def metrics(self, format=None):
+        """GET /v1/metrics.
+
+        Default: the JSON registry snapshot dict.  With
+        ``format="prometheus"``: the raw Prometheus text exposition
+        as a string.
+        """
+        if format == "prometheus":
+            status, _, text = self._request(
+                "GET", "/v1/metrics?format=prometheus"
+            )
+            if status != 200:
+                raise ServeError(
+                    "/v1/metrics failed (%d): %s"
+                    % (status, self._error_message(text)),
+                    status=status,
+                )
+            return text
         return self._get_json("/v1/metrics")
 
     def trace(self, key):

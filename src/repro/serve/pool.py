@@ -33,6 +33,7 @@ import signal
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
+from time import perf_counter
 
 from repro.errors import AnalysisTimeout
 from repro.core import TerminationAnalyzer
@@ -81,23 +82,26 @@ def deadline(seconds):
         signal.signal(signal.SIGALRM, previous_handler)
 
 
-def solve_wire(wire, timeout=None, cache_dir=None):
+def solve_wire(wire, timeout=None, cache_dir=None, request_id=None):
     """Worker body: solve one wire-format request.
 
-    Returns ``(payload, roots, metrics_delta, scc_stats)`` — the
-    JSON-ready verdict payload, the request's span forest, what this
-    solve added to the worker's metrics registry (the server merges
-    it, so ``GET /v1/metrics`` aggregates over all workers), and a
-    ``{"reused": n, "reproved": n}`` summary of per-SCC certificate
-    reuse (zeros when no cache is in play).  Module-level and
+    Returns ``(payload, roots, metrics_delta, scc_stats, timings)`` —
+    the JSON-ready verdict payload, the request's span forest, what
+    this solve added to the worker's metrics registry (the server
+    merges it, so ``GET /v1/metrics`` aggregates over all workers), a
+    ``{"reused": n, "reproved": n, "rejected": n}`` summary of per-SCC
+    certificate reuse (zeros when no cache is in play), and a
+    ``{"solve_ms": f}`` timing dict the server folds into the
+    request's access-log latency breakdown.  Module-level and
     argument-picklable on purpose: this is the function the process
     pool imports by name.
 
     *cache_dir*, when set (the request asked for ``incremental`` and
     the server has a store), opens the shared persistent store in the
     worker and threads its certificate table through the analyzer.
-    The payload is byte-identical either way; only wall time and the
-    stats differ.
+    *request_id* lands on the root ``analyze`` span, joining the
+    worker-side trace to the server's access-log line.  The payload is
+    byte-identical either way; only wall time and the stats differ.
     """
     request = (
         wire if isinstance(wire, AnalyzeRequest)
@@ -112,6 +116,7 @@ def solve_wire(wire, timeout=None, cache_dir=None):
 
         store = ResultStore(cache_dir)
         certificate_cache = StoreCertificateCache(store)
+    solve_started = perf_counter()
     try:
         with deadline(timeout):
             analyzer = TerminationAnalyzer(
@@ -119,7 +124,9 @@ def solve_wire(wire, timeout=None, cache_dir=None):
                 settings=request.settings,
                 certificate_cache=certificate_cache,
             )
-            result = analyzer.analyze(request.root, request.mode)
+            result = analyzer.analyze(
+                request.root, request.mode, request_id=request_id
+            )
     finally:
         if store is not None:
             store.close()
@@ -127,7 +134,12 @@ def solve_wire(wire, timeout=None, cache_dir=None):
         payload_from_result(result),
         list(result.trace.roots),
         diff_snapshots(METRICS.snapshot(), before),
-        {"reused": result.sccs_reused, "reproved": result.sccs_reproved},
+        {
+            "reused": result.sccs_reused,
+            "reproved": result.sccs_reproved,
+            "rejected": result.sccs_rejected,
+        },
+        {"solve_ms": (perf_counter() - solve_started) * 1000},
     )
 
 
@@ -163,22 +175,27 @@ class SolverPool:
             if METRICS.enabled:
                 METRICS.counter("serve.pool.degraded").inc()
 
-    def submit(self, wire, timeout=None, cache_dir=None):
+    def submit(self, wire, timeout=None, cache_dir=None, request_id=None):
         """A :class:`concurrent.futures.Future` for the solve."""
         if self.lane == "process":
             try:
                 return self._process.submit(
-                    solve_wire, wire, timeout, cache_dir
+                    solve_wire, wire, timeout, cache_dir, request_id
                 )
             except (OSError, RuntimeError):
                 self._note_degraded()
-        return self._serial.submit(solve_wire, wire, timeout, cache_dir)
+        return self._serial.submit(
+            solve_wire, wire, timeout, cache_dir, request_id
+        )
 
-    def submit_serial(self, wire, timeout=None, cache_dir=None):
+    def submit_serial(self, wire, timeout=None, cache_dir=None,
+                      request_id=None):
         """Force the serial lane (the retry path after a broken pool
         surfaced at result time rather than submit time)."""
         self._note_degraded()
-        return self._serial.submit(solve_wire, wire, timeout, cache_dir)
+        return self._serial.submit(
+            solve_wire, wire, timeout, cache_dir, request_id
+        )
 
     def shutdown(self):
         """Stop both lanes; running solves are not waited for."""

@@ -1,0 +1,339 @@
+"""Unit tests for the operational-observability layer: Prometheus
+exposition, rolling SLO windows, the bounded access-log writer, and
+the quantile/label helpers they share."""
+
+import io
+import json
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    histogram_quantile,
+    labeled,
+    split_labels,
+)
+from repro.obs.ops import (
+    ACCESS_SCHEMA,
+    CONTENT_TYPE,
+    AccessLogWriter,
+    RollingWindow,
+    SloTracker,
+    render_prometheus,
+    validate_access_record,
+)
+from repro.obs.render import render_metrics
+
+
+class TestLabelHelpers:
+    def test_labeled_sorts_keys_deterministically(self):
+        assert (labeled("m", b=1, a=2)
+                == labeled("m", a=2, b=1)
+                == 'm{a="2",b="1"}')
+
+    def test_labeled_escapes_quotes_and_backslashes(self):
+        name = labeled("m", path='say "hi"\\')
+        assert name == 'm{path="say \\"hi\\"\\\\"}'
+
+    def test_no_labels_is_identity(self):
+        assert labeled("plain.name") == "plain.name"
+
+    def test_split_round_trips(self):
+        name = labeled("serve.responses", status=200)
+        base, suffix = split_labels(name)
+        assert base == "serve.responses"
+        assert suffix == 'status="200"'
+        assert split_labels("plain.name") == ("plain.name", "")
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile((1, 2, 5), [0, 0, 0, 0], 0.5) is None
+
+    def test_single_bucket_interpolates_from_zero(self):
+        # 10 observations all in (0, 10]: p50 -> midpoint-ish of bucket
+        assert histogram_quantile((10,), [10, 0], 0.5) == 5.0
+
+    def test_interpolates_within_owning_bucket(self):
+        # 5 in (0,10], 5 in (10,20]; p75 is midway through the second
+        value = histogram_quantile((10, 20), [5, 5, 0], 0.75)
+        assert value == pytest.approx(15.0)
+
+    def test_overflow_bucket_reports_largest_finite_bound(self):
+        assert histogram_quantile((1, 2), [0, 0, 9], 0.99) == 2.0
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            histogram_quantile((1,), [1, 0], 1.5)
+
+    def test_monotone_in_quantile(self):
+        buckets = (1, 2, 5, 10)
+        counts = [3, 7, 4, 2, 1]
+        values = [
+            histogram_quantile(buckets, counts, q / 100)
+            for q in range(0, 101, 5)
+        ]
+        assert values == sorted(values)
+
+
+class TestRenderMetricsPercentiles:
+    def test_histogram_block_reports_interpolated_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_ms", (10, 20))
+        for value in (1, 2, 3, 12, 13):
+            histogram.observe(value)
+        text = render_metrics(registry.snapshot())
+        line = next(l for l in text.splitlines() if "p50~" in l)
+        assert "p95~" in line and "p99~" in line
+        assert "interpolated" in line
+
+    def test_empty_histogram_has_no_percentile_line(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_ms", (10, 20))
+        assert "p50~" not in render_metrics(registry.snapshot())
+
+
+_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+
+class TestPrometheusExposition:
+    def make_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.counter(labeled("serve.responses", status=200)).inc(5)
+        registry.counter(labeled("serve.responses", status=404)).inc(2)
+        registry.gauge("serve.inflight").set(3)
+        registry.gauge("weird gauge").set("a-string")  # skipped
+        histogram = registry.histogram("serve.request_ms", (1, 5, 10))
+        for value in (0.5, 4, 6, 20):
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_counter_total_convention_and_value(self):
+        text = render_prometheus(self.make_snapshot())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 7" in text
+
+    def test_labeled_series_grouped_under_one_type_line(self):
+        text = render_prometheus(self.make_snapshot())
+        assert text.count("# TYPE serve_responses_total counter") == 1
+        assert 'serve_responses_total{status="200"} 5' in text
+        assert 'serve_responses_total{status="404"} 2' in text
+
+    def test_histogram_family_is_cumulative_with_inf(self):
+        text = render_prometheus(self.make_snapshot())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("serve_request_ms_bucket")
+        ]
+        values = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert values == sorted(values)  # cumulative
+        assert buckets[-1].startswith(
+            'serve_request_ms_bucket{le="+Inf"}'
+        )
+        assert values[-1] == 4
+        assert "serve_request_ms_count 4" in text
+        assert "serve_request_ms_sum" in text
+
+    def test_non_numeric_gauges_are_skipped(self):
+        text = render_prometheus(self.make_snapshot())
+        assert "weird_gauge" not in text
+        assert "serve_inflight 3" in text
+
+    def test_every_family_name_is_spec_legal(self):
+        text = render_prometheus(self.make_snapshot())
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert _NAME.match(name), name
+
+    def test_type_line_precedes_samples(self):
+        text = render_prometheus(self.make_snapshot())
+        typed = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                typed.add(line.split()[2])
+            elif line and not line.startswith("#"):
+                family = line.split("{")[0].split(" ")[0]
+                base = re.sub(r"_(bucket|sum|count)$", "", family)
+                assert family in typed or base in typed, line
+
+    def test_empty_snapshot_renders_to_newline(self):
+        assert render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        ) == "\n"
+
+    def test_content_type_names_the_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRollingWindow:
+    def test_empty_window_summary(self):
+        window = RollingWindow(60)
+        summary = window.summary(now=100.0)
+        assert summary["count"] == 0
+        assert summary["error_rate"] == 0.0
+        assert summary["p95_ms"] is None
+
+    def test_quantiles_over_live_samples(self):
+        window = RollingWindow(60)
+        for i in range(1, 101):
+            window.observe(float(i), now=100.0)
+        summary = window.summary(now=100.0)
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(50.5)
+        assert summary["p99_ms"] == pytest.approx(99.01)
+
+    def test_old_samples_are_evicted(self):
+        window = RollingWindow(60)
+        window.observe(1000.0, error=True, now=0.0)
+        window.observe(10.0, now=100.0)
+        summary = window.summary(now=100.0)
+        assert summary["count"] == 1
+        assert summary["error_count"] == 0
+        assert summary["p50_ms"] == 10.0
+
+    def test_error_rate(self):
+        window = RollingWindow(60)
+        for i in range(4):
+            window.observe(1.0, error=(i == 0), now=50.0)
+        assert window.summary(now=50.0)["error_rate"] == 0.25
+
+    def test_max_samples_bounds_memory(self):
+        window = RollingWindow(60, max_samples=8)
+        for i in range(100):
+            window.observe(float(i), now=10.0)
+        assert len(window) == 8
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError):
+            RollingWindow(0)
+
+
+class TestSloTracker:
+    def test_observe_feeds_every_window(self):
+        tracker = SloTracker()
+        tracker.observe(12.0, now=10.0)
+        summary = tracker.summary(now=10.0)
+        assert set(summary) == {"1m", "5m"}
+        assert all(entry["count"] == 1 for entry in summary.values())
+
+    def test_publish_exports_labeled_gauges(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker()
+        tracker.observe(40.0, now=10.0)
+        tracker.observe(80.0, error=True, now=10.0)
+        tracker.publish(registry, now=10.0)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['serve.slo.p50_ms{window="1m"}'] == 60.0
+        assert gauges['serve.slo.error_rate{window="5m"}'] == 0.5
+
+    def test_empty_windows_publish_counts_not_quantiles(self):
+        registry = MetricsRegistry()
+        SloTracker().publish(registry, now=10.0)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['serve.slo.count{window="1m"}'] == 0
+        assert 'serve.slo.p50_ms{window="1m"}' not in gauges
+
+
+def good_record(**overrides):
+    record = {
+        "schema": ACCESS_SCHEMA,
+        "ts": 1700000000.0,
+        "request_id": "abc123",
+        "method": "POST",
+        "path": "/v1/analyze",
+        "status": 200,
+        "bytes": 512,
+        "total_ms": 12.5,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestValidateAccessRecord:
+    def test_minimal_record_is_valid(self):
+        assert validate_access_record(good_record()) == []
+
+    def test_full_analysis_record_is_valid(self):
+        record = good_record(
+            key="deadbeef", verdict="PROVED", cache="cert-reuse",
+            sccs_reused=2, sccs_reproved=1, sccs_rejected=0,
+            queue_ms=0.2, solve_ms=10.0, serialize_ms=0.8,
+            root="append/3", mode="bbf",
+        )
+        assert validate_access_record(record) == []
+
+    def test_missing_required_field_reported(self):
+        record = good_record()
+        del record["request_id"]
+        problems = validate_access_record(record)
+        assert any("request_id" in p for p in problems)
+
+    def test_bad_status_and_cache_tier_reported(self):
+        problems = validate_access_record(
+            good_record(status=42, cache="warm")
+        )
+        assert any("status" in p for p in problems)
+        assert any("cache" in p for p in problems)
+
+    def test_bool_is_not_an_int_status(self):
+        assert validate_access_record(good_record(status=True))
+
+    def test_non_dict_rejected(self):
+        assert validate_access_record(["not", "a", "dict"])
+
+
+class TestAccessLogWriter:
+    def test_writes_one_json_line_per_record(self):
+        buffer = io.StringIO()
+        with AccessLogWriter(buffer) as writer:
+            writer.log(good_record())
+            writer.log(good_record(status=404))
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        decoded = [json.loads(line) for line in lines]
+        assert [validate_access_record(r) for r in decoded] == [[], []]
+        assert decoded[1]["status"] == 404
+
+    def test_writes_to_a_path_in_append_mode(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLogWriter(str(path)) as writer:
+            writer.log(good_record())
+        with AccessLogWriter(str(path)) as writer:
+            writer.log(good_record())
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_full_queue_drops_and_counts(self):
+        # A writer whose drain thread is wedged behind a lock: the
+        # bounded queue must fill and then drop without blocking.
+        gate = threading.Event()
+
+        class Wedged(io.StringIO):
+            def write(self, text):
+                gate.wait(10)
+                return super().write(text)
+
+        writer = AccessLogWriter(Wedged(), max_pending=2)
+        try:
+            for _ in range(10):
+                writer.log(good_record())
+            assert writer.dropped >= 7  # 2 queued + <=1 in-flight
+        finally:
+            gate.set()
+            writer.close()
+        assert writer.written + writer.dropped == 10
+
+    def test_log_after_close_is_refused(self):
+        writer = AccessLogWriter(io.StringIO())
+        writer.close()
+        assert writer.log(good_record()) is False
+
+    def test_close_is_idempotent(self):
+        writer = AccessLogWriter(io.StringIO())
+        writer.close()
+        writer.close()

@@ -1,0 +1,108 @@
+"""Tests for the stdlib sampling profiler."""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler
+
+
+def spin_here(stop, marker="spin_here"):
+    """A busy loop whose function name must show up in samples."""
+    while not stop.is_set():
+        sum(range(100))
+
+
+def run_profiled(interval=0.001, duration=0.15):
+    stop = threading.Event()
+    worker = threading.Thread(target=spin_here, args=(stop,))
+    worker.start()
+    profiler = SamplingProfiler(interval=interval)
+    try:
+        with profiler:
+            time.sleep(duration)
+    finally:
+        stop.set()
+        worker.join(5)
+    return profiler
+
+
+class TestSamplingProfiler:
+    def test_captures_the_busy_function(self):
+        profiler = run_profiled()
+        assert profiler.samples > 0
+        assert any("spin_here" in stack for stack in profiler.counts)
+
+    def test_stacks_are_root_first(self):
+        profiler = run_profiled()
+        spin_stacks = [s for s in profiler.counts if "spin_here" in s]
+        assert spin_stacks
+        # Root-first means callers precede callees: every sampled
+        # stack opens with the thread bootstrap chain, and the busy
+        # function sits below threading:run.  (A sample may catch the
+        # loop inside stop.is_set(), so spin_here is not always the
+        # leaf.)
+        for stack in spin_stacks:
+            frames = stack.split(";")
+            assert "threading" in frames[0]
+            run_at = frames.index("threading:run")
+            spin_at = next(
+                i for i, f in enumerate(frames) if "spin_here" in f
+            )
+            assert run_at < spin_at
+
+    def test_collapsed_format_and_determinism(self):
+        profiler = run_profiled()
+        text = profiler.collapsed()
+        assert text == profiler.collapsed()  # stable
+        for line in text.splitlines():
+            assert re.match(r"^\S.*? \d+$", line), line
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_write_emits_file_and_returns_stack_count(self, tmp_path):
+        profiler = run_profiled()
+        path = tmp_path / "profile.collapsed"
+        stacks = profiler.write(str(path))
+        assert stacks == len(profiler.counts)
+        assert len(path.read_text().splitlines()) == stacks
+
+    def test_own_sampler_thread_is_never_sampled(self):
+        profiler = run_profiled()
+        assert not any(
+            "_sample_loop" in stack for stack in profiler.counts
+        )
+
+    def test_active_flag_and_idempotent_start_stop(self):
+        profiler = SamplingProfiler(interval=0.001)
+        assert not profiler.active
+        profiler.start()
+        profiler.start()  # no-op while running
+        assert profiler.active
+        profiler.stop()
+        profiler.stop()  # no-op when stopped
+        assert not profiler.active
+
+    def test_only_thread_filter(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_here, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(
+            interval=0.001, only_thread=worker.ident
+        )
+        try:
+            with profiler:
+                time.sleep(0.1)
+        finally:
+            stop.set()
+            worker.join(5)
+        assert profiler.samples > 0
+        # Every sampled stack belongs to the busy worker.
+        assert all("spin_here" in stack for stack in profiler.counts)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)

@@ -1,0 +1,148 @@
+"""Tests for the repro-top dashboard rendering (pure function over
+canned /v1/status + /v1/metrics payloads)."""
+
+from repro.obs.top import build_top_parser, render_dashboard
+
+
+def make_status(**overrides):
+    status = {
+        "status": "ok",
+        "inflight": 1,
+        "max_inflight": 8,
+        "pool": {"jobs": 2, "lane": "process", "degraded": False},
+        "slo": {
+            "1m": {"count": 10, "error_count": 1, "error_rate": 0.1,
+                   "throughput_rps": 0.17, "p50_ms": 12.0,
+                   "p95_ms": 80.0, "p99_ms": 150.0},
+            "5m": {"count": 40, "error_count": 1, "error_rate": 0.025,
+                   "throughput_rps": 0.13, "p50_ms": 11.0,
+                   "p95_ms": 70.0, "p99_ms": 300.0},
+        },
+        "accesslog": {"enabled": True, "dropped": 3},
+        "profiler": {"active": False, "samples": 0},
+        "store": {"entries": 5, "certificates": 9, "traces": 5},
+    }
+    status.update(overrides)
+    return status
+
+
+def make_snapshot(requests=100):
+    return {
+        "counters": {
+            "serve.requests": requests,
+            "serve.rejected": 2,
+            "serve.timeouts": 1,
+            "serve.errors": 0,
+            "serve.store.hits": 30,
+            "serve.store.misses": 70,
+            "serve.store.cert.hits": 4,
+            "serve.store.cert.misses": 6,
+        },
+        "gauges": {},
+        "histograms": {
+            "serve.request_ms": {
+                "buckets": [1, 10, 100],
+                "counts": [50, 30, 15, 5],
+                "sum": 1500.0,
+                "count": 100,
+            }
+        },
+    }
+
+
+class TestRenderDashboard:
+    def test_header_shows_state_lane_and_inflight(self):
+        text = render_dashboard(
+            "http://x:1", make_status(), make_snapshot()
+        )
+        header = text.splitlines()[0]
+        assert "state ok" in header
+        assert "lane process" in header
+        assert "inflight 1/8" in header
+
+    def test_degraded_pool_is_flagged(self):
+        status = make_status(
+            pool={"jobs": 4, "lane": "serial", "degraded": True}
+        )
+        assert "degraded" in render_dashboard(
+            "u", status, make_snapshot()
+        )
+
+    def test_throughput_from_snapshot_delta(self):
+        text = render_dashboard(
+            "u", make_status(), make_snapshot(150),
+            previous=make_snapshot(100), elapsed=10.0,
+        )
+        assert "5.0 req/s" in text
+        assert "(50 requests)" in text
+
+    def test_first_frame_has_no_throughput_line(self):
+        text = render_dashboard("u", make_status(), make_snapshot())
+        assert "throughput" not in text
+
+    def test_slo_windows_render_percentiles(self):
+        text = render_dashboard("u", make_status(), make_snapshot())
+        assert "slo windows" in text
+        assert "1m" in text and "5m" in text
+        assert "p95 80.0ms" in text
+
+    def test_lifetime_percentiles_from_histogram(self):
+        text = render_dashboard("u", make_status(), make_snapshot())
+        lifetime = next(
+            line for line in text.splitlines()
+            if line.startswith("lifetime")
+        )
+        assert "(n=100)" in lifetime
+
+    def test_cache_hit_rates(self):
+        text = render_dashboard("u", make_status(), make_snapshot())
+        caches = next(
+            line for line in text.splitlines()
+            if line.startswith("caches")
+        )
+        assert "30.0% (30/100)" in caches
+        assert "40.0% (4/10)" in caches
+
+    def test_pressure_line_includes_log_drops(self):
+        text = render_dashboard("u", make_status(), make_snapshot())
+        pressure = next(
+            line for line in text.splitlines()
+            if line.startswith("pressure")
+        )
+        assert "rejected(429) 2" in pressure
+        assert "log drops 3" in pressure
+
+    def test_active_profiler_is_surfaced(self):
+        status = make_status(
+            profiler={"active": True, "samples": 123}
+        )
+        assert "ACTIVE (123 samples" in render_dashboard(
+            "u", status, make_snapshot()
+        )
+
+    def test_handles_minimal_payloads(self):
+        # A daemon with no traffic yet: no windows, empty snapshot.
+        text = render_dashboard(
+            "u",
+            {"status": "ok", "pool": {}, "slo": {}},
+            {"counters": {}, "gauges": {}, "histograms": {}},
+        )
+        assert "repro-top" in text
+
+
+class TestTopParser:
+    def test_defaults(self):
+        args = build_top_parser().parse_args([])
+        assert args.url == "http://127.0.0.1:8421"
+        assert args.interval == 2.0
+        assert args.iterations == 0
+        assert not args.no_clear
+
+    def test_overrides(self):
+        args = build_top_parser().parse_args(
+            ["--url", "http://h:9", "--interval", "0.5",
+             "--iterations", "3", "--no-clear"]
+        )
+        assert args.interval == 0.5
+        assert args.iterations == 3
+        assert args.no_clear

@@ -1,0 +1,153 @@
+"""Property tests: the snapshot merge algebra.
+
+``merge_snapshots`` is the contract that lets batch and serve workers
+ship their metrics home in *any* completion order: over counters and
+histogram bucket counts it must be associative and commutative with
+the empty snapshot as identity.  (Gauges are excluded on purpose —
+they are last-write-wins and therefore order-dependent by design; the
+float histogram ``sum`` is only associative up to IEEE rounding, so
+it is compared to relative tolerance rather than bit-for-bit.)  The
+final test exercises the same law end to end through a real
+:class:`~repro.serve.pool.SolverPool` with two worker processes.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.obs.metrics import (  # noqa: E402
+    MetricsRegistry,
+    labeled,
+    merge_snapshots,
+)
+
+#: Fixed bucket layouts per histogram name — merge requires agreeing
+#: boundaries, exactly as the process-wide registry guarantees.
+_HISTOGRAMS = {
+    "fm.rows_ms": (1, 5, 25),
+    "serve.request_ms": (1, 10, 100, 1000),
+}
+
+_COUNTER_NAMES = st.sampled_from([
+    "serve.requests",
+    "fm.rows.generated",
+    labeled("serve.responses", status=200),
+    labeled("serve.responses", status=404),
+])
+
+
+@st.composite
+def snapshots(draw):
+    """One worker's plausible metrics snapshot."""
+    registry = MetricsRegistry()
+    for name in draw(st.lists(_COUNTER_NAMES, max_size=4)):
+        registry.counter(name).inc(draw(st.integers(0, 1000)))
+    for name, buckets in _HISTOGRAMS.items():
+        if not draw(st.booleans()):
+            continue
+        histogram = registry.histogram(name, buckets)
+        for value in draw(st.lists(
+            st.floats(0, 5000, allow_nan=False), max_size=8
+        )):
+            histogram.observe(value)
+    return registry.snapshot()
+
+
+def mergeable(snapshot):
+    """The order-independent part of a snapshot (drop gauges)."""
+    return {
+        "counters": snapshot["counters"],
+        "histograms": snapshot["histograms"],
+    }
+
+
+def assert_equivalent(a, b):
+    """Exact equality on counters and bucket counts; the float
+    histogram ``sum`` up to relative tolerance (addition reassociates
+    across merge orders)."""
+    a, b = mergeable(a), mergeable(b)
+    assert a["counters"] == b["counters"]
+    assert set(a["histograms"]) == set(b["histograms"])
+    for name, left in a["histograms"].items():
+        right = b["histograms"][name]
+        assert left["buckets"] == right["buckets"]
+        assert left["counts"] == right["counts"]
+        assert left["count"] == right["count"]
+        assert math.isclose(
+            left["sum"], right["sum"], rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(), snapshots())
+def test_merge_is_commutative(a, b):
+    assert_equivalent(merge_snapshots(a, b), merge_snapshots(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(), snapshots(), snapshots())
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert_equivalent(left, right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots())
+def test_empty_snapshot_is_the_identity(a):
+    empty = MetricsRegistry().snapshot()
+    assert_equivalent(merge_snapshots(a, empty), a)
+    assert_equivalent(merge_snapshots(empty, a), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(snapshots(), min_size=2, max_size=5),
+       st.randoms(use_true_random=False))
+def test_any_merge_order_gives_one_answer(parts, rng):
+    reference = merge_snapshots(*parts)
+    shuffled = list(parts)
+    rng.shuffle(shuffled)
+    assert_equivalent(merge_snapshots(*shuffled), reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(), snapshots())
+def test_merged_histogram_counts_stay_coherent(a, b):
+    merged = merge_snapshots(a, b)
+    for name, data in merged["histograms"].items():
+        assert sum(data["counts"]) == data["count"]
+        assert data["buckets"] == list(_HISTOGRAMS[name])
+
+
+def test_concurrent_pool_workers_merge_order_independently():
+    """The law, live: two worker processes solve different programs;
+    whatever order their deltas land in, the merged registry agrees."""
+    from repro.serve.pool import SolverPool
+    from repro.serve.protocol import AnalyzeRequest
+
+    append = (
+        "append([], Y, Y).\n"
+        "append([X|Xs], Y, [X|Zs]) :- append(Xs, Y, Zs).\n"
+    )
+    requests = [
+        AnalyzeRequest(source=append, root=("append", 3), mode=mode)
+        for mode in ("bbf", "ffb", "bff")
+    ]
+    pool = SolverPool(jobs=2)
+    try:
+        futures = [pool.submit(request) for request in requests]
+        deltas = [future.result(120)[2] for future in futures]
+    finally:
+        pool.shutdown()
+    forward = merge_snapshots(*deltas)
+    backward = merge_snapshots(*reversed(deltas))
+    assert mergeable(forward) == mergeable(backward)
+    # And the merged totals are the per-worker sums, not approximations.
+    for name in forward["counters"]:
+        assert forward["counters"][name] == sum(
+            delta["counters"].get(name, 0) for delta in deltas
+        )

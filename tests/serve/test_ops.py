@@ -1,0 +1,291 @@
+"""Integration tests for the daemon's operational surface: the
+/v1/status endpoint, Prometheus content negotiation, request-id
+correlation, structured access logs, and the SIGUSR2 profiler toggle
+(driven directly through :meth:`ServeApp.toggle_profiler`)."""
+
+import io
+import json
+import re
+
+from repro.obs import METRICS
+from repro.obs.ops import (
+    ACCESS_SCHEMA,
+    AccessLogWriter,
+    validate_access_record,
+)
+from tests.serve.test_service import (
+    APPEND,
+    _gcd_sources,
+    local_payload_text,
+    serve,
+)
+
+
+class TestStatusEndpoint:
+    def test_status_shape(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            client.analyze(APPEND, ("append", 3), "bbf")
+            status = client.status()
+            assert status["status"] == "ok"
+            assert status["overloaded"] is False
+            assert status["draining"] is False
+            assert status["pool"]["degraded"] is False
+            assert set(status["slo"]) == {"1m", "5m"}
+            assert status["slo"]["1m"]["count"] == 1
+            assert status["slo"]["1m"]["p95_ms"] > 0
+            assert status["accesslog"] == {
+                "enabled": False, "dropped": 0
+            }
+            assert status["profiler"]["active"] is False
+            assert status["store"]["entries"] == 1
+
+    def test_slo_counts_errors(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            client.analyze(APPEND, ("append", 3), "bbf")
+            # A 400 is a client error, not an SLO error (only 5xx).
+            client._request("POST", "/v1/analyze", b"not json")
+            status = client.status()
+            assert status["slo"]["1m"]["count"] == 2
+            assert status["slo"]["1m"]["error_count"] == 0
+
+
+class TestPrometheusEndpoint:
+    def test_query_param_negotiates_text_format(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            client.analyze(APPEND, ("append", 3), "bbf")
+            code, headers, text = client._request(
+                "GET", "/v1/metrics?format=prometheus"
+            )
+            assert code == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in headers["Content-Type"]
+            assert "# TYPE serve_requests_total counter" in text
+            assert 'serve_request_ms_bucket{le="+Inf"}' in text
+            # Scrape-time gauges are refreshed on demand.
+            assert "serve_inflight 0" in text
+            assert re.search(
+                r'serve_slo_count\{window="1m"\} 1', text
+            )
+
+    def test_accept_header_negotiates_text_format(self, tmp_path):
+        import http.client
+
+        with serve(tmp_path) as (app, client):
+            connection = http.client.HTTPConnection(
+                client.host, client.port, timeout=10
+            )
+            try:
+                connection.request(
+                    "GET", "/v1/metrics",
+                    headers={"Accept": "text/plain"},
+                )
+                response = connection.getresponse()
+                body = response.read().decode()
+            finally:
+                connection.close()
+            assert response.status == 200
+            assert response.getheader(
+                "Content-Type"
+            ).startswith("text/plain")
+            assert "# TYPE" in body
+
+    def test_default_remains_json(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            snapshot = client.metrics()
+            assert "counters" in snapshot
+
+    def test_client_prometheus_helper(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            text = client.metrics(format="prometheus")
+            assert isinstance(text, str)
+            assert text.endswith("\n")
+
+    def test_exposition_passes_the_ci_linter(self, tmp_path):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "check_prom_exposition",
+            str(
+                pathlib.Path(__file__).resolve().parents[2]
+                / "benchmarks" / "check_prom_exposition.py"
+            ),
+        )
+        linter = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(linter)
+        with serve(tmp_path) as (app, client):
+            client.analyze(APPEND, ("append", 3), "bbf")
+            text = client.metrics(format="prometheus")
+        assert linter.lint_exposition(text) == []
+
+
+class TestRequestIds:
+    def test_every_response_carries_a_request_id(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            _, headers, _ = client._request("GET", "/v1/health")
+            first = headers["X-Repro-Request-Id"]
+            _, headers, _ = client._request("GET", "/v1/health")
+            assert re.fullmatch(r"[0-9a-f]{16}", first)
+            assert headers["X-Repro-Request-Id"] != first
+
+    def test_analyze_answer_exposes_request_id(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            answer = client.analyze(APPEND, ("append", 3), "bbf")
+            assert re.fullmatch(r"[0-9a-f]{16}", answer.request_id)
+
+    def test_request_id_lands_in_the_stored_trace(self, tmp_path):
+        with serve(tmp_path) as (app, client):
+            answer = client.analyze(APPEND, ("append", 3), "bbf")
+            lines = client.trace(answer.key).splitlines()
+            meta = json.loads(lines[0])
+            assert meta["request_id"] == answer.request_id
+            spans = [
+                json.loads(line) for line in lines[1:]
+                if json.loads(line)["event"] == "span"
+            ]
+            by_name = {span["name"]: span for span in spans}
+            assert by_name["serve.request"]["attrs"]["request_id"] \
+                == answer.request_id
+            # The worker-side root span carries the same id: the
+            # cross-process join key.
+            assert by_name["analyze"]["attrs"]["request_id"] \
+                == answer.request_id
+
+
+class TestAccessLog:
+    def run_records(self, tmp_path):
+        buffer = io.StringIO()
+        writer = AccessLogWriter(buffer)
+        with serve(tmp_path, access_log=writer) as (app, client):
+            fresh = client.analyze(APPEND, ("append", 3), "bbf")
+            hit = client.analyze(APPEND, ("append", 3), "bbf")
+            client.health()
+        records = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+        ]
+        return records, fresh, hit
+
+    def test_one_valid_line_per_request(self, tmp_path):
+        records, _, _ = self.run_records(tmp_path)
+        assert len(records) == 3
+        for record in records:
+            assert validate_access_record(record) == [], record
+            assert record["schema"] == ACCESS_SCHEMA
+
+    def test_cache_tiers_and_verdicts(self, tmp_path):
+        records, fresh, hit = self.run_records(tmp_path)
+        first, second, health = records
+        assert first["cache"] == "fresh"
+        assert first["verdict"] == "PROVED"
+        assert first["key"] == fresh.key
+        assert first["root"] == "append/3"
+        assert first["mode"] == "bbf"
+        assert second["cache"] == "store-hit"
+        assert second["verdict"] == "PROVED"
+        assert "cache" not in health
+
+    def test_latency_breakdown_on_fresh_solves(self, tmp_path):
+        records, _, _ = self.run_records(tmp_path)
+        first, second, _ = records
+        for field in ("queue_ms", "solve_ms", "serialize_ms"):
+            assert first[field] >= 0
+        assert first["solve_ms"] <= first["total_ms"]
+        # Store hits never solved, so carry no breakdown.
+        assert "solve_ms" not in second
+
+    def test_request_ids_join_log_to_responses(self, tmp_path):
+        records, fresh, hit = self.run_records(tmp_path)
+        logged = {record["request_id"] for record in records}
+        assert fresh.request_id in logged
+        assert hit.request_id in logged
+
+    def test_cert_reuse_tier_and_scc_counts(self, tmp_path):
+        old, new = _gcd_sources()
+        buffer = io.StringIO()
+        writer = AccessLogWriter(buffer)
+        with serve(tmp_path, access_log=writer) as (app, client):
+            client.analyze(old, ("gcd", 3), "bbf", incremental=True)
+            client.analyze(new, ("gcd", 3), "bbf", incremental=True)
+        records = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+        ]
+        cold, warm = records
+        assert cold["cache"] == "fresh"
+        assert cold["sccs_reused"] == 0 and cold["sccs_reproved"] > 1
+        assert warm["cache"] == "cert-reuse"
+        assert warm["sccs_reused"] > 0
+        for record in records:
+            assert validate_access_record(record) == [], record
+
+    def test_errors_are_logged_with_status(self, tmp_path):
+        buffer = io.StringIO()
+        writer = AccessLogWriter(buffer)
+        with serve(tmp_path, access_log=writer) as (app, client):
+            client._request("POST", "/v1/analyze", b"not json")
+        (record,) = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+        ]
+        assert record["status"] == 400
+        assert record["error"] == "body is not valid JSON"
+        assert validate_access_record(record) == []
+
+
+class TestObsOffEquivalence:
+    def test_ops_machinery_never_changes_the_verdict_bytes(
+        self, tmp_path
+    ):
+        expected = local_payload_text(APPEND, ("append", 3), "bbf")
+        # Plain daemon.
+        with serve(tmp_path / "plain") as (app, client):
+            plain = client.analyze(APPEND, ("append", 3), "bbf").text
+        # Fully instrumented daemon: access log + live profiler.
+        writer = AccessLogWriter(io.StringIO())
+        with serve(
+            tmp_path / "ops",
+            access_log=writer,
+            profile_out=str(tmp_path / "ops.collapsed"),
+        ) as (app, client):
+            app.toggle_profiler()
+            instrumented = client.analyze(
+                APPEND, ("append", 3), "bbf"
+            ).text
+        assert plain == expected
+        assert instrumented == expected
+
+    def test_metrics_disabled_still_serves(self, tmp_path):
+        previous = METRICS.set_enabled(False)
+        try:
+            with serve(tmp_path) as (app, client):
+                answer = client.analyze(APPEND, ("append", 3), "bbf")
+                assert answer.proved
+                status = client.status()
+                assert status["status"] == "ok"
+                client.metrics(format="prometheus")
+        finally:
+            METRICS.set_enabled(previous)
+
+
+class TestProfilerToggle:
+    def test_toggle_starts_and_stops_with_dump(self, tmp_path):
+        out = tmp_path / "serve.collapsed"
+        with serve(tmp_path, profile_out=str(out)) as (app, client):
+            message = app.toggle_profiler()
+            assert "started" in message
+            assert client.status()["profiler"]["active"] is True
+            client.analyze(APPEND, ("append", 3), "bbf")
+            message = app.toggle_profiler()
+            assert "stopped" in message
+            assert str(out) in message
+            assert out.exists()
+            assert client.status()["profiler"]["active"] is False
+
+    def test_shutdown_stops_an_active_profiler(self, tmp_path):
+        out = tmp_path / "drain.collapsed"
+        with serve(tmp_path, profile_out=str(out)) as (app, client):
+            app.toggle_profiler()
+            client.analyze(APPEND, ("append", 3), "bbf")
+        # The context manager drained the app; the dump happened.
+        assert out.exists()

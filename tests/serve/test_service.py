@@ -40,10 +40,11 @@ class SlowPool(SolverPool):
         super().__init__(jobs=1)
         self.delay = delay
 
-    def submit(self, wire, timeout=None, cache_dir=None):
+    def submit(self, wire, timeout=None, cache_dir=None,
+               request_id=None):
         def stalled():
             time.sleep(self.delay)
-            return solve_wire(wire, timeout, cache_dir)
+            return solve_wire(wire, timeout, cache_dir, request_id)
 
         return self._serial.submit(stalled)
 
