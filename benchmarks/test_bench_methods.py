@@ -1,0 +1,166 @@
+"""Experiment F12: the per-SCC method portfolio vs plain argsize.
+
+The claim to regenerate: on the 42-program corpus the portfolio
+strictly reduces the UNKNOWN count relative to the paper's argument
+size analysis — the size-change prover rescues the lexicographic
+descents (``ackermann``), and the non-termination detector upgrades
+every known-diverging entry to DISPROVED — while ``method="argsize"``
+stays byte-identical to driving the pipeline directly, and the
+empirical (E-family) ground truth is never contradicted.
+
+Artifacts: the per-program verdict table plus a per-method win table
+(which prover decided each program under the portfolio), and the
+repo-level ``BENCH_F12.json`` headline with the UNKNOWN counts and
+sweep wall-clocks.
+"""
+
+import json
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.core import AnalyzerSettings, DISPROVED, PROVED, UNKNOWN
+from repro.core.report import render_verdict_table
+from repro.corpus import all_programs
+from repro.corpus.registry import load
+from repro.methods import MethodRunner
+
+from benchmarks.conftest import emit
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADLINE_PATH = os.path.join(REPO_ROOT, "BENCH_F12.json")
+
+
+def _update_headline(key, value):
+    """Merge one section into the repo-level BENCH_F12.json artifact."""
+    payload = {}
+    if os.path.exists(HEADLINE_PATH):
+        with open(HEADLINE_PATH) as handle:
+            payload = json.load(handle)
+    payload[key] = value
+    with open(HEADLINE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _sweep(method):
+    """(results by name, wall seconds) for one full corpus sweep."""
+    results = {}
+    started = perf_counter()
+    for entry in all_programs():
+        runner = MethodRunner(settings=AnalyzerSettings(method=method))
+        results[entry.name] = runner.analyze(
+            load(entry), entry.root, entry.mode
+        )
+    return results, perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {name: _sweep(name) for name in ("argsize", "portfolio")}
+
+
+def _decider(result):
+    """Which prover decided a portfolio verdict (by SCC provenance)."""
+    if result.status == UNKNOWN:
+        return "-"
+    methods = [scc.method or "argsize" for scc in result.scc_results]
+    if result.status == DISPROVED:
+        return "nonterm"
+    for preferred in ("sizechange", "argsize"):
+        if preferred in methods:
+            return preferred
+    return methods[0] if methods else "argsize"
+
+
+def test_portfolio_reduces_unknowns(sweeps, benchmark):
+    argsize, argsize_seconds = sweeps["argsize"]
+    portfolio, portfolio_seconds = sweeps["portfolio"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    wins = {}
+    for entry in all_programs():
+        a = argsize[entry.name].status
+        p = portfolio[entry.name]
+        decider = _decider(p)
+        if p.status != UNKNOWN:
+            wins[decider] = wins.get(decider, 0) + 1
+        rows.append((entry.name, entry.mode, a, p.status, decider))
+
+    unknown_argsize = sum(
+        1 for e in all_programs()
+        if argsize[e.name].status == UNKNOWN
+    )
+    unknown_portfolio = sum(
+        1 for e in all_programs()
+        if portfolio[e.name].status == UNKNOWN
+    )
+    disproved = sum(
+        1 for e in all_programs()
+        if portfolio[e.name].status == DISPROVED
+    )
+
+    # The acceptance claims.
+    assert unknown_portfolio < unknown_argsize
+    assert disproved >= 1
+    for entry in all_programs():
+        if "nonterminating" in entry.tags:
+            assert portfolio[entry.name].status == DISPROVED, entry.name
+        else:
+            assert portfolio[entry.name].status != DISPROVED, entry.name
+        if argsize[entry.name].status == PROVED:
+            assert portfolio[entry.name].status == PROVED, entry.name
+
+    table = render_verdict_table(
+        rows, headers=("program", "mode", "argsize", "portfolio", "won by"),
+    )
+    win_table = "  ".join(
+        "%s=%d" % (name, wins[name]) for name in sorted(wins)
+    )
+    summary = (
+        "UNKNOWN: argsize=%d portfolio=%d (DISPROVED=%d)\n"
+        "decided by: %s\n"
+        "sweep wall-clock: argsize=%.2fs portfolio=%.2fs"
+        % (unknown_argsize, unknown_portfolio, disproved, win_table,
+           argsize_seconds, portfolio_seconds)
+    )
+    emit(
+        "F12_method_portfolio",
+        table + "\n\n" + summary,
+        data={
+            "programs": len(all_programs()),
+            "unknown_argsize": unknown_argsize,
+            "unknown_portfolio": unknown_portfolio,
+            "disproved": disproved,
+            "wins": wins,
+            "argsize_sweep_seconds": round(argsize_seconds, 3),
+            "portfolio_sweep_seconds": round(portfolio_seconds, 3),
+            "rows": [list(row) for row in rows],
+        },
+    )
+    _update_headline("portfolio_vs_argsize", {
+        "programs": len(all_programs()),
+        "unknown_argsize": unknown_argsize,
+        "unknown_portfolio": unknown_portfolio,
+        "disproved": disproved,
+        "wins": wins,
+        "argsize_sweep_seconds": round(argsize_seconds, 3),
+        "portfolio_sweep_seconds": round(portfolio_seconds, 3),
+    })
+
+
+def test_argsize_method_is_the_pipeline(sweeps, corpus_verdicts):
+    """``method="argsize"`` reproduces the paper sweep verdict-for-
+    verdict (the byte-level payload pin lives in tests/methods)."""
+    argsize, _ = sweeps["argsize"]
+    mismatches = [
+        entry.name for entry in all_programs()
+        if argsize[entry.name].status != corpus_verdicts[entry.name]["paper"]
+    ]
+    assert not mismatches
+    _update_headline("argsize_identity", {
+        "programs": len(all_programs()),
+        "verdicts_identical": not mismatches,
+    })

@@ -13,10 +13,11 @@ verdict table and one merged :class:`~repro.core.AnalysisTrace`.
   :class:`BatchResult` records plus their stage traces;
 - **chunking** groups items by source text, so one worker analyzes
   every mode of a program with a single
-  :class:`~repro.core.TerminationAnalyzer` — reusing the inferred
+  :class:`~repro.methods.MethodRunner` — reusing the inferred
   inter-argument environment and the dualization cache exactly like
   the serial sweep does (large groups are split when there are fewer
-  programs than workers);
+  programs than workers); ``settings.method`` picks the registered
+  termination prover (``argsize`` by default);
 - ``jobs=1`` runs in-process with no executor and no pickling — the
   reference path the parallel results are tested against.
 
@@ -39,7 +40,6 @@ from repro.core import (
     AnalysisTrace,
     AnalyzerSettings,
     MemoryCertificateCache,
-    TerminationAnalyzer,
     validate_query,
 )
 from repro.obs import METRICS, diff_snapshots, merge_snapshots
@@ -304,6 +304,8 @@ def _run_chunk(indexed, settings, baseline_names, incremental=False,
     ``BatchResult.worker`` leaves here as the worker's pid; the parent
     remaps pids to compact ids.
     """
+    from repro.methods import MethodRunner
+
     worker = os.getpid()
     methods = _resolve_baselines(baseline_names)
     cache = (
@@ -313,7 +315,7 @@ def _run_chunk(indexed, settings, baseline_names, incremental=False,
     before = METRICS.snapshot()
     trace = AnalysisTrace()
     out = []
-    analyzer = None
+    runner = MethodRunner(settings=settings, certificate_cache=cache)
     program = None
     current_source = None
     for index, item in indexed:
@@ -321,12 +323,9 @@ def _run_chunk(indexed, settings, baseline_names, incremental=False,
         try:
             if item.source != current_source:
                 program = parse_program(item.source)
-                analyzer = TerminationAnalyzer(
-                    program, settings=settings, certificate_cache=cache
-                )
                 current_source = item.source
             validate_query(program, item.root, item.mode)
-            result = analyzer.analyze(tuple(item.root), item.mode)
+            result = runner.analyze(program, tuple(item.root), item.mode)
         except ReproError as error:
             out.append((index, BatchResult(
                 name=item.name, root=tuple(item.root), mode=item.mode,

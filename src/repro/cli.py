@@ -36,8 +36,6 @@ from repro.lp import parse_program
 from repro.core import (
     AnalysisTrace,
     AnalyzerSettings,
-    TerminationAnalyzer,
-    analyze_program,
     validate_query,
     verify_proof,
 )
@@ -56,7 +54,10 @@ def build_parser():
         description="Termination analysis via argument sizes and LP "
         "duality (Sohn & Van Gelder, PODS 1991).",
     )
-    parser.add_argument("source", help="Prolog source file ('-' for stdin)")
+    parser.add_argument(
+        "source", nargs="?",
+        help="Prolog source file ('-' for stdin)",
+    )
     parser.add_argument(
         "--root",
         help="queried predicate as name/arity, e.g. perm/2",
@@ -78,6 +79,18 @@ def build_parser():
     parser.add_argument(
         "--no-interarg", action="store_true",
         help="disable inter-argument constraint inference",
+    )
+    parser.add_argument(
+        "--method", default="argsize",
+        help="termination prover (see --list-methods): 'argsize' "
+        "(default) is the paper's certifying analysis, 'sizechange' "
+        "proves lexicographic descents via local level mappings, "
+        "'nonterm' hunts a looping derivation and can DISPROVE, "
+        "'portfolio' races them per SCC cheapest-first",
+    )
+    parser.add_argument(
+        "--list-methods", action="store_true",
+        help="list the registered termination methods and exit",
     )
     parser.add_argument(
         "--kernel", default="int",
@@ -205,6 +218,17 @@ def main(argv=None):
 def _run_cli(args):
     """The parsed-args body of ``main`` (split out so --profile-out
     can bracket every exit path with one try/finally)."""
+    if args.list_methods:
+        from repro.methods import available_methods, get_method
+
+        for name in available_methods():
+            doc = (type(get_method(name)).__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+            print("%-12s %s" % (name, summary))
+        return 0
+    if not args.source:
+        raise SystemExit("a source file is required "
+                         "(or use --list-methods)")
     if args.all_modes:
         if args.root or args.mode:
             raise SystemExit("--all-modes excludes --root/--mode")
@@ -245,6 +269,7 @@ def _run_cli(args):
         use_interarg=not args.no_interarg,
         allow_negative_theta=args.negative_theta,
         fm_kernel=args.kernel,
+        method=args.method,
     )
 
     if args.incremental and not args.remote:
@@ -287,13 +312,13 @@ def _run_cli(args):
     if args.cache_dir:
         return _run_single_stored(program, root, settings, args)
 
+    from repro.methods import run_method
     from repro.serve.pool import deadline
 
     try:
         with deadline(args.timeout):
-            result = analyze_program(
-                program, root, args.mode, settings=settings
-            )
+            result = run_method(program, root, args.mode,
+                                settings=settings)
     except AnalysisTimeout as error:
         print("analysis timed out: %s" % error, file=sys.stderr)
         return EXIT_TIMEOUT
@@ -315,27 +340,44 @@ def _run_cli(args):
             )
         )
 
-    if args.verify and result.proved:
-        verify_proof(result.proof)
-        if not args.json:
-            print("certificate independently verified (primal simplex).")
-
+    _verify_if_asked(args, result)
     _emit_telemetry(args, result.trace)
     return 0 if result.proved else 1
+
+
+def _verify_if_asked(args, result):
+    """Re-check the lambda certificate when ``--verify`` asked for it.
+
+    Size-change proofs carry no lambda certificate (``result.proof``
+    is None even though the verdict is PROVED) — say so instead of
+    crashing the verifier."""
+    if not (args.verify and result.proved):
+        return
+    if result.proof is None:
+        print("no lambda certificate to verify (method %s proves "
+              "without one)" % result.method, file=sys.stderr)
+        return
+    verify_proof(result.proof)
+    if not args.json:
+        print("certificate independently verified (primal simplex).")
 
 
 def _render_payload(payload):
     """Compact text rendering of a stored/remote verdict payload
     (the full report needs the in-process result object)."""
     root = payload.get("root", {})
+    method = payload.get("method", "argsize")
     lines = [
-        "%s/%s mode %s: %s  [norm %s]"
+        "%s/%s mode %s: %s  [norm %s%s]"
         % (root.get("predicate"), root.get("arity"),
            payload.get("mode"), payload.get("status"),
-           payload.get("norm"))
+           payload.get("norm"),
+           "" if method == "argsize" else ", method %s" % method)
     ]
     for scc in payload.get("sccs", ()):
-        if scc.get("status") == "PROVED":
+        provenance = scc.get("method", "")
+        tag = " [%s]" % provenance if provenance else ""
+        if scc.get("status") == "PROVED" and "proof" in scc:
             proof = scc.get("proof", {})
             members = ", ".join(
                 "%s/%s^%s" % (m["predicate"], m["arity"], m["adornment"])
@@ -343,14 +385,14 @@ def _render_payload(payload):
             )
             note = (" (nonrecursive)"
                     if proof.get("trivially_nonrecursive") else "")
-            lines.append("  scc %s: PROVED%s" % (members, note))
+            lines.append("  scc %s: PROVED%s%s" % (members, note, tag))
         else:
             members = ", ".join(
                 "%s/%s^%s" % (m["predicate"], m["arity"], m["adornment"])
                 for m in scc.get("members", ())
             )
-            lines.append("  scc %s: %s — %s"
-                         % (members, scc.get("status"),
+            lines.append("  scc %s: %s%s — %s"
+                         % (members, scc.get("status"), tag,
                             scc.get("reason", "")))
     return "\n".join(lines)
 
@@ -392,13 +434,15 @@ def _run_single_stored(program, root, settings, args):
         certificate_cache = (
             None if args.no_incremental else StoreCertificateCache(store)
         )
+        from repro.methods import MethodRunner
+
         try:
             with deadline(args.timeout):
-                analyzer = TerminationAnalyzer(
-                    program, settings=settings,
+                runner = MethodRunner(
+                    settings=settings,
                     certificate_cache=certificate_cache,
                 )
-                result = analyzer.analyze(tuple(root), args.mode)
+                result = runner.analyze(program, tuple(root), args.mode)
         except AnalysisTimeout as error:
             print("analysis timed out: %s" % error, file=sys.stderr)
             return EXIT_TIMEOUT
@@ -423,10 +467,7 @@ def _run_single_stored(program, root, settings, args):
                 show_stats=args.stats,
             )
         )
-    if args.verify and result.proved:
-        verify_proof(result.proof)
-        if not args.json:
-            print("certificate independently verified (primal simplex).")
+    _verify_if_asked(args, result)
     _emit_telemetry(args, result.trace)
     return 0 if result.proved else 1
 
@@ -464,15 +505,17 @@ def _run_diff(old_program, root, settings, args):
         cache = StoreCertificateCache(store)
     else:
         cache = MemoryCertificateCache()
+    from repro.methods import MethodRunner
+
     label = "%s/%d mode %s" % (root[0], root[1], args.mode)
     try:
         with deadline(args.timeout):
-            old_result = TerminationAnalyzer(
-                old_program, settings=settings, certificate_cache=cache
-            ).analyze(tuple(root), args.mode)
-            new_result = TerminationAnalyzer(
-                new_program, settings=settings, certificate_cache=cache
-            ).analyze(tuple(root), args.mode)
+            runner = MethodRunner(settings=settings,
+                                  certificate_cache=cache)
+            old_result = runner.analyze(old_program, tuple(root),
+                                        args.mode)
+            new_result = runner.analyze(new_program, tuple(root),
+                                        args.mode)
     except AnalysisTimeout as error:
         print("analysis timed out: %s" % error, file=sys.stderr)
         return EXIT_TIMEOUT
@@ -505,10 +548,7 @@ def _run_diff(old_program, root, settings, args):
         if not new_result.proved and args.verbose:
             for failing in new_result.failing_sccs():
                 print("  reason: %s" % failing.reason)
-    if args.verify and new_result.proved:
-        verify_proof(new_result.proof)
-        if not args.json:
-            print("certificate independently verified (primal simplex).")
+    _verify_if_asked(args, new_result)
     _emit_telemetry(args, new_result.trace)
     return 0 if new_result.proved else 1
 
@@ -596,7 +636,7 @@ def _emit_telemetry(args, trace):
 def _run_all_modes(program, settings, args):
     """Analyze every declared mode; exit 0 only if all are PROVED.
 
-    One :class:`TerminationAnalyzer` serves every mode, so the
+    One :class:`~repro.methods.MethodRunner` serves every mode, so the
     inter-argument environment is inferred once and dualizations are
     shared across modes; ``--stats`` prints the merged stage trace.
     """
@@ -622,8 +662,10 @@ def _run_all_modes(program, settings, args):
         store = ResultStore(args.cache_dir)
         if not args.no_incremental:
             certificate_cache = StoreCertificateCache(store)
-    analyzer = TerminationAnalyzer(
-        program, settings=settings, certificate_cache=certificate_cache
+    from repro.methods import MethodRunner
+
+    runner = MethodRunner(
+        settings=settings, certificate_cache=certificate_cache
     )
     merged = AnalysisTrace()
     worst = 0
@@ -647,14 +689,14 @@ def _run_all_modes(program, settings, args):
                     if hit != "PROVED":
                         worst = max(worst, 1)
                     continue
-                result = analyzer.analyze(declaration.indicator,
-                                          declaration.mode)
+                result = runner.analyze(program, declaration.indicator,
+                                        declaration.mode)
                 merged.merge(result.trace)
                 print("%s: %s" % (label, result.status))
                 if store is not None:
                     _store_result(store, program, declaration, settings,
                                   result)
-                if args.verify and result.proved:
+                if args.verify and result.proved and result.proof is not None:
                     verify_proof(result.proof)
                 if not result.proved:
                     worst = max(worst, 1)

@@ -32,6 +32,9 @@ from repro.core.adornment import (
     infer_adornments,
 )
 from repro.core.analyzer import (
+    DISPROVED,
+    PROVED,
+    UNKNOWN,
     AnalysisResult,
     AnalyzerSettings,
     SCCResult,
@@ -58,6 +61,9 @@ from repro.core.verifier import VerificationError, verify_proof
 from repro.core.wellmoded import ModeReport, check_well_moded
 
 __all__ = [
+    "DISPROVED",
+    "PROVED",
+    "UNKNOWN",
     "Adornment",
     "AdornedPredicate",
     "adorned_call_graph",

@@ -25,7 +25,10 @@ test goes through a pluggable backend from :mod:`repro.solve`.
 eagerly, so misconfiguration fails at construction, not mid-SCC.
 
 The verdict is ``PROVED`` or ``UNKNOWN`` — the method is a sufficient
-condition (Section 7); ``UNKNOWN`` never means "diverges".
+condition (Section 7); ``UNKNOWN`` never means "diverges".  The
+three-valued ``DISPROVED`` verdict exists one layer up, in
+:mod:`repro.methods`, whose ``nonterm`` detector exhibits looping
+derivations and whose ``portfolio`` driver races provers per SCC.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.errors import AnalysisError
 from repro.lp.program import Program
 from repro.interarg import InferenceSettings
 from repro.core.pipeline import (
+    DISPROVED,
     PROVED,
     UNKNOWN,
     AnalysisPipeline,
@@ -47,6 +51,7 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "DISPROVED",
     "PROVED",
     "UNKNOWN",
     "AnalyzerSettings",
@@ -133,6 +138,11 @@ class AnalyzerSettings:
     ``"reference"`` keeps the original object pipeline (differential
     testing / ablation).  All three produce byte-identical verdicts
     and witnesses.
+    ``method`` — name of the :mod:`repro.methods` termination prover
+    drivers dispatch to (``argsize``, ``sizechange``, ``nonterm``, or
+    ``portfolio``).  ``argsize`` is the paper's pipeline and the
+    default; the setting participates in request/certificate cache
+    keys.  Validated at construction like ``feasibility``.
     ``eliminate_w`` — True (default) runs the paper's practical route:
     Fourier–Motzkin eliminates the undistinguished dual multipliers per
     rule-subgoal pair ("in practice, Fourier-Motzkin elimination is
@@ -150,6 +160,7 @@ class AnalyzerSettings:
     prune_fm: bool = True
     fm_kernel: str = "int"
     eliminate_w: bool = True
+    method: str = "argsize"
     inference: InferenceSettings = field(default_factory=InferenceSettings)
 
     def validate(self):

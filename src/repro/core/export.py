@@ -88,19 +88,25 @@ def result_to_dict(result):
         "mode": result.root_mode,
         "status": result.status,
         "norm": result.norm,
+        "method": getattr(result, "method", "argsize") or "argsize",
         "sccs": [],
     }
     if result.trace is not None:
         data["trace"] = trace_to_dict(result.trace)
     for scc in result.scc_results:
-        if scc.proved:
+        if scc.proved and scc.proof is not None:
             entry = {"status": scc.status, "proof": scc_proof_to_dict(scc.proof)}
         else:
+            # UNKNOWN/DISPROVED SCCs, and PROVED ones without a lambda
+            # certificate (size-change proofs carry a reason instead).
             entry = {
                 "status": scc.status,
                 "members": [node_to_dict(node) for node in scc.members],
                 "reason": scc.reason,
             }
+        method = getattr(scc, "method", "")
+        if method:
+            entry["method"] = method
         data["sccs"].append(entry)
     return data
 

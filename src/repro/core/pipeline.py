@@ -74,6 +74,11 @@ from repro.core.theta import (
 
 PROVED = "PROVED"
 UNKNOWN = "UNKNOWN"
+#: Termination *disproved*: a non-termination detector exhibited a
+#: looping derivation.  Only :mod:`repro.methods` provers emit it —
+#: the argument-size pipeline itself stays two-valued (its UNKNOWN
+#: never means "diverges").
+DISPROVED = "DISPROVED"
 
 #: Stage names in execution order; ``adorn``/``interarg`` run once per
 #: analysis, the rest once per recursive SCC.  ``fingerprint`` only
@@ -343,6 +348,9 @@ class SCCResult:
     constraint_rows: int = 0
     cache: str = ""
     fingerprint: str = ""
+    #: Which :mod:`repro.methods` prover decided this SCC (portfolio
+    #: provenance); ``""`` outside the methods layer.
+    method: str = ""
 
     @property
     def proved(self):
@@ -363,6 +371,9 @@ class AnalysisResult:
     environment: SizeEnvironment = None
     norm: str = "structural"
     trace: AnalysisTrace = None
+    #: The :mod:`repro.methods` prover that produced this result.  The
+    #: pipeline itself *is* the argument-size method, hence the default.
+    method: str = "argsize"
 
     @property
     def proved(self):
@@ -373,6 +384,10 @@ class AnalysisResult:
     def proof(self):
         """A :class:`TerminationProof` when the status is PROVED."""
         if not self.proved:
+            return None
+        if any(r.proof is None for r in self.scc_results):
+            # Proved by a method that argues termination without a
+            # lambda certificate (e.g. size-change closure).
             return None
         certificate = TerminationProof(
             root=self.root, root_mode=self.root_mode, norm=self.norm
@@ -410,7 +425,7 @@ class AnalysisResult:
             % (self.status, self.root[0], self.root[1], self.root_mode)
         ]
         for result in self.scc_results:
-            if result.proved:
+            if result.proved and result.proof is not None:
                 lines.append(result.proof.describe())
             else:
                 lines.append(
@@ -578,6 +593,15 @@ def resolve_settings(settings):
     backend = get_backend(
         settings.feasibility, prune=settings.prune_fm, kernel=fm_kernel
     )
+    method = getattr(settings, "method", "argsize")
+    # Lazy import: repro.methods imports repro.core, not vice versa.
+    from repro.methods import available_methods
+
+    if method not in available_methods():
+        raise AnalysisError(
+            "unknown termination method %r; choose from %s"
+            % (method, ", ".join(available_methods()))
+        )
     return norm, backend
 
 
@@ -649,6 +673,7 @@ class AnalysisPipeline:
             bool(s.eliminate_w),
             bool(s.prune_fm),
             self.backend.name,
+            getattr(s, "method", "argsize"),
         )
 
     # -- inter-argument constraints ------------------------------------------

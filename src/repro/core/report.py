@@ -30,6 +30,9 @@ def render_report(result, show_rule_systems=False, show_environment=False,
         % (result.root[0], result.root[1], result.root_mode)
     )
     lines.append("Verdict: %s" % result.status)
+    method = getattr(result, "method", "argsize") or "argsize"
+    if method != "argsize":
+        lines.append("Method: %s" % method)
     lines.append("=" * 64)
 
     if result.nodes:
@@ -39,7 +42,7 @@ def render_report(result, show_rule_systems=False, show_environment=False,
 
     for scc in result.scc_results:
         lines.append("-" * 64)
-        if scc.proved:
+        if scc.proved and scc.proof is not None:
             lines.append(scc.proof.describe())
             if show_rule_systems and scc.proof.rule_systems:
                 for system in scc.proof.rule_systems:
@@ -48,11 +51,14 @@ def render_report(result, show_rule_systems=False, show_environment=False,
                         "  " + line for line in system.describe().splitlines()
                     )
         else:
+            provenance = getattr(scc, "method", "")
             lines.append(
-                "SCC {%s}: %s"
-                % (", ".join(str(m) for m in scc.members), scc.status)
+                "SCC {%s}: %s%s"
+                % (", ".join(str(m) for m in scc.members), scc.status,
+                   " [%s]" % provenance if provenance else "")
             )
-            lines.append("  reason: %s" % scc.reason)
+            if scc.reason:
+                lines.append("  reason: %s" % scc.reason)
 
     if show_environment and result.environment is not None:
         lines.append("-" * 64)
@@ -69,8 +75,17 @@ def render_report(result, show_rule_systems=False, show_environment=False,
 
 
 def render_verdict_table(rows, headers=("program", "mode", "verdict")):
-    """A plain-text table; *rows* is a list of tuples."""
-    rows = [tuple(str(cell) for cell in row) for row in rows]
+    """A plain-text table; *rows* is a list of tuples.
+
+    Rows shorter than *headers* are right-padded with empty cells, so
+    two-valued callers keep working when a sweep appends a ``method``
+    provenance column only some rows carry.
+    """
+    rows = [
+        tuple(str(cell) for cell in row)
+        + ("",) * (len(headers) - len(row))
+        for row in rows
+    ]
     widths = [len(h) for h in headers]
     for row in rows:
         for i, cell in enumerate(row):

@@ -1,0 +1,174 @@
+"""Per-SCC portfolio driver: cheapest prover first, first conclusive
+answer wins, provenance recorded per SCC.
+
+Stage order (by method ``cost``):
+
+1. ``argsize`` — the paper's certifying analysis, run first and in
+   full (it also benefits from the certificate cache; its sub-run uses
+   ``method="argsize"`` settings, so cache entries are shared with
+   standalone argsize runs).  PROVED ends the race.
+2. ``sizechange`` — attempted when argsize leaves SCCs unproved; any
+   SCC it rescues replaces the failing entry (provenance
+   ``method="sizechange"``).  All SCCs proved ends the race PROVED.
+3. ``nonterm`` — attempted last; a looping derivation upgrades the
+   verdict to DISPROVED with the looping goal as the reason.
+
+Budget semantics are *cooperative*: each sub-method carries its own
+operation budgets (closure caps, LP-call caps, engine step/depth
+budgets — see the method constructors), and the portfolio checks its
+wall-clock ``budget`` (seconds, None = unlimited) before *entering*
+each stage after the first; an exhausted budget skips the remaining
+stages rather than preempting a running one.  Hard preemption stays
+one layer up (``repro-analyze --timeout``, the serve deadline).
+
+The merged result reports ``method="portfolio"`` with per-SCC
+``SCCResult.method`` provenance naming the prover that decided each
+SCC; sub-method attempts are instrumented through the standard
+``method.<name>.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core.analyzer import AnalyzerSettings
+from repro.core.pipeline import (
+    DISPROVED,
+    PROVED,
+    UNKNOWN,
+    AnalysisResult,
+    AnalysisTrace,
+)
+from repro.methods.base import (
+    TerminationMethod,
+    get_method,
+    observed_analyze,
+    register_method,
+)
+
+
+@register_method
+class PortfolioMethod(TerminationMethod):
+    """Race argsize, sizechange, and nonterm; record who decided."""
+
+    name = "portfolio"
+    cost = 40
+
+    def __init__(self, budget=None, sizechange=None, nonterm=None):
+        self.budget = budget
+        self.sizechange_options = dict(sizechange or {})
+        self.nonterm_options = dict(nonterm or {})
+
+    def _members(self, state):
+        if state is None:
+            state = {}
+        methods = state.get("portfolio.methods")
+        if methods is None:
+            methods = {
+                "argsize": get_method("argsize"),
+                "sizechange": get_method(
+                    "sizechange", **self.sizechange_options
+                ),
+                "nonterm": get_method("nonterm", **self.nonterm_options),
+            }
+            state["portfolio.methods"] = methods
+        return methods, state
+
+    def analyze(self, program, root, mode, settings=None,
+                certificate_cache=None, request_id=None, state=None):
+        settings = settings or AnalyzerSettings()
+        methods, state = self._members(state)
+        root = tuple(root)
+        mode = str(mode)
+        started = perf_counter()
+        sub_results = []
+
+        def attempt(name):
+            result = observed_analyze(
+                methods[name], program, root, mode, settings=settings,
+                certificate_cache=(
+                    certificate_cache if name == "argsize" else None
+                ),
+                request_id=request_id, state=state,
+            )
+            sub_results.append(result)
+            return result
+
+        def out_of_budget():
+            return (
+                self.budget is not None
+                and perf_counter() - started >= self.budget
+            )
+
+        argsize = attempt("argsize")
+        merged = list(argsize.scc_results)
+        for scc in merged:
+            scc.method = scc.method or "argsize"
+        status = argsize.status
+        skipped = []
+
+        if status != PROVED:
+            if out_of_budget():
+                skipped.append("sizechange")
+            else:
+                sizechange = attempt("sizechange")
+                rescued = {
+                    frozenset(r.members): r
+                    for r in sizechange.scc_results if r.proved
+                }
+                merged = [
+                    r if r.proved
+                    else rescued.get(frozenset(r.members), r)
+                    for r in merged
+                ]
+                if all(r.proved for r in merged):
+                    status = PROVED
+
+        if status != PROVED:
+            if out_of_budget():
+                skipped.append("nonterm")
+            else:
+                nonterm = attempt("nonterm")
+                if nonterm.status == DISPROVED:
+                    status = DISPROVED
+                    disproved = [
+                        r for r in nonterm.scc_results
+                        if r.status == DISPROVED
+                    ]
+                    merged = [r for r in merged if r.proved] + disproved
+
+        if status not in (PROVED, DISPROVED):
+            status = UNKNOWN
+            if skipped:
+                for result in merged:
+                    if not result.proved and result.reason:
+                        result.reason += (
+                            " [portfolio budget exhausted; skipped: %s]"
+                            % ", ".join(skipped)
+                        )
+                        break
+
+        trace = AnalysisTrace()
+        attrs = dict(root="%s/%d" % root, mode=mode, method=self.name)
+        if request_id is not None:
+            attrs["request_id"] = str(request_id)
+        with trace.span("analyze", **attrs) as span:
+            span.set(
+                status=status,
+                attempted=",".join(r.method for r in sub_results),
+            )
+        for sub in sub_results:
+            if sub.trace is not None:
+                trace.merge(sub.trace)
+        return AnalysisResult(
+            program=program,
+            root=root,
+            root_mode=mode,
+            status=status,
+            scc_results=merged,
+            nodes=argsize.nodes,
+            environment=argsize.environment,
+            norm=argsize.norm,
+            trace=trace,
+            method=self.name,
+        )

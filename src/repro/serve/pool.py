@@ -36,7 +36,7 @@ from contextlib import contextmanager
 from time import perf_counter
 
 from repro.errors import AnalysisTimeout
-from repro.core import TerminationAnalyzer
+from repro.methods import MethodRunner
 from repro.obs import METRICS, diff_snapshots
 from repro.serve.protocol import AnalyzeRequest, payload_from_result
 
@@ -119,13 +119,13 @@ def solve_wire(wire, timeout=None, cache_dir=None, request_id=None):
     solve_started = perf_counter()
     try:
         with deadline(timeout):
-            analyzer = TerminationAnalyzer(
-                program,
+            runner = MethodRunner(
                 settings=request.settings,
                 certificate_cache=certificate_cache,
             )
-            result = analyzer.analyze(
-                request.root, request.mode, request_id=request_id
+            result = runner.analyze(
+                program, request.root, request.mode,
+                request_id=request_id,
             )
     finally:
         if store is not None:

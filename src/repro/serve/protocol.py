@@ -63,6 +63,7 @@ WIRE_SETTINGS = (
     "prune_fm",
     "fm_kernel",
     "eliminate_w",
+    "method",
 )
 
 

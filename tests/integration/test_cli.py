@@ -174,14 +174,14 @@ class TestTimeout:
 
     def test_expired_budget_exits_three(self, perm_file, capsys,
                                         monkeypatch):
-        import repro.cli as cli_module
+        import repro.methods as methods_module
 
         def stall(*args, **kwargs):
             import time
 
             time.sleep(10)
 
-        monkeypatch.setattr(cli_module, "analyze_program", stall)
+        monkeypatch.setattr(methods_module, "run_method", stall)
         code = main(
             [perm_file, "--root", "perm/2", "--mode", "bf",
              "--timeout", "0.2"]
@@ -196,6 +196,73 @@ class TestTimeout:
              "--timeout", "60"]
         )
         assert code == 1
+
+
+class TestMethodFlag:
+    """--method / --list-methods: the pluggable prover front end."""
+
+    def test_list_methods(self, capsys):
+        code = main(["--list-methods"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("argsize", "sizechange", "nonterm", "portfolio"):
+            assert name in out
+
+    def test_source_still_required_without_list(self):
+        with pytest.raises(SystemExit, match="source"):
+            main(["--root", "p/1", "--mode", "b"])
+
+    def test_unknown_method_exits_two_with_choices(self, loop_file,
+                                                   capsys):
+        code = main([loop_file, "--root", "p/1", "--mode", "b",
+                     "--method", "magic"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "magic" in err
+        assert "portfolio" in err
+
+    def test_portfolio_disproves_loop(self, loop_file, capsys):
+        code = main([loop_file, "--root", "p/1", "--mode", "b",
+                     "--method", "portfolio"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DISPROVED" in out
+        assert "looping derivation" in out
+
+    def test_sizechange_proves_ackermann(self, tmp_path, capsys):
+        path = tmp_path / "ack.pl"
+        path.write_text(
+            "ack(0, N, s(N)).\n"
+            "ack(s(M), 0, R) :- ack(M, s(0), R).\n"
+            "ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).\n"
+        )
+        code = main([str(path), "--root", "ack/3", "--mode", "bbf",
+                     "--method", "sizechange"])
+        assert code == 0
+        assert "PROVED" in capsys.readouterr().out
+
+    def test_verify_with_proofless_certificate_notes_it(self, tmp_path,
+                                                        capsys):
+        path = tmp_path / "ack.pl"
+        path.write_text(
+            "ack(0, N, s(N)).\n"
+            "ack(s(M), 0, R) :- ack(M, s(0), R).\n"
+            "ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).\n"
+        )
+        code = main([str(path), "--root", "ack/3", "--mode", "bbf",
+                     "--method", "sizechange", "--verify"])
+        assert code == 0
+        assert "no lambda certificate" in capsys.readouterr().err
+
+    def test_method_json_includes_method(self, loop_file, capsys):
+        import json
+
+        code = main([loop_file, "--root", "p/1", "--mode", "b",
+                     "--method", "nonterm", "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["method"] == "nonterm"
+        assert data["status"] == "DISPROVED"
 
 
 class TestCacheDir:

@@ -98,3 +98,33 @@ def assignments(var_pool=("x", "y", "z")):
     return st.fixed_dictionaries(
         {name: fractions(max_num=8) for name in var_pool}
     )
+
+
+def pure_programs(max_clauses=4):
+    """Small pure logic programs over ``p/1`` and ``q/1``.
+
+    No cut, negation, or builtins — exactly the fragment where every
+    registered termination method's verdict is sound, so cross-method
+    properties (never PROVED *and* DISPROVED) can quantify over them.
+    A ``p(a).`` fact is always appended so the root ``p/1`` is defined.
+    """
+    from repro.lp.program import Clause, Literal, Program
+
+    heads = st.tuples(st.sampled_from(("p", "q")), terms(max_leaves=4))
+    clauses = st.tuples(heads, st.lists(heads, max_size=2))
+
+    def build(drawn):
+        built = [
+            Clause(
+                head=Struct(name, (argument,)),
+                body=tuple(
+                    Literal(Struct(body_name, (body_argument,)))
+                    for body_name, body_argument in body
+                ),
+            )
+            for (name, argument), body in drawn
+        ]
+        built.append(Clause(head=Struct("p", (Atom("a"),))))
+        return Program(tuple(built))
+
+    return st.lists(clauses, max_size=max_clauses).map(build)

@@ -18,7 +18,7 @@ from repro.core import analyze_program
 from repro.core.adornment import AdornedPredicate
 from repro.sizes.norms import STRUCTURAL
 
-from tests.property.strategies import ground_lists
+from tests.property.strategies import ground_lists, pure_programs
 
 PERM = parse_program(
     """
@@ -121,3 +121,33 @@ def test_certificate_measure_nonnegative(items):
     weights = analysis.proof.proof_for(node).lambda_for(node)
     value = weights[1] * STRUCTURAL.ground_size(items)
     assert value >= 0
+
+
+@given(pure_programs())
+@settings(max_examples=15, deadline=None)
+def test_methods_never_prove_and_disprove(program):
+    """The three-valued soundness invariant across provers: no program
+    is PROVED terminating by any method while the non-termination
+    detector DISPROVES it, and the portfolio's verdict agrees with the
+    standalone run of whichever method decided it."""
+    from repro.core import AnalyzerSettings, DISPROVED, PROVED
+    from repro.methods import run_method
+
+    verdicts = {}
+    for name in ("argsize", "sizechange", "nonterm", "portfolio"):
+        verdicts[name] = run_method(
+            program, ("p", 1), "b",
+            settings=AnalyzerSettings(method=name),
+        ).status
+
+    proved_any = any(
+        verdicts[name] == PROVED
+        for name in ("argsize", "sizechange", "portfolio")
+    )
+    assert not (proved_any and verdicts["nonterm"] == DISPROVED)
+
+    # Portfolio agreement with the winning method standalone.
+    if verdicts["portfolio"] == DISPROVED:
+        assert verdicts["nonterm"] == DISPROVED
+    if verdicts["argsize"] == PROVED:
+        assert verdicts["portfolio"] == PROVED

@@ -1,0 +1,63 @@
+"""``method`` over the wire: request validation, keys, and solving."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.serve.pool import solve_wire
+from repro.serve.protocol import AnalyzeRequest, request_key
+
+LOOP = "p(X) :- p(X).\n"
+APPEND = """
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+"""
+
+
+def wire(**overrides):
+    body = {"source": APPEND, "root": "append/3", "mode": "bbf"}
+    body.update(overrides)
+    return body
+
+
+class TestMethodOnTheWire:
+    def test_method_is_a_settable_setting(self):
+        request = AnalyzeRequest.from_wire(
+            wire(settings={"method": "portfolio"})
+        )
+        assert request.settings.method == "portfolio"
+        assert request.to_wire()["settings"] == {"method": "portfolio"}
+
+    def test_unknown_method_is_a_400_not_a_solve(self):
+        with pytest.raises(AnalysisError, match="magic"):
+            AnalyzeRequest.from_wire(wire(settings={"method": "magic"}))
+
+    def test_method_rotates_the_request_key(self):
+        base = request_key(APPEND, ("append", 3), "bbf")
+        from repro.core import AnalyzerSettings
+
+        other = request_key(
+            APPEND, ("append", 3), "bbf",
+            AnalyzerSettings(method="portfolio"),
+        )
+        assert base != other
+
+
+class TestSolveWireDispatch:
+    def test_portfolio_disproves_over_the_wire(self):
+        payload, _, _, _, _ = solve_wire(
+            wire(source=LOOP, root="p/1", mode="b",
+                 settings={"method": "portfolio"}),
+            timeout=None, cache_dir=None, request_id="t-1",
+        )
+        assert payload["status"] == "DISPROVED"
+        assert payload["method"] == "portfolio"
+        assert any(
+            scc.get("method") == "nonterm" for scc in payload["sccs"]
+        )
+
+    def test_default_method_payload_unchanged_shape(self):
+        payload, _, _, _, _ = solve_wire(
+            wire(), timeout=None, cache_dir=None, request_id="t-2",
+        )
+        assert payload["status"] == "PROVED"
+        assert payload["method"] == "argsize"
